@@ -1,0 +1,88 @@
+// Command maxson-bench regenerates the paper's evaluation tables and
+// figures (§V). Each experiment prints the same rows/series the paper
+// reports, computed from this repository's implementation.
+//
+// Usage:
+//
+//	maxson-bench -exp all
+//	maxson-bench -exp fig11 -rows 500
+//	maxson-bench -exp table3 -days 60
+//
+// Experiments: fig2, fig3, fig4, table3, table4, fig11 (includes Table V),
+// fig12, fig13, fig14, fig15, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (fig2..fig15, table3, table4, all)")
+	rows := flag.Int("rows", 400, "rows per Table II table")
+	days := flag.Int("days", 60, "trace length in days for workload/model experiments")
+	seed := flag.Int64("seed", 1, "random seed")
+	epochs := flag.Int("epochs", 12, "LSTM training epochs")
+	flag.Parse()
+
+	traceCfg := trace.DefaultConfig()
+	traceCfg.Days = *days
+	traceCfg.Seed = *seed
+	lstmCfg := core.LSTMConfig{Hidden: 16, Epochs: *epochs, LR: 0.02, Seed: *seed, Batch: 16}
+
+	runners := map[string]func() (fmt.Stringer, error){
+		"fig2": func() (fmt.Stringer, error) { return experiments.RunFig2(traceCfg), nil },
+		"fig3": func() (fmt.Stringer, error) { return experiments.RunFig3(*rows * 4) },
+		"fig4": func() (fmt.Stringer, error) { return experiments.RunFig4(traceCfg), nil },
+		"table3": func() (fmt.Stringer, error) {
+			return experiments.RunTable3(traceCfg, lstmCfg), nil
+		},
+		"table4": func() (fmt.Stringer, error) {
+			cfg := traceCfg
+			if cfg.Days < 45 {
+				cfg.Days = 45 // the 30-day window needs history
+			}
+			return experiments.RunTable4(cfg, lstmCfg), nil
+		},
+		"fig11":    func() (fmt.Stringer, error) { return experiments.RunFig11(*rows, *seed) },
+		"fig12":    func() (fmt.Stringer, error) { return experiments.RunFig12(*rows, *seed) },
+		"fig13":    func() (fmt.Stringer, error) { return experiments.RunFig13(*rows, *seed) },
+		"fig14":    func() (fmt.Stringer, error) { return experiments.RunFig14(*rows, *seed, 7) },
+		"fig15":    func() (fmt.Stringer, error) { return experiments.RunFig15(*rows, *seed) },
+		"ablation": func() (fmt.Stringer, error) { return experiments.RunAblation(*rows, *seed) },
+		"sparser":  func() (fmt.Stringer, error) { return experiments.RunSparserStudy(*rows, *seed) },
+	}
+	order := []string{"fig2", "fig3", "fig4", "table3", "table4", "fig11", "fig12", "fig13", "fig14", "fig15", "ablation", "sparser"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := runners[name]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s, all\n", name, strings.Join(order, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, name)
+		}
+	}
+
+	for _, name := range selected {
+		start := time.Now()
+		result, err := runners[name]()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("==== %s (ran in %v) ====\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Println(result.String())
+	}
+}

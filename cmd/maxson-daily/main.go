@@ -1,0 +1,148 @@
+// Command maxson-daily simulates a production deployment over many days:
+// data loads every morning, a recurring query mix runs during the day, and
+// the Maxson midnight cycle trains, predicts, scores, and re-populates the
+// cache each night. It prints a per-day operations report — parse traffic,
+// cache hit behaviour, cycle statistics — showing the system converging
+// onto the workload.
+//
+// Usage:
+//
+//	maxson-daily -days 21 -budget-mb 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	days := flag.Int("days", 21, "days to simulate")
+	budgetMB := flag.Int64("budget-mb", 64, "cache budget in MiB")
+	rowsPerDay := flag.Int("rows", 200, "rows loaded per table per day")
+	warmup := flag.Int("warmup", 8, "days before the first midnight cycle")
+	flag.Parse()
+
+	sys := maxson.NewSystem(maxson.SystemConfig{
+		DefaultDB:        "prod",
+		CacheBudgetBytes: *budgetMB << 20,
+	})
+	wh := sys.Warehouse()
+	wh.CreateDatabase("prod")
+
+	// Two tables: sale logs and machine logs, each with a JSON column.
+	for _, table := range []string{"sales", "machines"} {
+		schema := maxson.Schema{Columns: []maxson.Column{
+			{Name: "ds", Type: maxson.TypeString},
+			{Name: "payload", Type: maxson.TypeString},
+		}}
+		if err := wh.CreateTable("prod", table, schema); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	loadDay := func(day int) {
+		for _, table := range []string{"sales", "machines"} {
+			var rows [][]maxson.Datum
+			for i := 0; i < *rowsPerDay; i++ {
+				var doc string
+				if table == "sales" {
+					doc = fmt.Sprintf(
+						`{"item_id":%d,"item_name":"item-%03d","turnover":%d,"price":%d,"region":"r%d"}`,
+						i, i%50, (day*37+i*11)%5000, i%20+1, i%5)
+				} else {
+					doc = fmt.Sprintf(
+						`{"host":"node-%02d","cpu":%d,"mem":%d,"alerts":%d,"rack":"k%d"}`,
+						i%16, (day*7+i)%100, (day*3+i*5)%100, i%7, i%4)
+				}
+				rows = append(rows, []maxson.Datum{
+					maxson.Str(fmt.Sprintf("d%03d", day)),
+					maxson.Str(doc),
+				})
+			}
+			if _, err := wh.AppendRows("prod", table, rows); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// The recurring daily query mix (each runs twice a day — the paper's
+	// spatial-correlation pattern).
+	queries := []string{
+		`SELECT get_json_object(payload, '$.item_name') n,
+		        SUM(cast_double(get_json_object(payload, '$.turnover'))) s
+		 FROM prod.sales GROUP BY get_json_object(payload, '$.item_name')
+		 ORDER BY s DESC LIMIT 5`,
+		`SELECT get_json_object(payload, '$.region') r, COUNT(*) c
+		 FROM prod.sales GROUP BY get_json_object(payload, '$.region') ORDER BY r`,
+		`SELECT get_json_object(payload, '$.host') h,
+		        MAX(cast_double(get_json_object(payload, '$.cpu'))) peak
+		 FROM prod.machines GROUP BY get_json_object(payload, '$.host')
+		 HAVING MAX(cast_double(get_json_object(payload, '$.cpu'))) > 80
+		 ORDER BY h`,
+		`SELECT COUNT(*) c FROM prod.machines
+		 WHERE get_json_object(payload, '$.alerts') > 4`,
+	}
+
+	cm := sys.Engine().CostModel()
+	fmt.Println("day | parsed-docs | cache-values | sim-time    | cycle (MPJPs cached, bytes)")
+	fmt.Println("----+-------------+--------------+-------------+----------------------------")
+	for day := 1; day <= *days; day++ {
+		loadDay(day)
+		sys.AdvanceClock(10 * time.Hour) // queries run mid-day, after the load
+
+		var parsed, cached int64
+		var simTime time.Duration
+		for rep := 0; rep < 2; rep++ {
+			for _, sql := range queries {
+				_, m, err := sys.Query(sql)
+				if err != nil {
+					log.Fatal(err)
+				}
+				parsed += m.Parse.Docs.Load()
+				cached += m.CacheValuesRead.Load()
+				simTime += m.SimulatedTime(cm)
+			}
+		}
+
+		cycleNote := "-"
+		sys.AdvanceToMidnight()
+		if day >= *warmup {
+			report, err := sys.RunMidnightCycle()
+			if err != nil {
+				log.Fatal(err)
+			}
+			cycleNote = fmt.Sprintf("%d cached, %s", report.Selected, humanBytes(sys.CacheBytes()))
+		}
+		fmt.Printf("%3d | %11d | %12d | %-11v | %s\n", day, parsed, cached, simTime, cycleNote)
+	}
+
+	fmt.Println()
+	printSummary(sys)
+}
+
+func printSummary(sys *maxson.System) {
+	entries := sys.Core().Registry.Entries()
+	fmt.Printf("final cache: %d entries, %s\n", len(entries), humanBytes(sys.CacheBytes()))
+	for _, e := range entries {
+		state := "valid"
+		if e.Invalid {
+			state = "invalid"
+		}
+		fmt.Printf("  %-60s %8s  %s\n", e.Key.String(), humanBytes(e.Bytes), state)
+	}
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/datum"
+	"repro/internal/jsonpath"
+	"repro/internal/orc"
+	"repro/internal/sjson"
+	"repro/internal/warehouse"
+)
+
+// CacheDB is the database that holds every cache table.
+const CacheDB = "maxson_cache"
+
+// CacheTableName maps a raw table to its cache table's base name, following
+// the paper's naming scheme (database name + raw table name, §IV-C). The
+// cacher appends a generation suffix so each nightly population writes
+// fresh tables while the previous generation keeps serving in-flight
+// queries until the next cycle deletes it — the paper's "invalid cache
+// tables would be deleted when we perform caching operations next time".
+func CacheTableName(db, table string) string { return db + "__" + table }
+
+func generationTableName(db, table string, gen int) string {
+	return fmt.Sprintf("%s__g%03d", CacheTableName(db, table), gen)
+}
+
+// Cacher is the JSONPath Cacher: at the start of a population cycle it
+// receives score-ranked MPJPs, parses their values out of the raw tables,
+// and writes cache tables whose part files align one-to-one with the raw
+// tables' part files so the Value Combiner's paired readers can stitch rows
+// positionally without a join (paper §IV-C).
+type Cacher struct {
+	wh       *warehouse.Warehouse
+	registry *Registry
+	// RowGroupRows matches the raw tables' row-group size so shared
+	// skip-arrays line up row-for-row.
+	RowGroupRows int
+
+	// generation numbers each population cycle; cache tables carry it in
+	// their name so generations never collide.
+	generation int
+	// pendingDrop lists the previous generation's tables, deleted at the
+	// START of the next cycle so queries planned against the old registry
+	// can finish against intact tables.
+	pendingDrop [][2]string // (db, table)
+	// stats
+	lastStats CacheStats
+}
+
+// CacheStats summarizes one population cycle.
+type CacheStats struct {
+	PathsCached   int
+	RowsParsed    int64
+	BytesWritten  int64
+	ParseNsSpent  float64 // simulated pre-parsing cost (off-peak work)
+	TablesWritten int
+	Dropped       int // invalid cache tables deleted
+}
+
+// NewCacher builds a cacher writing through the warehouse.
+func NewCacher(wh *warehouse.Warehouse, registry *Registry) *Cacher {
+	return &Cacher{wh: wh, registry: registry, RowGroupRows: wh.WriterOptions().RowGroupRows}
+}
+
+// Populate runs one caching cycle: it drops invalid cache tables left from
+// previous cycles, empties the cache, and re-populates it with the selected
+// profiles in order (the paper empties and re-populates every midnight).
+// The cost model rates are used to account the off-peak parsing work.
+func (c *Cacher) Populate(selected []*PathProfile, parseNsPerByte float64) (CacheStats, error) {
+	var stats CacheStats
+
+	// Delete the generation retired during the PREVIOUS cycle: no live
+	// query can still reference it (its registry entries vanished a full
+	// cycle ago).
+	for _, t := range c.pendingDrop {
+		if c.wh.TableExists(t[0], t[1]) {
+			if err := c.wh.DropTable(t[0], t[1]); err == nil {
+				stats.Dropped++
+			}
+		}
+	}
+	c.pendingDrop = nil
+
+	// Retire the current generation: remove its registry entries first so
+	// new plans stop resolving them, then queue its tables for deletion
+	// next cycle (in-flight queries keep working against intact files).
+	retired := map[[2]string]bool{}
+	for _, e := range c.registry.Entries() {
+		c.registry.Drop(e.Key)
+		retired[[2]string{e.CacheDB, e.CacheTable}] = true
+	}
+	for t := range retired {
+		c.pendingDrop = append(c.pendingDrop, t)
+	}
+	sort.Slice(c.pendingDrop, func(i, j int) bool {
+		return c.pendingDrop[i][0]+c.pendingDrop[i][1] < c.pendingDrop[j][0]+c.pendingDrop[j][1]
+	})
+	c.generation++
+
+	// Group selections by raw table: all MPJPs of one raw table go into one
+	// cache table (paper: "we cache the JSONPath from the same raw data
+	// table into the same cache table").
+	byTable := make(map[string][]*PathProfile)
+	var tableIDs []string
+	for _, p := range selected {
+		id := p.Key.TableID()
+		if _, ok := byTable[id]; !ok {
+			tableIDs = append(tableIDs, id)
+		}
+		byTable[id] = append(byTable[id], p)
+	}
+	sort.Strings(tableIDs)
+
+	c.wh.CreateDatabase(CacheDB)
+	// Tables populate in parallel — the paper runs pre-parsing "in a
+	// scalable way using Spark" across the cluster's idle midnight
+	// capacity. Stats merge after the fan-out.
+	type tableResult struct {
+		stats CacheStats
+		paths int
+		err   error
+	}
+	results := make([]tableResult, len(tableIDs))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tableIDs) {
+		workers = len(tableIDs)
+	}
+	sem := make(chan struct{}, maxInt(workers, 1))
+	for i, id := range tableIDs {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var local CacheStats
+			n, err := c.populateTable(byTable[id], &local, parseNsPerByte)
+			results[i] = tableResult{stats: local, paths: n, err: err}
+		}(i, id)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.err != nil {
+			return stats, r.err
+		}
+		stats.PathsCached += r.paths
+		stats.RowsParsed += r.stats.RowsParsed
+		stats.BytesWritten += r.stats.BytesWritten
+		stats.ParseNsSpent += r.stats.ParseNsSpent
+		stats.TablesWritten++
+	}
+	c.lastStats = stats
+	return stats, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// populateTable caches one raw table's selected paths.
+func (c *Cacher) populateTable(group []*PathProfile, stats *CacheStats, parseNsPerByte float64) (int, error) {
+	key0 := group[0].Key
+	rawInfo, err := c.wh.Table(key0.DB, key0.Table)
+	if err != nil {
+		return 0, err
+	}
+	// Compile the paths and define the cache schema: one STRING column per
+	// path, named column__path (paper's cache-field naming).
+	type cachedPath struct {
+		prof *PathProfile
+		path *jsonpath.Path
+		col  string
+	}
+	var paths []cachedPath
+	schema := orc.Schema{}
+	for _, p := range group {
+		cp, err := jsonpath.Compile(p.Key.Path)
+		if err != nil {
+			continue
+		}
+		col := p.Key.Sanitized()
+		paths = append(paths, cachedPath{prof: p, path: cp, col: col})
+		schema.Columns = append(schema.Columns, orc.Column{Name: col, Type: datum.TypeString})
+	}
+	if len(paths) == 0 {
+		return 0, nil
+	}
+
+	cacheTable := generationTableName(key0.DB, key0.Table, c.generation)
+	if c.wh.TableExists(CacheDB, cacheTable) {
+		if err := c.wh.DropTable(CacheDB, cacheTable); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.wh.CreateTable(CacheDB, cacheTable, schema); err != nil {
+		return 0, err
+	}
+
+	// Which raw columns do we need? One JSON column may serve many paths.
+	neededCols := map[string]bool{}
+	for _, p := range paths {
+		neededCols[p.prof.Key.Column] = true
+	}
+	var readCols []string
+	for name := range neededCols {
+		readCols = append(readCols, name)
+	}
+	sort.Strings(readCols)
+	colPos := map[string]int{}
+	for i, name := range readCols {
+		colPos[name] = i
+	}
+
+	perPathBytes := make([]int64, len(paths))
+
+	// One cache file per raw file, in split order: this is the alignment
+	// invariant the Value Combiner depends on.
+	for _, file := range rawInfo.Files {
+		r, err := c.wh.OpenFile(file)
+		if err != nil {
+			return 0, err
+		}
+		cur, err := r.NewCursor(readCols, nil, nil)
+		if err != nil {
+			return 0, err
+		}
+		var rows [][]datum.Datum
+		// Per-document memo: parse each JSON column once per row.
+		for {
+			row, err := cur.Next()
+			if err != nil {
+				return 0, err
+			}
+			if row == nil {
+				break
+			}
+			parsed := map[string]*sjson.Value{}
+			out := make([]datum.Datum, len(paths))
+			for pi, p := range paths {
+				src := row[colPos[p.prof.Key.Column]]
+				if src.Null {
+					out[pi] = datum.NullOf(datum.TypeString)
+					continue
+				}
+				root, ok := parsed[p.prof.Key.Column]
+				if !ok {
+					root, _ = sjson.ParseString(src.S)
+					parsed[p.prof.Key.Column] = root
+					stats.ParseNsSpent += float64(len(src.S)) * parseNsPerByte
+				}
+				if root == nil {
+					out[pi] = datum.NullOf(datum.TypeString)
+					continue
+				}
+				v := p.path.Eval(root)
+				if v.IsNull() {
+					out[pi] = datum.NullOf(datum.TypeString)
+				} else {
+					s := v.Scalar()
+					out[pi] = datum.Str(s)
+					perPathBytes[pi] += int64(len(s))
+				}
+			}
+			rows = append(rows, out)
+			stats.RowsParsed++
+		}
+		if _, err := c.wh.AppendRows(CacheDB, cacheTable, rows); err != nil {
+			return 0, err
+		}
+	}
+
+	cachedAt := c.wh.Clock().Now()
+	totalBytes, err := c.wh.TotalBytes(CacheDB, cacheTable)
+	if err == nil {
+		stats.BytesWritten += totalBytes
+	}
+	for pi, p := range paths {
+		c.registry.Put(&CacheEntry{
+			Key:         p.prof.Key,
+			CacheDB:     CacheDB,
+			CacheTable:  cacheTable,
+			CacheColumn: p.col,
+			CachedAt:    cachedAt,
+			Bytes:       perPathBytes[pi],
+		})
+	}
+	return len(paths), nil
+}
+
+// ActiveCacheTable returns the current generation's cache table for a raw
+// table, resolved through the registry ("" when nothing of that table is
+// cached).
+func (c *Cacher) ActiveCacheTable(db, table string) string {
+	for _, e := range c.registry.Entries() {
+		if e.Key.DB == db && e.Key.Table == table {
+			return e.CacheTable
+		}
+	}
+	return ""
+}
+
+// VerifyAlignment checks the §IV-C invariant for a cached raw table: the
+// cache table has the same number of part files as the raw table and the
+// i-th files have identical row counts. Tests and the daily cycle's sanity
+// check call this.
+func (c *Cacher) VerifyAlignment(db, table string) error {
+	rawInfo, err := c.wh.Table(db, table)
+	if err != nil {
+		return err
+	}
+	active := c.ActiveCacheTable(db, table)
+	if active == "" {
+		return fmt.Errorf("core: no cached paths for %s.%s", db, table)
+	}
+	cacheInfo, err := c.wh.Table(CacheDB, active)
+	if err != nil {
+		return err
+	}
+	if len(rawInfo.Files) != len(cacheInfo.Files) {
+		return fmt.Errorf("core: cache/raw file count mismatch: %d vs %d", len(cacheInfo.Files), len(rawInfo.Files))
+	}
+	for i := range rawInfo.Files {
+		rr, err := c.wh.OpenFile(rawInfo.Files[i])
+		if err != nil {
+			return err
+		}
+		cr, err := c.wh.OpenFile(cacheInfo.Files[i])
+		if err != nil {
+			return err
+		}
+		if rr.NumRows() != cr.NumRows() {
+			return fmt.Errorf("core: split %d row mismatch: raw %d vs cache %d", i, rr.NumRows(), cr.NumRows())
+		}
+	}
+	return nil
+}

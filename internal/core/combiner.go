@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datum"
+	"repro/internal/jsonpath"
+	"repro/internal/orc"
+	"repro/internal/sjson"
+	"repro/internal/sqlengine"
+	"repro/internal/warehouse"
+)
+
+// CombinedScanFactory is the Value Combiner (paper §IV-E): it opens two
+// synchronized readers per split — the PrimaryReader over the raw table's
+// uncached columns and the CacheReader over the cache table's columns — and
+// stitches their rows positionally into complete records. When the query
+// carries a predicate on a cached path, the CacheReader evaluates the SARG
+// against the cache table's row-group statistics and shares the resulting
+// skip array with the PrimaryReader (paper §IV-F), provided both files have
+// a single stripe.
+type CombinedScanFactory struct {
+	wh *warehouse.Warehouse
+
+	// Raw side.
+	rawDB, rawTable string
+	primaryCols     []string // raw columns the query still needs
+	primarySARG     *orc.SARG
+
+	// Cache side.
+	cacheTable string   // within CacheDB
+	cacheCols  []string // cache table columns (sanitized names)
+	cacheSARG  *orc.SARG
+
+	// fallbacks compute each cache column's value by parsing the raw JSON
+	// when a split postdates the cache (daily appends land new part files
+	// the nightly cache does not cover yet). Aligned with cacheCols.
+	fallbacks []FallbackSpec
+
+	// Pushdown enables sharing the cache reader's row-group mask with the
+	// primary reader.
+	pushdown bool
+
+	schema sqlengine.RowSchema
+}
+
+// FallbackSpec describes how to recompute one cached column from raw data.
+type FallbackSpec struct {
+	RawColumn string
+	Path      *jsonpath.Path
+}
+
+// NewCombinedScanFactory wires a combined scan. primaryCols may be empty
+// (fully cached query → cache-only reading, the cheaper mode the paper's
+// relevance term optimizes for); cacheCols may be empty only if pushdown is
+// disabled and the factory degenerates to a plain scan.
+func NewCombinedScanFactory(
+	wh *warehouse.Warehouse,
+	rawDB, rawTable string,
+	primaryCols []string, primarySARG *orc.SARG,
+	cacheTable string, cacheCols []string, cacheSARG *orc.SARG,
+	fallbacks []FallbackSpec,
+	pushdown bool,
+	schema sqlengine.RowSchema,
+) *CombinedScanFactory {
+	return &CombinedScanFactory{
+		wh:    wh,
+		rawDB: rawDB, rawTable: rawTable,
+		primaryCols: primaryCols, primarySARG: primarySARG,
+		cacheTable: cacheTable, cacheCols: cacheCols, cacheSARG: cacheSARG,
+		fallbacks: fallbacks,
+		pushdown:  pushdown,
+		schema:    schema,
+	}
+}
+
+// NumSplits implements sqlengine.ScanSourceFactory. Splits follow the raw
+// table's part files; the cacher guarantees the cache table has the same
+// file count.
+func (f *CombinedScanFactory) NumSplits() (int, error) {
+	info, err := f.wh.Table(f.rawDB, f.rawTable)
+	if err != nil {
+		return 0, err
+	}
+	return len(info.Files), nil
+}
+
+// Schema implements sqlengine.ScanSourceFactory.
+func (f *CombinedScanFactory) Schema() (sqlengine.RowSchema, error) { return f.schema, nil }
+
+// Open implements sqlengine.ScanSourceFactory.
+func (f *CombinedScanFactory) Open(split int, m *sqlengine.Metrics) (sqlengine.RowSource, error) {
+	rawInfo, err := f.wh.Table(f.rawDB, f.rawTable)
+	if err != nil {
+		return nil, err
+	}
+	if split < 0 || split >= len(rawInfo.Files) {
+		return nil, fmt.Errorf("core: split %d out of range for %s.%s", split, f.rawDB, f.rawTable)
+	}
+	cacheInfo, err := f.wh.Table(CacheDB, f.cacheTable)
+	if err != nil {
+		// The cache generation this plan was built against has been retired
+		// and deleted by a later population cycle. Degrade gracefully: the
+		// query stays correct by parsing raw data, exactly as if the paths
+		// were uncached.
+		return f.openFallback(rawInfo.Files[split], m)
+	}
+	if len(cacheInfo.Files) > len(rawInfo.Files) {
+		return nil, fmt.Errorf("core: cache table %s has %d files, raw table only %d — alignment broken",
+			f.cacheTable, len(cacheInfo.Files), len(rawInfo.Files))
+	}
+	// Splits beyond the cache's coverage (part files appended after the
+	// nightly population) read raw data and parse the paths on the fly.
+	if split >= len(cacheInfo.Files) {
+		return f.openFallback(rawInfo.Files[split], m)
+	}
+
+	// CacheReader.
+	cacheReader, err := f.wh.OpenFile(cacheInfo.Files[split])
+	if err != nil {
+		return nil, err
+	}
+	var cacheStats orc.ReadStats
+	cacheCur, err := cacheReader.NewCursor(f.cacheCols, f.cacheSARG, &cacheStats)
+	if err != nil {
+		return nil, err
+	}
+
+	src := &combinedRowSource{m: m, cacheCur: cacheCur, cacheStats: &cacheStats,
+		nPrimary: len(f.primaryCols), nCache: len(f.cacheCols)}
+
+	// PrimaryReader (absent when every projected column is cached).
+	if len(f.primaryCols) > 0 {
+		rawReader, err := f.wh.OpenFile(rawInfo.Files[split])
+		if err != nil {
+			return nil, err
+		}
+		var rawStats orc.ReadStats
+		rawCur, err := rawReader.NewCursor(f.primaryCols, f.primarySARG, &rawStats)
+		if err != nil {
+			return nil, err
+		}
+		// Row alignment sanity (the §IV-C invariant).
+		if rawReader.NumRows() != cacheReader.NumRows() {
+			return nil, fmt.Errorf("core: split %d rows differ: raw %d vs cache %d",
+				split, rawReader.NumRows(), cacheReader.NumRows())
+		}
+		// Predicate pushdown: share the cache reader's skip array. Only
+		// valid when both files are single-stripe so row groups align
+		// (paper §IV-F) and the group counts agree.
+		if f.pushdown && f.cacheSARG != nil &&
+			rawReader.NumStripes() <= 1 && cacheReader.NumStripes() <= 1 &&
+			rawReader.NumRowGroups() == cacheReader.NumRowGroups() {
+			if err := rawCur.SetRowGroupMask(cacheCur.RowGroupMask()); err != nil {
+				return nil, err
+			}
+			src.sharedMask = true
+		}
+		// The cache side must also honor the primary reader's own skips so
+		// both cursors keep visiting the same groups.
+		if src.sharedMask || (rawCur != nil && f.primarySARG != nil &&
+			rawReader.NumStripes() <= 1 && cacheReader.NumStripes() <= 1 &&
+			rawReader.NumRowGroups() == cacheReader.NumRowGroups()) {
+			if err := cacheCur.SetRowGroupMask(rawCur.RowGroupMask()); err != nil {
+				return nil, err
+			}
+		}
+		src.rawCur = rawCur
+		src.rawStats = &rawStats
+	}
+	return src, nil
+}
+
+// openFallback serves one uncovered split: it reads the primary columns
+// plus every raw JSON column the fallbacks need, and synthesizes the cache
+// columns by parsing the documents — the cost a freshly appended file pays
+// until the next midnight cycle covers it.
+func (f *CombinedScanFactory) openFallback(file string, m *sqlengine.Metrics) (sqlengine.RowSource, error) {
+	reader, err := f.wh.OpenFile(file)
+	if err != nil {
+		return nil, err
+	}
+	readCols := append([]string{}, f.primaryCols...)
+	colPos := map[string]int{}
+	for i, c := range readCols {
+		colPos[c] = i
+	}
+	for _, fb := range f.fallbacks {
+		if _, ok := colPos[fb.RawColumn]; !ok {
+			colPos[fb.RawColumn] = len(readCols)
+			readCols = append(readCols, fb.RawColumn)
+		}
+	}
+	var stats orc.ReadStats
+	cur, err := reader.NewCursor(readCols, f.primarySARG, &stats)
+	if err != nil {
+		return nil, err
+	}
+	return &fallbackRowSource{
+		f: f, cur: cur, stats: &stats, m: m, colPos: colPos,
+	}, nil
+}
+
+// fallbackRowSource parses cache-column values out of raw JSON for splits
+// the cache does not cover.
+type fallbackRowSource struct {
+	f      *CombinedScanFactory
+	cur    *orc.Cursor
+	stats  *orc.ReadStats
+	prev   orc.ReadStats
+	m      *sqlengine.Metrics
+	colPos map[string]int
+
+	lastDoc  string
+	lastRoot *sjson.Value
+}
+
+func (s *fallbackRowSource) Next() ([]datum.Datum, error) {
+	row, err := s.cur.Next()
+	if s.m != nil {
+		cur := *s.stats
+		s.m.BytesRead.Add(cur.BytesRead - s.prev.BytesRead)
+		s.m.RowsScanned.Add(cur.RowsRead - s.prev.RowsRead)
+		s.m.RowGroupsRead.Add(cur.RowGroupsRead - s.prev.RowGroupsRead)
+		s.m.RowGroupsSkipped.Add(cur.RowGroupsSkipped - s.prev.RowGroupsSkipped)
+		s.prev = cur
+	}
+	if err != nil || row == nil {
+		return nil, err
+	}
+	out := make([]datum.Datum, 0, len(s.f.primaryCols)+len(s.f.cacheCols))
+	for i := range s.f.primaryCols {
+		out = append(out, row[i])
+	}
+	for _, fb := range s.f.fallbacks {
+		src := row[s.colPos[fb.RawColumn]]
+		if src.Null {
+			out = append(out, datum.NullOf(datum.TypeString))
+			continue
+		}
+		root := s.parse(src.S)
+		if root == nil {
+			out = append(out, datum.NullOf(datum.TypeString))
+			continue
+		}
+		v := fb.Path.Eval(root)
+		if v.IsNull() {
+			out = append(out, datum.NullOf(datum.TypeString))
+		} else {
+			out = append(out, datum.Str(v.Scalar()))
+		}
+	}
+	if s.m != nil {
+		s.m.CacheMisses.Add(int64(len(s.f.fallbacks)))
+	}
+	return out, nil
+}
+
+// parse memoizes the document tree across the fallbacks of one row.
+func (s *fallbackRowSource) parse(doc string) *sjson.Value {
+	if doc == s.lastDoc && s.lastRoot != nil {
+		return s.lastRoot
+	}
+	root, err := sjson.ParseString(doc)
+	if s.m != nil {
+		s.m.Parse.Docs.Add(1)
+		s.m.Parse.Bytes.Add(int64(len(doc)))
+		s.m.Parse.Calls.Add(int64(len(s.f.fallbacks)))
+	}
+	s.lastDoc = doc
+	if err != nil {
+		s.lastRoot = nil
+	} else {
+		s.lastRoot = root
+	}
+	return s.lastRoot
+}
+
+// combinedRowSource streams stitched rows: primary columns first, cache
+// columns after, matching the schema the plan modifier installed.
+type combinedRowSource struct {
+	rawCur     *orc.Cursor
+	cacheCur   *orc.Cursor
+	rawStats   *orc.ReadStats
+	cacheStats *orc.ReadStats
+	rawPrev    orc.ReadStats
+	cachePrev  orc.ReadStats
+	m          *sqlengine.Metrics
+	nPrimary   int
+	nCache     int
+	sharedMask bool
+}
+
+// Next implements sqlengine.RowSource (Algorithm 2: read both splits, pair
+// rows positionally, place values by schema position).
+func (s *combinedRowSource) Next() ([]datum.Datum, error) {
+	cacheRow, err := s.cacheCur.Next()
+	if err != nil {
+		return nil, err
+	}
+	var rawRow []datum.Datum
+	if s.rawCur != nil {
+		rawRow, err = s.rawCur.Next()
+		if err != nil {
+			return nil, err
+		}
+		// Both or neither: the readers are synchronized by construction.
+		if (rawRow == nil) != (cacheRow == nil) {
+			return nil, fmt.Errorf("core: paired readers desynchronized (raw done=%v cache done=%v)",
+				rawRow == nil, cacheRow == nil)
+		}
+	}
+	s.meter()
+	if cacheRow == nil {
+		return nil, nil
+	}
+	out := make([]datum.Datum, 0, s.nPrimary+s.nCache)
+	out = append(out, rawRow...)
+	out = append(out, cacheRow...)
+	if s.m != nil {
+		s.m.CacheValuesRead.Add(int64(s.nCache))
+	}
+	return out, nil
+}
+
+func (s *combinedRowSource) meter() {
+	if s.m == nil {
+		return
+	}
+	if s.rawStats != nil {
+		cur := *s.rawStats
+		s.m.BytesRead.Add(cur.BytesRead - s.rawPrev.BytesRead)
+		s.m.RowsScanned.Add(cur.RowsRead - s.rawPrev.RowsRead)
+		s.m.RowGroupsRead.Add(cur.RowGroupsRead - s.rawPrev.RowGroupsRead)
+		s.m.RowGroupsSkipped.Add(cur.RowGroupsSkipped - s.rawPrev.RowGroupsSkipped)
+		s.rawPrev = cur
+	}
+	cur := *s.cacheStats
+	s.m.BytesRead.Add(cur.BytesRead - s.cachePrev.BytesRead)
+	s.m.RowGroupsRead.Add(cur.RowGroupsRead - s.cachePrev.RowGroupsRead)
+	s.m.RowGroupsSkipped.Add(cur.RowGroupsSkipped - s.cachePrev.RowGroupsSkipped)
+	s.cachePrev = cur
+}

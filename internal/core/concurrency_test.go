@@ -1,0 +1,63 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestQueriesDuringRepopulation hammers the system with queries while the
+// cache re-populates repeatedly. The generational design (new tables per
+// cycle, previous generation deleted one cycle later) must keep every query
+// succeeding with correct results throughout.
+func TestQueriesDuringRepopulation(t *testing.T) {
+	f := newFixture(t)
+	m := New(f.engine, Config{BudgetBytes: 1 << 30, DefaultDB: "mydb"})
+	cachePaths(t, m, "$.turnover", "$.item_name")
+
+	const queriesPerWorker = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*queriesPerWorker)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < queriesPerWorker; i++ {
+				rs, _, err := m.Query(`
+					SELECT get_json_object(sale_logs, '$.turnover') tv
+					FROM mydb.t WHERE date = '20190115'`)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(rs.Rows) != 1 || rs.Rows[0][0].S != "150" {
+					errs <- errWrongRows
+					return
+				}
+			}
+		}()
+	}
+	// Concurrent repopulation cycles.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			if _, err := m.CacheSelected([]*PathProfile{
+				profileFor("$.turnover"), profileFor("$.item_name"),
+			}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errWrongRows = errString("wrong rows under concurrent repopulation")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"hash/fnv"
+	"math"
+
+	"repro/internal/pathkey"
+)
+
+// Sample is one predictor training/evaluation example for one JSONPath and
+// one target day: a window of per-day step features ending the day before
+// the target, per-step MPJP labels shifted one day forward (so the last
+// label is the next-day prediction the system acts on), plus a flattened
+// non-sequential feature vector for the classical baselines.
+type Sample struct {
+	Key    pathkey.Key
+	Steps  [][]float64 // Window × StepDim sequence features
+	Labels []int       // per-step MPJP labels; Labels[len-1] is the target
+	Flat   []float64   // aggregate (order-free) features for LR/SVM/MLP
+}
+
+// Target returns the next-day MPJP label this sample predicts.
+func (s *Sample) Target() int { return s.Labels[len(s.Labels)-1] }
+
+// StepDim is the per-step feature width: log-count, active flag, datediff,
+// the step date's cyclical week position (the paper's Date input), plus
+// locDim location hash features.
+const (
+	locDim  = 4
+	StepDim = 3 + 2 + locDim
+)
+
+// FlatDim is the classical models' feature width: aggregate count features
+// plus the location hash — no temporal features at all, matching the
+// paper's Table III setup where LR/SVM/MLP "cannot take into account date
+// sequences" and consequently lose recall.
+const FlatDim = 4 + locDim
+
+// MPJPThreshold is the paper's definition: a path parsed at least twice in
+// one day is a Multiple-Parsed JSONPath.
+const MPJPThreshold = 2
+
+// locFeatures hashes the path's location (database, table, column) into a
+// small dense vector, the "database name / table name / column name" part
+// of the paper's feature set.
+func locFeatures(key pathkey.Key) []float64 {
+	out := make([]float64, locDim)
+	for i, s := range []string{key.DB, key.Table, key.Column, key.Path} {
+		h := fnv.New32a()
+		h.Write([]byte(s))
+		// Map the hash to [-1, 1).
+		out[i] = float64(int32(h.Sum32())) / math.MaxInt32
+	}
+	return out
+}
+
+// BuildSamples converts a per-day count matrix into predictor samples using
+// a sliding window. For each path and each target day t in
+// [firstTarget, lastTarget), the sample covers days [t-window, t): step s
+// carries the counts of day t-window+s plus that day's calendar position,
+// and its label is whether day t-window+s+1 is an MPJP day. dayOffset is
+// the absolute day number (e.g. days since the Unix epoch) of counts index
+// 0, anchoring the week-position features so training and prediction agree
+// on the calendar. All-zero windows with a negative target are skipped —
+// the live system predicts over observed paths only, and such samples would
+// swamp training.
+func BuildSamples(counts map[pathkey.Key][]int, keys []pathkey.Key, window int, firstTarget, lastTarget int, dayOffset int64) []*Sample {
+	var samples []*Sample
+	for _, key := range keys {
+		series := counts[key]
+		loc := locFeatures(key)
+		for t := firstTarget; t < lastTarget; t++ {
+			if t-window < 0 || t >= len(series) {
+				continue
+			}
+			active := 0
+			steps := make([][]float64, window)
+			labels := make([]int, window)
+			for s := 0; s < window; s++ {
+				day := t - window + s
+				c := series[day]
+				if c > 0 {
+					active++
+				}
+				sinW, cosW := weekPos(dayOffset + int64(day))
+				step := make([]float64, 0, StepDim)
+				step = append(step,
+					math.Log1p(float64(c)),
+					boolFeat(c > 0),
+					float64(window-s)/float64(window), // datediff: how old
+					sinW, cosW,
+				)
+				step = append(step, loc...)
+				steps[s] = step
+				labels[s] = mpjpLabel(series, day+1)
+			}
+			if active == 0 && labels[window-1] == 0 {
+				continue // uninformative all-zero sample
+			}
+			samples = append(samples, &Sample{
+				Key:    key,
+				Steps:  steps,
+				Labels: labels,
+				Flat:   flatFeatures(series, t, window, loc),
+			})
+		}
+	}
+	return samples
+}
+
+// weekPos encodes a day's position in the week cyclically.
+func weekPos(absDay int64) (float64, float64) {
+	theta := 2 * math.Pi * float64(absDay%7) / 7
+	return math.Sin(theta), math.Cos(theta)
+}
+
+// flatFeatures aggregates the window without preserving order: total count,
+// mean, active-day fraction, max, plus the target day's week position — the
+// information a model without sequence awareness gets.
+func flatFeatures(series []int, target, window int, loc []float64) []float64 {
+	total, maxC, active := 0, 0, 0
+	for d := target - window; d < target; d++ {
+		c := series[d]
+		total += c
+		if c > maxC {
+			maxC = c
+		}
+		if c > 0 {
+			active++
+		}
+	}
+	out := make([]float64, 0, FlatDim)
+	out = append(out,
+		math.Log1p(float64(total)),
+		float64(total)/float64(window),
+		float64(active)/float64(window),
+		math.Log1p(float64(maxC)),
+	)
+	out = append(out, loc...)
+	return out
+}
+
+func mpjpLabel(series []int, day int) int {
+	if day >= 0 && day < len(series) && series[day] >= MPJPThreshold {
+		return 1
+	}
+	return 0
+}
+
+func boolFeat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SplitSamples partitions samples into train/validation/test by the paper's
+// 70/20/10 proportions, deterministically by index hash so the split is
+// stable across runs.
+func SplitSamples(samples []*Sample) (train, val, test []*Sample) {
+	for i, s := range samples {
+		switch h := (i*2654435761 + 97) % 10; {
+		case h < 7:
+			train = append(train, s)
+		case h < 9:
+			val = append(val, s)
+		default:
+			test = append(test, s)
+		}
+	}
+	return train, val, test
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/pathkey"
+	"repro/internal/simtime"
+	"repro/internal/sqlengine"
+	"repro/internal/warehouse"
+)
+
+// Maxson wires the full system: a collector observing queries, a predictor
+// choosing tomorrow's MPJPs, the scoring function ranking them under the
+// cache budget, the cacher populating cache tables at midnight, and the
+// plan modifier serving queries from the cache (paper Fig 5).
+type Maxson struct {
+	Engine    *sqlengine.Engine
+	Collector *Collector
+	Registry  *Registry
+	Cacher    *Cacher
+	Planner   *Planner
+	Scorer    *Scorer
+
+	// BudgetBytes is the cache storage constraint.
+	BudgetBytes int64
+	// Window is the predictor's history window in days (1 week maximizes
+	// F1 per Table IV).
+	Window int
+	// Model is the MPJP predictor; defaults to LSTM+CRF.
+	Model Predictor
+	// UseRandomSelection switches to the Fig 11 random-caching baseline.
+	UseRandomSelection bool
+	// RandomSeed seeds the random-selection baseline.
+	RandomSeed int64
+	// ModelTrained tracks whether Model has been fitted.
+	ModelTrained bool
+
+	wh        *warehouse.Warehouse
+	defaultDB string
+}
+
+// Config bundles Maxson construction options.
+type Config struct {
+	BudgetBytes int64
+	Window      int
+	Model       Predictor
+	DefaultDB   string
+}
+
+// New assembles a Maxson instance on top of an engine. The plan modifier is
+// installed immediately; it is inert until the first caching cycle
+// populates the registry.
+func New(e *sqlengine.Engine, cfg Config) *Maxson {
+	wh := e.Warehouse()
+	registry := NewRegistry()
+	m := &Maxson{
+		Engine:      e,
+		Collector:   NewCollector(),
+		Registry:    registry,
+		Cacher:      NewCacher(wh, registry),
+		Planner:     NewPlanner(wh, registry),
+		Scorer:      NewScorer(wh, e.CostModel()),
+		BudgetBytes: cfg.BudgetBytes,
+		Window:      cfg.Window,
+		Model:       cfg.Model,
+		wh:          wh,
+		defaultDB:   cfg.DefaultDB,
+	}
+	if m.Window <= 0 {
+		m.Window = 7
+	}
+	if m.Model == nil {
+		m.Model = NewLSTMCRF(DefaultLSTMConfig())
+	}
+	if m.defaultDB == "" {
+		m.defaultDB = "default"
+	}
+	m.Planner.Install(e)
+	return m
+}
+
+// Query executes SQL through the engine while feeding the collector — the
+// live path a production deployment would run.
+func (m *Maxson) Query(sql string) (*sqlengine.ResultSet, *sqlengine.Metrics, error) {
+	stmt, err := sqlengine.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.Collector.ObserveStmt(stmt, m.defaultDB, m.wh.Clock().Now())
+	return m.Engine.QueryStmt(stmt)
+}
+
+// CycleReport summarizes one midnight cycle.
+type CycleReport struct {
+	At            time.Time
+	CandidateMPJP int
+	Selected      int
+	Cache         CacheStats
+	TrainSamples  int
+}
+
+// RunMidnightCycle executes the daily pipeline as of the clock's current
+// time: train/refresh the predictor on collected statistics, predict
+// tomorrow's MPJPs, score and rank them, and re-populate the cache under
+// the budget. The paper schedules this at midnight when the cluster is
+// under-utilized.
+func (m *Maxson) RunMidnightCycle() (*CycleReport, error) {
+	now := m.wh.Clock().Now()
+	report := &CycleReport{At: now}
+
+	// History window: the Window days ending yesterday (queries never touch
+	// same-day data, §II-D).
+	histStart := now.AddDate(0, 0, -m.Window-1)
+	counts := m.Collector.CountsFor(histStart, m.Window+1)
+	keys := sortedCountKeys(counts)
+	if len(keys) == 0 {
+		return report, nil
+	}
+
+	// Train once on all windows available in history, then predict with a
+	// sample per path whose window ends on the most recent full day.
+	if !m.ModelTrained {
+		trainStart := now.AddDate(0, 0, -4*m.Window)
+		trainCounts := m.Collector.CountsFor(trainStart, 4*m.Window)
+		trainKeys := sortedCountKeys(trainCounts)
+		samples := BuildSamples(trainCounts, trainKeys, m.Window, m.Window, 4*m.Window, epochDay(trainStart))
+		if len(samples) > 0 {
+			m.Model.Train(samples)
+			m.ModelTrained = true
+			report.TrainSamples = len(samples)
+		}
+	}
+
+	// Predict MPJPs for tomorrow.
+	predictSamples := BuildSamples(counts, keys, m.Window, m.Window, m.Window+1, epochDay(histStart))
+	mpjpSet := make(map[pathkey.Key]bool)
+	var candidates []pathkey.Key
+	for _, s := range predictSamples {
+		if m.ModelTrained && m.Model.Predict(s) == 1 {
+			mpjpSet[s.Key] = true
+			candidates = append(candidates, s.Key)
+		}
+	}
+	report.CandidateMPJP = len(candidates)
+	if len(candidates) == 0 {
+		// Nothing predicted; clear the cache (it is rebuilt nightly).
+		m.Cacher.Populate(nil, m.Engine.CostModel().ParseNsPerByteTree)
+		return report, nil
+	}
+
+	// Score against the same history window of queries.
+	queries := m.Collector.Queries(histStart, now)
+	profiles := m.Scorer.Profile(candidates, queries, mpjpSet)
+
+	var selected []*PathProfile
+	if m.UseRandomSelection {
+		selected = RandomSelectUnderBudget(profiles, m.BudgetBytes, m.RandomSeed)
+	} else {
+		selected = SelectUnderBudget(profiles, m.BudgetBytes)
+	}
+	report.Selected = len(selected)
+
+	stats, err := m.Cacher.Populate(selected, m.Engine.CostModel().ParseNsPerByteTree)
+	report.Cache = stats
+	if err != nil {
+		return report, fmt.Errorf("core: cache population failed: %w", err)
+	}
+	return report, nil
+}
+
+// CacheSelected bypasses prediction and caches an explicit MPJP selection —
+// the mode the budget/selection experiments (Fig 11, Table V, Fig 15) use
+// so the caching layer can be studied with a controlled MPJP set.
+func (m *Maxson) CacheSelected(profiles []*PathProfile) (CacheStats, error) {
+	return m.Cacher.Populate(profiles, m.Engine.CostModel().ParseNsPerByteTree)
+}
+
+// AdvanceToMidnight moves a simulated clock to the next midnight, the
+// cycle's scheduled time. It is a no-op for wall clocks.
+func (m *Maxson) AdvanceToMidnight() {
+	if sim, ok := m.wh.Clock().(*simtime.Sim); ok {
+		sim.Set(simtime.NextMidnight(sim.Now()))
+	}
+}
+
+// modelPath is where SaveState persists the trained predictor weights.
+const modelPath = "/maxson_meta/predictor.weights"
+
+// SaveState persists the collector statistics (into the warehouse stats
+// table) and, when the model supports it, the trained predictor weights
+// (into the file system) — everything a restarted node needs to run the
+// next midnight cycle without retraining.
+func (m *Maxson) SaveState() error {
+	if _, err := m.Collector.SaveStats(m.wh); err != nil {
+		return err
+	}
+	saver, ok := m.Model.(*LSTMCRF)
+	if !ok || !m.ModelTrained {
+		return nil
+	}
+	blob, err := saver.SaveWeights()
+	if err != nil {
+		return err
+	}
+	return m.wh.FS().WriteFile(modelPath, blob)
+}
+
+// LoadState restores statistics and predictor weights saved by SaveState.
+// Missing state is not an error (fresh deployment).
+func (m *Maxson) LoadState() error {
+	if _, err := m.Collector.LoadStats(m.wh); err != nil {
+		return err
+	}
+	loader, ok := m.Model.(*LSTMCRF)
+	if !ok || !m.wh.FS().Exists(modelPath) {
+		return nil
+	}
+	blob, err := m.wh.FS().ReadFile(modelPath)
+	if err != nil {
+		return err
+	}
+	if err := loader.LoadWeights(blob); err != nil {
+		return err
+	}
+	m.ModelTrained = true
+	return nil
+}
+
+// epochDay returns the absolute day number of t, anchoring the calendar
+// features so training and prediction windows agree on day-of-week.
+func epochDay(t time.Time) int64 {
+	return t.UTC().Unix() / 86400
+}
+
+func sortedCountKeys(counts map[pathkey.Key][]int) []pathkey.Key {
+	keys := make([]pathkey.Key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	// insertion sort by pathkey.Less keeps this dependency-free
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && pathkey.Less(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

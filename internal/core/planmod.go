@@ -1,0 +1,421 @@
+package core
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/jsonpath"
+	"repro/internal/orc"
+	"repro/internal/pathkey"
+	"repro/internal/sqlengine"
+	"repro/internal/warehouse"
+)
+
+// Planner is the MaxsonParser: it rewrites a compiled physical plan so that
+// every get_json_object over a valid cached JSONPath becomes a placeholder
+// read from the cache table, the scan becomes a Value Combiner over paired
+// readers, the raw JSON column is dropped from the primary read set when
+// all its paths are cached, and predicates over cached paths are pushed
+// down to the cache table (paper Algorithm 1, §IV-D/F).
+type Planner struct {
+	wh       *warehouse.Warehouse
+	registry *Registry
+	// Pushdown toggles the §IV-F optimization (on by default; the Fig 12
+	// ablation turns it off).
+	Pushdown bool
+	// KeepJSONColumns disables dropping fully cached JSON columns from the
+	// primary read set (the Fig 9 optimization) — ablation knob only.
+	KeepJSONColumns bool
+}
+
+// NewPlanner wires a plan modifier.
+func NewPlanner(wh *warehouse.Warehouse, registry *Registry) *Planner {
+	return &Planner{wh: wh, registry: registry, Pushdown: true}
+}
+
+// Install registers the planner as the engine's plan modifier.
+func (p *Planner) Install(e *sqlengine.Engine) {
+	e.PlanModifier = p.Modify
+}
+
+// Modify rewrites the plan in place. It returns the number of extra
+// expression nodes visited, which the engine adds to its plan-time
+// accounting (the Fig 13 overhead).
+func (p *Planner) Modify(plan *sqlengine.PhysicalPlan, stmt *sqlengine.SelectStmt) (int64, error) {
+	var extra int64
+	extra += p.modifyScan(plan, plan.Scan)
+	if plan.Join != nil {
+		extra += p.modifyScan(plan, plan.Join.Build)
+	}
+	if extra == 0 {
+		return 0, nil // nothing cached; untouched plan
+	}
+
+	// Rebuild the input schema and re-bind every expression that reads
+	// scan output.
+	if plan.Join != nil {
+		cols := append([]sqlengine.RowCol{}, plan.Scan.Schema().Cols...)
+		cols = append(cols, plan.Join.Build.Schema().Cols...)
+		plan.InputSchema = sqlengine.RowSchema{Cols: cols}
+	} else {
+		plan.InputSchema = plan.Scan.Schema()
+	}
+	if err := p.rebind(plan); err != nil {
+		return extra, err
+	}
+	return extra, nil
+}
+
+// modifyScan applies Algorithm 1 to one scan node. It returns the number of
+// replaced expressions (0 = scan untouched).
+func (p *Planner) modifyScan(plan *sqlengine.PhysicalPlan, scan *sqlengine.ScanNode) int64 {
+	// Algorithm 1's MatchExpr over every expression tree: find cached,
+	// valid get_json_object calls bound to this scan.
+	type hit struct {
+		entry *CacheEntry
+		expr  *sqlengine.JSONPathExpr
+	}
+	var hits []hit
+	hitCols := map[string]*CacheEntry{} // cache column -> entry
+	replaced := int64(0)
+
+	// Validity (Algorithm 1 lines 16-19, refined for append-only tables):
+	// daily appends add new part files the cache does not cover yet — the
+	// Value Combiner parses those splits on the fly — but a rewrite of
+	// previously appended data (or a recreated table) silently corrupts the
+	// positional alignment, so it invalidates the cache. Equal timestamps
+	// are treated as invalid because the ordering is unknowable.
+	rewriteTime, err := p.wh.RewriteTime(scan.DB, scan.Table)
+	if err != nil {
+		return 0
+	}
+	createdAt, err := p.wh.CreatedAt(scan.DB, scan.Table)
+	if err != nil {
+		return 0
+	}
+	stale := func(cachedAt time.Time) bool {
+		if !rewriteTime.IsZero() && !rewriteTime.Before(cachedAt) {
+			return true
+		}
+		return !createdAt.Before(cachedAt)
+	}
+
+	match := func(n sqlengine.Expr) {
+		jp, ok := n.(*sqlengine.JSONPathExpr)
+		if !ok {
+			return
+		}
+		if jp.Column.Qualifier != "" && !strings.EqualFold(jp.Column.Qualifier, scan.Binding) {
+			return
+		}
+		key := pathkey.Key{DB: scan.DB, Table: scan.Table, Column: jp.Column.Name, Path: jp.Path.Canonical()}
+		entry := p.registry.Lookup(key)
+		if entry == nil || entry.Invalid {
+			return
+		}
+		if stale(entry.CachedAt) {
+			p.registry.MarkInvalid(key)
+			return
+		}
+		hits = append(hits, hit{entry: entry, expr: jp})
+		hitCols[entry.CacheColumn] = entry
+	}
+	visitPlanExprs(plan, scan, match)
+	if len(hits) == 0 {
+		return 0
+	}
+
+	// Replace each hit expression with a CachePlaceholder (lines 22-23).
+	replace := func(e sqlengine.Expr) sqlengine.Expr {
+		return sqlengine.Rewrite(e, func(n sqlengine.Expr) sqlengine.Expr {
+			jp, ok := n.(*sqlengine.JSONPathExpr)
+			if !ok {
+				return n
+			}
+			for _, h := range hits {
+				if h.expr == jp {
+					replaced++
+					return &sqlengine.CachePlaceholder{
+						OutputName:   h.entry.CacheColumn,
+						SourceColumn: jp.Column.Name,
+						Path:         jp.Path,
+					}
+				}
+			}
+			return n
+		})
+	}
+	rewritePlanExprs(plan, replace)
+
+	// Cache columns read from the cache table, deterministic order.
+	var cacheCols []string
+	for col := range hitCols {
+		cacheCols = append(cacheCols, col)
+	}
+	sortStrings(cacheCols)
+
+	// The raw JSON columns whose every use was replaced can be dropped from
+	// the primary read set (Fig 9: json_column0 removed). A JSON column
+	// survives if any expression still references it.
+	stillUsed := map[string]bool{}
+	collectUsed := func(n sqlengine.Expr) {
+		if c, ok := n.(*sqlengine.ColumnRef); ok {
+			if c.Qualifier == "" || strings.EqualFold(c.Qualifier, scan.Binding) {
+				stillUsed[strings.ToLower(c.Name)] = true
+			}
+		}
+	}
+	visitPlanExprs(plan, scan, collectUsed)
+
+	var primaryCols []string
+	var schemaCols []sqlengine.RowCol
+	for i, name := range scan.Columns {
+		if stillUsed[strings.ToLower(name)] || p.KeepJSONColumns {
+			primaryCols = append(primaryCols, name)
+			schemaCols = append(schemaCols, scan.Schema().Cols[i])
+		}
+	}
+	for _, col := range cacheCols {
+		schemaCols = append(schemaCols, sqlengine.RowCol{
+			Qualifier: scan.Binding, Name: col, Type: datum.TypeString,
+		})
+	}
+
+	// Predicate pushdown (§IV-F): conjuncts of the WHERE clause comparing a
+	// cached placeholder with a literal become SARGs on the cache table.
+	var cacheSARG *orc.SARG
+	if p.Pushdown && plan.Filter != nil {
+		cacheSARG = extractCacheSARG(plan.Filter, hitCols)
+	}
+
+	// Fallback specs let the combiner compute cache-column values for raw
+	// part files appended after the cache was populated.
+	fallbacks := make([]FallbackSpec, len(cacheCols))
+	for i, col := range cacheCols {
+		entry := hitCols[col]
+		path, err := jsonpath.Compile(entry.Key.Path)
+		if err != nil {
+			return 0
+		}
+		fallbacks[i] = FallbackSpec{RawColumn: entry.Key.Column, Path: path}
+	}
+
+	cacheTable := hits[0].entry.CacheTable
+	scan.Factory = NewCombinedScanFactory(
+		p.wh, scan.DB, scan.Table,
+		primaryCols, scan.SARG,
+		cacheTable, cacheCols, cacheSARG,
+		fallbacks,
+		p.Pushdown,
+		sqlengine.RowSchema{Cols: schemaCols},
+	)
+	scan.Columns = primaryCols
+	scan.SetSchema(sqlengine.RowSchema{Cols: schemaCols})
+	return replaced
+}
+
+// visitPlanExprs walks every expression of the plan that can reference the
+// given scan's output.
+func visitPlanExprs(plan *sqlengine.PhysicalPlan, scan *sqlengine.ScanNode, f func(sqlengine.Expr)) {
+	visit := func(e sqlengine.Expr) {
+		if e != nil {
+			sqlengine.Walk(e, f)
+		}
+	}
+	for _, it := range plan.Items {
+		visit(it.Expr)
+	}
+	visit(plan.Filter)
+	for _, g := range plan.GroupBy {
+		visit(g)
+	}
+	for _, a := range plan.Aggs {
+		visit(a.Arg)
+	}
+	for _, o := range plan.OrderBy {
+		visit(o.Expr)
+	}
+	if plan.Join != nil {
+		for _, k := range plan.Join.LeftKeys {
+			visit(k)
+		}
+		for _, k := range plan.Join.RightKeys {
+			visit(k)
+		}
+	}
+}
+
+// rewritePlanExprs applies a rewrite to every plan expression.
+func rewritePlanExprs(plan *sqlengine.PhysicalPlan, f func(sqlengine.Expr) sqlengine.Expr) {
+	for i := range plan.Items {
+		if plan.Items[i].Expr != nil {
+			plan.Items[i].Expr = f(plan.Items[i].Expr)
+		}
+	}
+	if plan.Filter != nil {
+		plan.Filter = f(plan.Filter)
+	}
+	for i := range plan.GroupBy {
+		plan.GroupBy[i] = f(plan.GroupBy[i])
+	}
+	for _, a := range plan.Aggs {
+		if a.Arg != nil {
+			a.Arg = f(a.Arg)
+		}
+	}
+	for i := range plan.OrderBy {
+		plan.OrderBy[i].Expr = f(plan.OrderBy[i].Expr)
+	}
+	if plan.Join != nil {
+		for i := range plan.Join.LeftKeys {
+			plan.Join.LeftKeys[i] = f(plan.Join.LeftKeys[i])
+		}
+		for i := range plan.Join.RightKeys {
+			plan.Join.RightKeys[i] = f(plan.Join.RightKeys[i])
+		}
+	}
+}
+
+// rebind re-resolves every plan expression against the rebuilt input
+// schema. Post-aggregation items reference keyRefs/aggregates only and are
+// left alone; group keys and aggregate arguments rebind.
+func (p *Planner) rebind(plan *sqlengine.PhysicalPlan) error {
+	input := plan.InputSchema
+	bind := func(e sqlengine.Expr) error {
+		if e == nil {
+			return nil
+		}
+		return sqlengine.Bind(e, input)
+	}
+	if err := bind(plan.Filter); err != nil {
+		return err
+	}
+	if len(plan.Aggs) > 0 || len(plan.GroupBy) > 0 {
+		for _, g := range plan.GroupBy {
+			if err := bind(g); err != nil {
+				return err
+			}
+		}
+		for _, a := range plan.Aggs {
+			if err := bind(a.Arg); err != nil {
+				return err
+			}
+		}
+		// Items/OrderBy in aggregate plans are post-agg expressions
+		// (keyRef/Aggregate only) — no rebinding needed or possible.
+		return nil
+	}
+	for i := range plan.Items {
+		if err := bind(plan.Items[i].Expr); err != nil {
+			return err
+		}
+	}
+	for i := range plan.OrderBy {
+		if err := bind(plan.OrderBy[i].Expr); err != nil {
+			return err
+		}
+	}
+	if plan.Join != nil {
+		for _, k := range plan.Join.LeftKeys {
+			if err := sqlengine.Bind(k, plan.Scan.Schema()); err != nil {
+				return err
+			}
+		}
+		for _, k := range plan.Join.RightKeys {
+			if err := sqlengine.Bind(k, plan.Join.Build.Schema()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// extractCacheSARG converts AND-conjuncts of the form
+// placeholder-compare-literal into cache-table predicates.
+func extractCacheSARG(filter sqlengine.Expr, hitCols map[string]*CacheEntry) *orc.SARG {
+	var preds []orc.Predicate
+	var visit func(e sqlengine.Expr)
+	visit = func(e sqlengine.Expr) {
+		b, ok := e.(*sqlengine.Binary)
+		if !ok {
+			return
+		}
+		if b.Op == sqlengine.OpAnd {
+			visit(b.Left)
+			visit(b.Right)
+			return
+		}
+		op, ok := sargOpOf(b.Op)
+		if !ok {
+			return
+		}
+		ph, lit, swapped := placeholderLitPair(b.Left, b.Right)
+		if ph == nil {
+			return
+		}
+		if _, cached := hitCols[ph.OutputName]; !cached {
+			return
+		}
+		if swapped {
+			op = mirrorSargOp(op)
+		}
+		preds = append(preds, orc.Predicate{Column: ph.OutputName, Op: op, Value: lit.Value})
+	}
+	visit(filter)
+	return orc.NewSARG(preds...)
+}
+
+func placeholderLitPair(l, r sqlengine.Expr) (*sqlengine.CachePlaceholder, *sqlengine.Literal, bool) {
+	if ph, ok := l.(*sqlengine.CachePlaceholder); ok {
+		if lit, ok := r.(*sqlengine.Literal); ok {
+			return ph, lit, false
+		}
+	}
+	if ph, ok := r.(*sqlengine.CachePlaceholder); ok {
+		if lit, ok := l.(*sqlengine.Literal); ok {
+			return ph, lit, true
+		}
+	}
+	return nil, nil, false
+}
+
+func sargOpOf(op sqlengine.BinaryOp) (orc.CompareOp, bool) {
+	switch op {
+	case sqlengine.OpEq:
+		return orc.OpEQ, true
+	case sqlengine.OpNe:
+		return orc.OpNE, true
+	case sqlengine.OpLt:
+		return orc.OpLT, true
+	case sqlengine.OpLe:
+		return orc.OpLE, true
+	case sqlengine.OpGt:
+		return orc.OpGT, true
+	case sqlengine.OpGe:
+		return orc.OpGE, true
+	}
+	return 0, false
+}
+
+func mirrorSargOp(op orc.CompareOp) orc.CompareOp {
+	switch op {
+	case orc.OpLT:
+		return orc.OpGT
+	case orc.OpLE:
+		return orc.OpGE
+	case orc.OpGT:
+		return orc.OpLT
+	case orc.OpGE:
+		return orc.OpLE
+	}
+	return op
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/pathkey"
+)
+
+// CacheEntry records one cached JSONPath: where its values live and when
+// they were populated. Validity is re-checked against the raw table's
+// modification time at plan time (paper Algorithm 1 lines 15-20).
+type CacheEntry struct {
+	Key pathkey.Key
+	// CacheDB/CacheTable name the cache table (db__table under the cache
+	// database); CacheColumn is the Sanitized() field name.
+	CacheDB     string
+	CacheTable  string
+	CacheColumn string
+	CachedAt    time.Time
+	// Bytes is the measured cache footprint of this path's values.
+	Bytes int64
+	// Invalid marks an entry whose raw table changed after caching; it is
+	// skipped by lookups and deleted on the next caching cycle.
+	Invalid bool
+}
+
+// Registry is the in-memory catalog of cache entries, shared between the
+// Cacher (writer) and the MaxsonParser (reader). Safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[pathkey.Key]*CacheEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[pathkey.Key]*CacheEntry)}
+}
+
+// Put installs or replaces an entry.
+func (r *Registry) Put(e *CacheEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := *e
+	r.entries[e.Key] = &cp
+}
+
+// Lookup returns the entry for a key, or nil. Invalid entries are returned
+// too (the caller decides; the plan modifier checks Invalid itself).
+func (r *Registry) Lookup(key pathkey.Key) *CacheEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[key]
+	if !ok {
+		return nil
+	}
+	cp := *e
+	return &cp
+}
+
+// MarkInvalid flags an entry as stale (Algorithm 1 line 19). It reports
+// whether the entry existed.
+func (r *Registry) MarkInvalid(key pathkey.Key) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[key]
+	if ok {
+		e.Invalid = true
+	}
+	return ok
+}
+
+// Drop removes an entry.
+func (r *Registry) Drop(key pathkey.Key) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.entries, key)
+}
+
+// Clear removes every entry and returns how many were dropped.
+func (r *Registry) Clear() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.entries)
+	r.entries = make(map[pathkey.Key]*CacheEntry)
+	return n
+}
+
+// Entries lists all entries in deterministic order.
+func (r *Registry) Entries() []*CacheEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*CacheEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		cp := *e
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return pathkey.Less(out[i].Key, out[j].Key) })
+	return out
+}
+
+// TotalBytes sums the footprint of valid entries.
+func (r *Registry) TotalBytes() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var n int64
+	for _, e := range r.entries {
+		if !e.Invalid {
+			n += e.Bytes
+		}
+	}
+	return n
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/jsonpath"
+	"repro/internal/pathkey"
+	"repro/internal/sjson"
+	"repro/internal/sqlengine"
+	"repro/internal/warehouse"
+)
+
+// PathProfile holds the measured inputs of the scoring function for one
+// MPJP candidate (paper Table I).
+type PathProfile struct {
+	Key pathkey.Key
+	// AvgValueBytes is B_j: the mean size of the parsed value, estimated by
+	// sampling rows from each split.
+	AvgValueBytes float64
+	// AvgParseNs is P_j: the mean time to parse the value out of its
+	// document with the engine's parsing algorithm (simulated cost).
+	AvgParseNs float64
+	// TotalValueBytes estimates the full cache footprint of the path (B_j
+	// times the table's row count), the unit the budget is spent in.
+	TotalValueBytes int64
+	// Occurrence is O_j: how many queries access the path.
+	Occurrence int
+	// Relevance is R_j: ΣM_i / ΣN_i over the queries accessing the path.
+	Relevance float64
+	// Score is A_j · R_j · O_j with A_j = P_j / B_j.
+	Score float64
+}
+
+// Scorer computes MPJP scores from sampled tables plus collected query
+// statistics (paper §IV-B).
+type Scorer struct {
+	wh *warehouse.Warehouse
+	cm sqlengine.CostModel
+	// SampleRows bounds how many rows per split are sampled for B_j / P_j.
+	SampleRows int
+}
+
+// NewScorer builds a scorer over a warehouse.
+func NewScorer(wh *warehouse.Warehouse, cm sqlengine.CostModel) *Scorer {
+	return &Scorer{wh: wh, cm: cm, SampleRows: 64}
+}
+
+// Profile measures and scores the given MPJP candidates. queries is the
+// window of observed queries used for O_j and R_j; mpjpSet is the full
+// predicted MPJP set (needed for M_i).
+func (s *Scorer) Profile(candidates []pathkey.Key, queries []QueryRecord, mpjpSet map[pathkey.Key]bool) []*PathProfile {
+	// Per-query MPJP share, then per-path relevance/occurrence.
+	type qStat struct{ m, n int }
+	qstats := make([]qStat, len(queries))
+	for i, q := range queries {
+		for _, p := range q.Paths {
+			qstats[i].n++
+			if mpjpSet[p] {
+				qstats[i].m++
+			}
+		}
+	}
+	byPath := make(map[pathkey.Key]*PathProfile, len(candidates))
+	for _, key := range candidates {
+		byPath[key] = &PathProfile{Key: key}
+	}
+	for i, q := range queries {
+		seen := map[pathkey.Key]bool{}
+		for _, p := range q.Paths {
+			prof, ok := byPath[p]
+			if !ok || seen[p] {
+				continue
+			}
+			seen[p] = true
+			prof.Occurrence++
+			prof.Relevance += float64(qstats[i].m) // numerator ΣM_i
+			prof.Score += float64(qstats[i].n)     // reuse Score as ΣN_i accumulator
+		}
+	}
+	out := make([]*PathProfile, 0, len(candidates))
+	for _, key := range candidates {
+		prof := byPath[key]
+		sumN := prof.Score
+		prof.Score = 0
+		if sumN > 0 {
+			prof.Relevance /= sumN
+		} else {
+			prof.Relevance = 0
+		}
+		s.measure(prof)
+		aj := 0.0
+		if prof.AvgValueBytes > 0 {
+			aj = prof.AvgParseNs / prof.AvgValueBytes
+		}
+		prof.Score = aj * prof.Relevance * float64(prof.Occurrence)
+		out = append(out, prof)
+	}
+	// Descending score; deterministic tie-break.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return pathkey.Less(out[i].Key, out[j].Key)
+	})
+	return out
+}
+
+// measure samples the path's table to estimate B_j, P_j, and the total
+// cache footprint.
+func (s *Scorer) measure(prof *PathProfile) {
+	info, err := s.wh.Table(prof.Key.DB, prof.Key.Table)
+	if err != nil {
+		return
+	}
+	path, err := jsonpath.Compile(prof.Key.Path)
+	if err != nil {
+		return
+	}
+	var valueBytes, docBytes int64
+	var sampled int64
+	for _, file := range info.Files {
+		r, err := s.wh.OpenFile(file)
+		if err != nil {
+			continue
+		}
+		cur, err := r.NewCursor([]string{prof.Key.Column}, nil, nil)
+		if err != nil {
+			continue
+		}
+		for i := 0; i < s.SampleRows; i++ {
+			row, err := cur.Next()
+			if err != nil || row == nil {
+				break
+			}
+			if row[0].Null {
+				continue
+			}
+			doc := row[0].S
+			docBytes += int64(len(doc))
+			sampled++
+			root, err := sjson.ParseString(doc)
+			if err != nil {
+				continue
+			}
+			if v := path.Eval(root); !v.IsNull() {
+				valueBytes += int64(len(v.Scalar())) + 1
+			} else {
+				valueBytes++ // null marker still occupies cache space
+			}
+		}
+	}
+	if sampled == 0 {
+		return
+	}
+	prof.AvgValueBytes = float64(valueBytes) / float64(sampled)
+	// P_j: parsing the document with the engine's tree parser, costed by
+	// the calibrated model (per-byte rate plus per-call overhead).
+	avgDoc := float64(docBytes) / float64(sampled)
+	prof.AvgParseNs = avgDoc*s.cm.ParseNsPerByteTree + s.cm.ParseNsPerCall
+	prof.TotalValueBytes = int64(prof.AvgValueBytes * float64(info.NumRows))
+	if prof.TotalValueBytes < 1 {
+		prof.TotalValueBytes = 1
+	}
+}
+
+// SelectUnderBudget takes score-sorted profiles and returns the prefix that
+// fits the byte budget, skipping entries that do not fit and paths already
+// covered by a selected prefix path (paper §IV-C: cache in sorted order
+// until space runs out).
+func SelectUnderBudget(profiles []*PathProfile, budgetBytes int64) []*PathProfile {
+	var out []*PathProfile
+	var used int64
+	compiled := map[string]*jsonpath.Path{}
+	covered := func(k pathkey.Key) bool {
+		kp, err := jsonpath.Compile(k.Path)
+		if err != nil {
+			return true
+		}
+		for _, sel := range out {
+			if sel.Key.DB == k.DB && sel.Key.Table == k.Table && sel.Key.Column == k.Column {
+				if sp := compiled[sel.Key.Path]; sp != nil && sp.Covers(kp) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, p := range profiles {
+		if p.TotalValueBytes <= 0 || used+p.TotalValueBytes > budgetBytes {
+			continue
+		}
+		if covered(p.Key) {
+			continue
+		}
+		if cp, err := jsonpath.Compile(p.Key.Path); err == nil {
+			compiled[p.Key.Path] = cp
+		}
+		out = append(out, p)
+		used += p.TotalValueBytes
+	}
+	return out
+}
+
+// RandomSelectUnderBudget is the Fig 11 baseline: pick MPJPs in a shuffled
+// order until the budget is exhausted.
+func RandomSelectUnderBudget(profiles []*PathProfile, budgetBytes int64, seed int64) []*PathProfile {
+	shuffled := append([]*PathProfile{}, profiles...)
+	rng := newSplitMix(seed)
+	for i := len(shuffled) - 1; i > 0; i-- {
+		j := int(rng.next() % uint64(i+1))
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	var out []*PathProfile
+	var used int64
+	for _, p := range shuffled {
+		if p.TotalValueBytes <= 0 || used+p.TotalValueBytes > budgetBytes {
+			continue
+		}
+		out = append(out, p)
+		used += p.TotalValueBytes
+	}
+	return out
+}
+
+// splitMix is a tiny deterministic PRNG so selection does not depend on
+// math/rand's global state.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed int64) *splitMix { return &splitMix{state: uint64(seed)*2685821657736338717 + 1} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

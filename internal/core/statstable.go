@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/datum"
+	"repro/internal/orc"
+	"repro/internal/pathkey"
+	"repro/internal/warehouse"
+)
+
+// The paper's Fig 5 stores the collector's output in a statistics table
+// partitioned by date, so predictor training survives restarts and can run
+// on a different node than the collector. This file persists the collector
+// through the warehouse itself: one row per (date, db, table, column,
+// path) with its access count, in an ORC table under the Maxson metadata
+// database.
+
+// StatsDB is the database holding Maxson's own metadata tables.
+const StatsDB = "maxson_meta"
+
+// StatsTable is the statistics table name.
+const StatsTable = "jsonpath_stats"
+
+func statsSchema() orc.Schema {
+	return orc.Schema{Columns: []orc.Column{
+		{Name: "date", Type: datum.TypeString},
+		{Name: "db", Type: datum.TypeString},
+		{Name: "tbl", Type: datum.TypeString},
+		{Name: "col", Type: datum.TypeString},
+		{Name: "path", Type: datum.TypeString},
+		{Name: "cnt", Type: datum.TypeInt64},
+	}}
+}
+
+// SaveStats writes the collector's per-date statistics into the warehouse,
+// replacing any previous snapshot. It returns the row count written.
+func (c *Collector) SaveStats(wh *warehouse.Warehouse) (int, error) {
+	c.mu.Lock()
+	dates := make([]string, 0, len(c.statsByDate))
+	for d := range c.statsByDate {
+		dates = append(dates, d)
+	}
+	sort.Strings(dates)
+	var rows [][]datum.Datum
+	for _, date := range dates {
+		day := c.statsByDate[date]
+		keys := make([]string, 0, len(day))
+		rowByKey := map[string][]datum.Datum{}
+		for k, n := range day {
+			id := k.String()
+			keys = append(keys, id)
+			rowByKey[id] = []datum.Datum{
+				datum.Str(date),
+				datum.Str(k.DB), datum.Str(k.Table), datum.Str(k.Column), datum.Str(k.Path),
+				datum.Int(int64(n)),
+			}
+		}
+		sort.Strings(keys)
+		for _, id := range keys {
+			rows = append(rows, rowByKey[id])
+		}
+	}
+	c.mu.Unlock()
+
+	wh.CreateDatabase(StatsDB)
+	if wh.TableExists(StatsDB, StatsTable) {
+		if err := wh.DropTable(StatsDB, StatsTable); err != nil {
+			return 0, err
+		}
+	}
+	if err := wh.CreateTable(StatsDB, StatsTable, statsSchema()); err != nil {
+		return 0, err
+	}
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	if _, err := wh.AppendRows(StatsDB, StatsTable, rows); err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+// LoadStats restores a collector's statistics from the warehouse snapshot,
+// merging into (usually empty) current state. Query-log detail is not
+// persisted — only the per-day counts the predictor trains on — so a
+// restored collector supports prediction but starts a fresh relevance log.
+func (c *Collector) LoadStats(wh *warehouse.Warehouse) (int, error) {
+	if !wh.TableExists(StatsDB, StatsTable) {
+		return 0, nil
+	}
+	rows, err := wh.ReadAll(StatsDB, StatsTable, []string{"date", "db", "tbl", "col", "path", "cnt"})
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, row := range rows {
+		if len(row) != 6 {
+			return i, fmt.Errorf("core: stats row %d malformed", i)
+		}
+		date := row[0].S
+		day, ok := c.statsByDate[date]
+		if !ok {
+			day = make(map[pathkey.Key]int)
+			c.statsByDate[date] = day
+		}
+		key := pathkey.Key{DB: row[1].S, Table: row[2].S, Column: row[3].S, Path: row[4].S}
+		day[key] += int(row[5].I)
+	}
+	return len(rows), nil
+}
+
+// DumpStats renders the statistics table for diagnostics (date-sorted).
+func (c *Collector) DumpStats() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dates := make([]string, 0, len(c.statsByDate))
+	for d := range c.statsByDate {
+		dates = append(dates, d)
+	}
+	sort.Strings(dates)
+	out := ""
+	for _, d := range dates {
+		out += d + ": " + strconv.Itoa(len(c.statsByDate[d])) + " paths\n"
+	}
+	return out
+}

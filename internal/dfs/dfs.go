@@ -1,0 +1,354 @@
+// Package dfs simulates the reliable append-only distributed file system
+// (HDFS-like) that the paper's warehouse stores tables on.
+//
+// The simulation keeps file contents in memory but reproduces the structural
+// properties the caching design depends on:
+//
+//   - files are sequences of fixed-size blocks, and a block never spans
+//     files;
+//   - files are append-only: bytes are added, never rewritten (the paper
+//     reports only 2% of tables ever modify previously appended data, and
+//     Maxson invalidates caches when they do);
+//   - every file records its last modification time from an injectable
+//     clock, which drives cache-validity decisions;
+//   - readers obtain input splits — block ranges — and Maxson's cacher uses
+//     the "one file = one split" convention so cache files align with raw
+//     files.
+//
+// Read throughput is metered so the query engine's cost model can account
+// for I/O separately from parsing and compute.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Common errors.
+var (
+	ErrNotFound = errors.New("dfs: file not found")
+	ErrExists   = errors.New("dfs: file already exists")
+)
+
+// DefaultBlockSize mirrors a typical HDFS block (scaled down: the simulation
+// defaults to 4 MiB so tests exercise multi-block files cheaply).
+const DefaultBlockSize = 4 << 20
+
+// IOStats counts bytes moved through the file system.
+type IOStats struct {
+	BytesRead    int64
+	BytesWritten int64
+	FilesCreated int64
+	Opens        int64
+}
+
+// FS is an in-memory append-only block file system. All methods are safe for
+// concurrent use.
+type FS struct {
+	mu        sync.RWMutex
+	files     map[string]*file
+	blockSize int64
+	clock     simtime.Clock
+	stats     IOStats
+}
+
+type file struct {
+	data    []byte
+	modTime time.Time
+}
+
+// Option configures an FS.
+type Option func(*FS)
+
+// WithBlockSize sets the block size in bytes.
+func WithBlockSize(n int64) Option {
+	return func(f *FS) {
+		if n > 0 {
+			f.blockSize = n
+		}
+	}
+}
+
+// WithClock sets the clock used for modification times.
+func WithClock(c simtime.Clock) Option {
+	return func(f *FS) {
+		if c != nil {
+			f.clock = c
+		}
+	}
+}
+
+// New returns an empty file system.
+func New(opts ...Option) *FS {
+	f := &FS{
+		files:     make(map[string]*file),
+		blockSize: DefaultBlockSize,
+		clock:     simtime.Real{},
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// BlockSize returns the configured block size.
+func (f *FS) BlockSize() int64 { return f.blockSize }
+
+// Stats returns a snapshot of I/O statistics.
+func (f *FS) Stats() IOStats {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.stats
+}
+
+// ResetStats zeroes the I/O statistics.
+func (f *FS) ResetStats() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats = IOStats{}
+}
+
+func clean(p string) string {
+	return path.Clean("/" + strings.TrimPrefix(p, "/"))
+}
+
+// Create creates an empty file. It fails if the file exists.
+func (f *FS) Create(name string) error {
+	name = clean(name)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.files[name]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	f.files[name] = &file{modTime: f.clock.Now()}
+	f.stats.FilesCreated++
+	return nil
+}
+
+// WriteFile creates name with the given contents, replacing any existing
+// file. It counts as a modification.
+func (f *FS) WriteFile(name string, data []byte) error {
+	name = clean(name)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	f.files[name] = &file{data: cp, modTime: f.clock.Now()}
+	f.stats.FilesCreated++
+	f.stats.BytesWritten += int64(len(data))
+	return nil
+}
+
+// Append appends data to an existing file, updating its modification time.
+func (f *FS) Append(name string, data []byte) error {
+	name = clean(name)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fl, ok := f.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	fl.data = append(fl.data, data...)
+	fl.modTime = f.clock.Now()
+	f.stats.BytesWritten += int64(len(data))
+	return nil
+}
+
+// ReadFile returns a copy of the file's contents.
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	name = clean(name)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fl, ok := f.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	f.stats.BytesRead += int64(len(fl.data))
+	f.stats.Opens++
+	out := make([]byte, len(fl.data))
+	copy(out, fl.data)
+	return out, nil
+}
+
+// ReadRange returns a copy of file bytes [off, off+n). Reading past the end
+// truncates rather than erroring, matching block-read semantics.
+func (f *FS) ReadRange(name string, off, n int64) ([]byte, error) {
+	name = clean(name)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fl, ok := f.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if off < 0 || off > int64(len(fl.data)) {
+		return nil, fmt.Errorf("dfs: read offset %d out of range for %s", off, name)
+	}
+	end := off + n
+	if end > int64(len(fl.data)) {
+		end = int64(len(fl.data))
+	}
+	f.stats.BytesRead += end - off
+	f.stats.Opens++
+	out := make([]byte, end-off)
+	copy(out, fl.data[off:end])
+	return out, nil
+}
+
+// Size returns the file length in bytes.
+func (f *FS) Size(name string) (int64, error) {
+	name = clean(name)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	fl, ok := f.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return int64(len(fl.data)), nil
+}
+
+// ModTime returns the file's last modification time.
+func (f *FS) ModTime(name string) (time.Time, error) {
+	name = clean(name)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	fl, ok := f.files[name]
+	if !ok {
+		return time.Time{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return fl.modTime, nil
+}
+
+// Exists reports whether the file exists.
+func (f *FS) Exists(name string) bool {
+	name = clean(name)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	_, ok := f.files[name]
+	return ok
+}
+
+// Delete removes a file. Deleting a missing file is an error.
+func (f *FS) Delete(name string) error {
+	name = clean(name)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.files[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	delete(f.files, name)
+	return nil
+}
+
+// DeleteDir removes every file under the directory prefix and returns how
+// many were removed.
+func (f *FS) DeleteDir(dir string) int {
+	prefix := clean(dir) + "/"
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for name := range f.files {
+		if strings.HasPrefix(name, prefix) {
+			delete(f.files, name)
+			n++
+		}
+	}
+	return n
+}
+
+// List returns the files directly or transitively under dir, sorted by name.
+// The sorted order is the contract the Value Combiner's paired readers rely
+// on: raw-table files and cache-table files enumerate in the same order.
+func (f *FS) List(dir string) []string {
+	prefix := clean(dir) + "/"
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var out []string
+	for name := range f.files {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DirModTime returns the latest modification time of any file under dir.
+// This is the "table modification time" that Algorithm 1 compares against
+// the cache time. The zero time is returned for an empty directory.
+func (f *FS) DirModTime(dir string) time.Time {
+	prefix := clean(dir) + "/"
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var latest time.Time
+	for name, fl := range f.files {
+		if strings.HasPrefix(name, prefix) && fl.modTime.After(latest) {
+			latest = fl.modTime
+		}
+	}
+	return latest
+}
+
+// Split is an input split: a contiguous block range of one file. In Spark
+// terms a split is one partition's worth of input.
+type Split struct {
+	Path       string
+	Index      int   // ordinal of this split within its enumeration
+	Offset     int64 // byte offset of the first block
+	Length     int64 // byte length of the split
+	BlockCount int
+}
+
+// FileSplits returns one split per file under dir, in sorted file order.
+// This is the "treat a file as an input split" mode the JSONPath Cacher
+// uses so that the i-th cache file aligns with the i-th raw file.
+func (f *FS) FileSplits(dir string) []Split {
+	names := f.List(dir)
+	splits := make([]Split, 0, len(names))
+	for i, name := range names {
+		size, _ := f.Size(name)
+		blocks := int((size + f.blockSize - 1) / f.blockSize)
+		if blocks == 0 {
+			blocks = 1
+		}
+		splits = append(splits, Split{Path: name, Index: i, Offset: 0, Length: size, BlockCount: blocks})
+	}
+	return splits
+}
+
+// BlockSplits divides each file under dir into splits of at most
+// blocksPerSplit blocks, preserving file boundaries (a block never spans
+// files, so neither does a split).
+func (f *FS) BlockSplits(dir string, blocksPerSplit int) []Split {
+	if blocksPerSplit < 1 {
+		blocksPerSplit = 1
+	}
+	names := f.List(dir)
+	var splits []Split
+	idx := 0
+	for _, name := range names {
+		size, _ := f.Size(name)
+		if size == 0 {
+			splits = append(splits, Split{Path: name, Index: idx, BlockCount: 1})
+			idx++
+			continue
+		}
+		step := f.blockSize * int64(blocksPerSplit)
+		for off := int64(0); off < size; off += step {
+			length := step
+			if off+length > size {
+				length = size - off
+			}
+			blocks := int((length + f.blockSize - 1) / f.blockSize)
+			splits = append(splits, Split{Path: name, Index: idx, Offset: off, Length: length, BlockCount: blocks})
+			idx++
+		}
+	}
+	return splits
+}

@@ -1,0 +1,356 @@
+// Package mlbase implements the classical baseline classifiers the paper's
+// Table III compares against the LSTM+CRF predictor — logistic regression,
+// a linear SVM, and a small multi-layer perceptron — together with the
+// precision/recall/F1 metrics used to score them. All models are binary
+// classifiers over fixed-length feature vectors (the flattened
+// count/datediff window plus location features).
+package mlbase
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// Classifier is a binary classifier over fixed-length feature vectors.
+type Classifier interface {
+	// Name identifies the model in experiment output.
+	Name() string
+	// Fit trains on features X with labels y (0/1).
+	Fit(X [][]float64, y []int)
+	// Predict returns the label for one feature vector.
+	Predict(x []float64) int
+}
+
+// ---- Logistic regression ----
+
+// LogisticRegression is L2-regularized logistic regression trained with
+// gradient descent (the paper's "LR" baseline).
+type LogisticRegression struct {
+	LR      float64 // learning rate
+	Epochs  int
+	L2      float64
+	weights []float64
+	bias    float64
+}
+
+// NewLogisticRegression returns an LR model with tuned defaults.
+func NewLogisticRegression() *LogisticRegression {
+	return &LogisticRegression{LR: 0.5, Epochs: 500, L2: 1e-4}
+}
+
+// Name implements Classifier.
+func (m *LogisticRegression) Name() string { return "LR" }
+
+// Fit implements Classifier.
+func (m *LogisticRegression) Fit(X [][]float64, y []int) {
+	if len(X) == 0 {
+		return
+	}
+	dim := len(X[0])
+	m.weights = make([]float64, dim)
+	m.bias = 0
+	n := float64(len(X))
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		gw := make([]float64, dim)
+		gb := 0.0
+		for i, x := range X {
+			p := nn.Sigmoid(m.score(x))
+			diff := p - float64(y[i])
+			for j, xv := range x {
+				gw[j] += diff * xv
+			}
+			gb += diff
+		}
+		for j := range m.weights {
+			m.weights[j] -= m.LR * (gw[j]/n + m.L2*m.weights[j])
+		}
+		m.bias -= m.LR * gb / n
+	}
+}
+
+func (m *LogisticRegression) score(x []float64) float64 {
+	s := m.bias
+	for j, w := range m.weights {
+		if j < len(x) {
+			s += w * x[j]
+		}
+	}
+	return s
+}
+
+// Predict implements Classifier.
+func (m *LogisticRegression) Predict(x []float64) int {
+	if m.weights == nil {
+		return 0
+	}
+	if nn.Sigmoid(m.score(x)) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// ---- Linear SVM ----
+
+// LinearSVM is a linear SVM trained with subgradient descent on the
+// squared-hinge loss (matching the paper's loss='squared_hinge' setting).
+type LinearSVM struct {
+	LR      float64
+	Epochs  int
+	C       float64 // inverse regularization strength
+	weights []float64
+	bias    float64
+}
+
+// NewLinearSVM returns an SVM with tuned defaults.
+func NewLinearSVM() *LinearSVM {
+	return &LinearSVM{LR: 0.05, Epochs: 300, C: 1.0}
+}
+
+// Name implements Classifier.
+func (m *LinearSVM) Name() string { return "SVM" }
+
+// Fit implements Classifier.
+func (m *LinearSVM) Fit(X [][]float64, y []int) {
+	if len(X) == 0 {
+		return
+	}
+	dim := len(X[0])
+	m.weights = make([]float64, dim)
+	m.bias = 0
+	n := float64(len(X))
+	lambda := 1 / (m.C * n)
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		gw := make([]float64, dim)
+		gb := 0.0
+		for i, x := range X {
+			t := float64(2*y[i] - 1) // ±1
+			margin := t * m.score(x)
+			if margin < 1 {
+				// squared hinge: d/ds (1-m)^2 = -2(1-m)·t
+				coef := -2 * (1 - margin) * t
+				for j, xv := range x {
+					gw[j] += coef * xv
+				}
+				gb += coef
+			}
+		}
+		for j := range m.weights {
+			m.weights[j] -= m.LR * (gw[j]/n + lambda*m.weights[j])
+		}
+		m.bias -= m.LR * gb / n
+	}
+}
+
+func (m *LinearSVM) score(x []float64) float64 {
+	s := m.bias
+	for j, w := range m.weights {
+		if j < len(x) {
+			s += w * x[j]
+		}
+	}
+	return s
+}
+
+// Predict implements Classifier.
+func (m *LinearSVM) Predict(x []float64) int {
+	if m.weights == nil {
+		return 0
+	}
+	if m.score(x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// ---- MLP ----
+
+// MLP is a small fully connected network with ReLU hidden layers and a
+// 2-way softmax output, trained with Adam (the "MLPClassifier" baseline;
+// the paper uses hidden sizes (50, 10, 2)).
+type MLP struct {
+	Hidden []int
+	LR     float64
+	Epochs int
+	Seed   int64
+
+	layers []*nn.Dense
+}
+
+// NewMLP returns an MLP with the paper's layer sizes.
+func NewMLP() *MLP {
+	return &MLP{Hidden: []int{50, 10}, LR: 0.01, Epochs: 120, Seed: 0}
+}
+
+// Name implements Classifier.
+func (m *MLP) Name() string { return "MLPClassifier" }
+
+// Fit implements Classifier.
+func (m *MLP) Fit(X [][]float64, y []int) {
+	if len(X) == 0 {
+		return
+	}
+	rng := nn.NewRand(m.Seed)
+	dims := append([]int{len(X[0])}, m.Hidden...)
+	dims = append(dims, 2)
+	m.layers = nil
+	for i := 0; i+1 < len(dims); i++ {
+		m.layers = append(m.layers, nn.NewDense(dims[i], dims[i+1], rng))
+	}
+	var params []*nn.Mat
+	for _, l := range m.layers {
+		params = append(params, l.Params()...)
+	}
+	opt := nn.NewAdam(m.LR, params)
+
+	perm := rand.New(rand.NewSource(m.Seed + 1))
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		order := perm.Perm(len(X))
+		var grads []*nn.DenseGrads
+		for _, l := range m.layers {
+			grads = append(grads, nn.NewDenseGrads(l))
+		}
+		for _, i := range order {
+			acts, relus := m.forward(X[i])
+			_, dLogits := nn.CrossEntropyGrad(acts[len(acts)-1], y[i])
+			d := dLogits
+			for li := len(m.layers) - 1; li >= 0; li-- {
+				if li < len(m.layers)-1 {
+					// backprop through ReLU
+					for j := range d {
+						if relus[li][j] <= 0 {
+							d[j] = 0
+						}
+					}
+				}
+				d = m.layers[li].Backward(acts[li], d, grads[li])
+			}
+		}
+		var flat []*nn.Mat
+		for _, g := range grads {
+			flat = append(flat, g.List()...)
+		}
+		nn.ClipGrads(flat, 50)
+		opt.Step(flat)
+	}
+}
+
+// forward returns the layer inputs (acts[0]=x .. acts[n]=logits) and the
+// pre-ReLU hidden outputs for gradient masking.
+func (m *MLP) forward(x []float64) (acts [][]float64, relus [][]float64) {
+	acts = [][]float64{x}
+	cur := x
+	for li, l := range m.layers {
+		out := l.Forward(cur)
+		if li < len(m.layers)-1 {
+			relus = append(relus, append([]float64{}, out...))
+			for j := range out {
+				if out[j] < 0 {
+					out[j] = 0
+				}
+			}
+		}
+		acts = append(acts, out)
+		cur = out
+	}
+	return acts, relus
+}
+
+// Predict implements Classifier.
+func (m *MLP) Predict(x []float64) int {
+	if m.layers == nil {
+		return 0
+	}
+	acts, _ := m.forward(x)
+	return nn.Argmax(acts[len(acts)-1])
+}
+
+// ---- metrics ----
+
+// Scores holds binary-classification quality metrics for the positive class.
+type Scores struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	Accuracy  float64
+	TP, FP    int
+	FN, TN    int
+}
+
+// Evaluate scores predictions against gold labels (positive class = 1).
+func Evaluate(gold, pred []int) Scores {
+	var s Scores
+	for i := range gold {
+		switch {
+		case gold[i] == 1 && pred[i] == 1:
+			s.TP++
+		case gold[i] == 0 && pred[i] == 1:
+			s.FP++
+		case gold[i] == 1 && pred[i] == 0:
+			s.FN++
+		default:
+			s.TN++
+		}
+	}
+	if s.TP+s.FP > 0 {
+		s.Precision = float64(s.TP) / float64(s.TP+s.FP)
+	}
+	if s.TP+s.FN > 0 {
+		s.Recall = float64(s.TP) / float64(s.TP+s.FN)
+	}
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	total := s.TP + s.FP + s.FN + s.TN
+	if total > 0 {
+		s.Accuracy = float64(s.TP+s.TN) / float64(total)
+	}
+	return s
+}
+
+// Normalize scales each feature to zero mean and unit variance in place and
+// returns the per-feature (mean, std) so test vectors can be transformed
+// identically.
+func Normalize(X [][]float64) (means, stds []float64) {
+	if len(X) == 0 {
+		return nil, nil
+	}
+	dim := len(X[0])
+	means = make([]float64, dim)
+	stds = make([]float64, dim)
+	n := float64(len(X))
+	for _, x := range X {
+		for j, v := range x {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= n
+	}
+	for _, x := range X {
+		for j, v := range x {
+			d := v - means[j]
+			stds[j] += d * d
+		}
+	}
+	for j := range stds {
+		stds[j] = math.Sqrt(stds[j] / n)
+		if stds[j] < 1e-9 {
+			stds[j] = 1
+		}
+	}
+	for _, x := range X {
+		ApplyNorm(x, means, stds)
+	}
+	return means, stds
+}
+
+// ApplyNorm transforms one vector with previously computed (means, stds).
+func ApplyNorm(x []float64, means, stds []float64) {
+	for j := range x {
+		if j < len(means) {
+			x[j] = (x[j] - means[j]) / stds[j]
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package mlbase
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// linearlySeparable builds a 2D dataset split by the line x0 + x1 = 1.
+func linearlySeparable(n int, seed int64) (X [][]float64, y []int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		a := rng.Float64() * 2
+		b := rng.Float64() * 2
+		label := 0
+		if a+b > 2 {
+			label = 1
+		}
+		// margin: skip points too close to the boundary
+		if d := a + b - 2; d > -0.2 && d < 0.2 {
+			continue
+		}
+		X = append(X, []float64{a, b})
+		y = append(y, label)
+	}
+	return X, y
+}
+
+// xorDataset is not linearly separable; only the MLP should crack it.
+func xorDataset(n int, seed int64) (X [][]float64, y []int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		a := float64(rng.Intn(2))
+		b := float64(rng.Intn(2))
+		label := 0
+		if a != b {
+			label = 1
+		}
+		X = append(X, []float64{a + rng.NormFloat64()*0.05, b + rng.NormFloat64()*0.05})
+		y = append(y, label)
+	}
+	return X, y
+}
+
+func accuracy(m Classifier, X [][]float64, y []int) float64 {
+	correct := 0
+	for i, x := range X {
+		if m.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}
+
+func TestLinearModelsOnSeparableData(t *testing.T) {
+	X, y := linearlySeparable(400, 1)
+	for _, m := range []Classifier{NewLogisticRegression(), NewLinearSVM()} {
+		m.Fit(X, y)
+		if acc := accuracy(m, X, y); acc < 0.97 {
+			t.Errorf("%s accuracy = %.3f on separable data", m.Name(), acc)
+		}
+	}
+}
+
+func TestMLPSolvesXOR(t *testing.T) {
+	X, y := xorDataset(400, 2)
+	m := NewMLP()
+	m.Fit(X, y)
+	if acc := accuracy(m, X, y); acc < 0.95 {
+		t.Errorf("MLP accuracy on XOR = %.3f", acc)
+	}
+}
+
+func TestLinearModelsFailXOR(t *testing.T) {
+	// Sanity check that XOR is genuinely non-linear for these baselines —
+	// otherwise the MLP test proves nothing.
+	X, y := xorDataset(400, 3)
+	lr := NewLogisticRegression()
+	lr.Fit(X, y)
+	if acc := accuracy(lr, X, y); acc > 0.8 {
+		t.Errorf("LR accuracy on XOR = %.3f; dataset is not XOR-like", acc)
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	gold := []int{1, 1, 1, 1, 0, 0, 0, 0}
+	pred := []int{1, 1, 0, 0, 1, 0, 0, 0}
+	s := Evaluate(gold, pred)
+	if s.TP != 2 || s.FP != 1 || s.FN != 2 || s.TN != 3 {
+		t.Fatalf("confusion = %+v", s)
+	}
+	if !almost(s.Precision, 2.0/3) || !almost(s.Recall, 0.5) {
+		t.Errorf("P/R = %v/%v", s.Precision, s.Recall)
+	}
+	wantF1 := 2 * (2.0 / 3) * 0.5 / (2.0/3 + 0.5)
+	if !almost(s.F1, wantF1) {
+		t.Errorf("F1 = %v, want %v", s.F1, wantF1)
+	}
+	if !almost(s.Accuracy, 5.0/8) {
+		t.Errorf("accuracy = %v", s.Accuracy)
+	}
+}
+
+func TestEvaluateDegenerateCases(t *testing.T) {
+	s := Evaluate([]int{0, 0}, []int{0, 0})
+	if s.Precision != 0 || s.Recall != 0 || s.F1 != 0 || s.Accuracy != 1 {
+		t.Errorf("all-negative metrics = %+v", s)
+	}
+	s = Evaluate([]int{1, 1}, []int{1, 1})
+	if s.Precision != 1 || s.Recall != 1 || s.F1 != 1 {
+		t.Errorf("all-positive metrics = %+v", s)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	X := [][]float64{{1, 100}, {3, 300}, {5, 500}}
+	means, stds := Normalize(X)
+	if !almost(means[0], 3) || !almost(means[1], 300) {
+		t.Errorf("means = %v", means)
+	}
+	// Column means should now be ~0.
+	for j := 0; j < 2; j++ {
+		sum := 0.0
+		for _, x := range X {
+			sum += x[j]
+		}
+		if !almost(sum, 0) {
+			t.Errorf("column %d not centered: %v", j, sum)
+		}
+	}
+	probe := []float64{3, 300}
+	ApplyNorm(probe, means, stds)
+	if !almost(probe[0], 0) || !almost(probe[1], 0) {
+		t.Errorf("ApplyNorm(mean) = %v", probe)
+	}
+	// Constant columns get std 1, no divide-by-zero.
+	Xc := [][]float64{{7}, {7}, {7}}
+	_, stds2 := Normalize(Xc)
+	if stds2[0] != 1 {
+		t.Errorf("constant-column std = %v", stds2[0])
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	for _, m := range []Classifier{NewLogisticRegression(), NewLinearSVM(), NewMLP()} {
+		if got := m.Predict([]float64{1, 2}); got != 0 {
+			t.Errorf("%s unfitted Predict = %d, want 0", m.Name(), got)
+		}
+	}
+}
+
+func TestFitEmptyDataset(t *testing.T) {
+	for _, m := range []Classifier{NewLogisticRegression(), NewLinearSVM(), NewMLP()} {
+		m.Fit(nil, nil) // must not panic
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

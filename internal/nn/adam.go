@@ -1,0 +1,51 @@
+package nn
+
+import "math"
+
+// Adam is the Adam optimizer for a fixed set of parameter matrices. Create
+// one per model with the parameter list in a stable order; Step applies one
+// update given the matching gradient list.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	params []*Mat
+	m      []*Mat // first-moment estimates
+	v      []*Mat // second-moment estimates
+	t      int
+}
+
+// NewAdam builds an optimizer over params with the usual defaults.
+func NewAdam(lr float64, params []*Mat) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8, params: params}
+	for _, p := range params {
+		a.m = append(a.m, NewMat(p.Rows, p.Cols))
+		a.v = append(a.v, NewMat(p.Rows, p.Cols))
+	}
+	return a
+}
+
+// Step applies one Adam update. grads must align 1:1 with the params passed
+// to NewAdam.
+func (a *Adam) Step(grads []*Mat) {
+	if len(grads) != len(a.params) {
+		panic("nn: Adam.Step gradient count mismatch")
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.params {
+		g := grads[i].Data
+		m := a.m[i].Data
+		v := a.v[i].Data
+		for j := range p.Data {
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g[j]
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g[j]*g[j]
+			mhat := m[j] / bc1
+			vhat := v[j] / bc2
+			p.Data[j] -= a.LR * mhat / (math.Sqrt(vhat) + a.Epsilon)
+		}
+	}
+}

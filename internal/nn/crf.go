@@ -1,0 +1,194 @@
+package nn
+
+import "math"
+
+// CRF is a linear-chain conditional random field over K labels. Given
+// per-step unary scores (emitted by the layers below), it models label
+// transition structure with a K×K transition matrix plus start/end scores —
+// exactly the layer the paper stacks on the LSTM so the model can learn the
+// MPJP / non-MPJP transition rules.
+type CRF struct {
+	K     int
+	Trans *Mat // Trans[i,j] = score of label i followed by label j
+	Start *Mat // K×1
+	End   *Mat // K×1
+}
+
+// NewCRF builds a CRF with small random transition scores.
+func NewCRF(k int, rng *randSource) *CRF {
+	c := &CRF{K: k, Trans: NewMat(k, k), Start: NewMat(k, 1), End: NewMat(k, 1)}
+	for i := range c.Trans.Data {
+		c.Trans.Data[i] = rng.r.NormFloat64() * 0.01
+	}
+	return c
+}
+
+// Params returns trainable matrices in stable order.
+func (c *CRF) Params() []*Mat { return []*Mat{c.Trans, c.Start, c.End} }
+
+// CRFGrads holds gradients aligned with Params().
+type CRFGrads struct{ Trans, Start, End *Mat }
+
+// NewCRFGrads allocates zero gradients for c.
+func NewCRFGrads(c *CRF) *CRFGrads {
+	return &CRFGrads{Trans: NewMat(c.K, c.K), Start: NewMat(c.K, 1), End: NewMat(c.K, 1)}
+}
+
+// List returns gradients aligned with CRF.Params().
+func (g *CRFGrads) List() []*Mat { return []*Mat{g.Trans, g.Start, g.End} }
+
+// Zero clears the gradients.
+func (g *CRFGrads) Zero() { g.Trans.Zero(); g.Start.Zero(); g.End.Zero() }
+
+// forwardLog runs the forward algorithm in log space, returning the alpha
+// table and log partition function.
+func (c *CRF) forwardLog(unary [][]float64) (alpha [][]float64, logZ float64) {
+	T := len(unary)
+	K := c.K
+	alpha = make([][]float64, T)
+	alpha[0] = make([]float64, K)
+	for k := 0; k < K; k++ {
+		alpha[0][k] = c.Start.Data[k] + unary[0][k]
+	}
+	buf := make([]float64, K)
+	for t := 1; t < T; t++ {
+		alpha[t] = make([]float64, K)
+		for j := 0; j < K; j++ {
+			for i := 0; i < K; i++ {
+				buf[i] = alpha[t-1][i] + c.Trans.At(i, j)
+			}
+			alpha[t][j] = LogSumExp(buf) + unary[t][j]
+		}
+	}
+	final := make([]float64, K)
+	for k := 0; k < K; k++ {
+		final[k] = alpha[T-1][k] + c.End.Data[k]
+	}
+	return alpha, LogSumExp(final)
+}
+
+// backwardLog runs the backward algorithm in log space.
+func (c *CRF) backwardLog(unary [][]float64) [][]float64 {
+	T := len(unary)
+	K := c.K
+	beta := make([][]float64, T)
+	beta[T-1] = make([]float64, K)
+	for k := 0; k < K; k++ {
+		beta[T-1][k] = c.End.Data[k]
+	}
+	buf := make([]float64, K)
+	for t := T - 2; t >= 0; t-- {
+		beta[t] = make([]float64, K)
+		for i := 0; i < K; i++ {
+			for j := 0; j < K; j++ {
+				buf[j] = c.Trans.At(i, j) + unary[t+1][j] + beta[t+1][j]
+			}
+			beta[t][i] = LogSumExp(buf)
+		}
+	}
+	return beta
+}
+
+// score computes the unnormalized path score of a label sequence.
+func (c *CRF) score(unary [][]float64, labels []int) float64 {
+	s := c.Start.Data[labels[0]] + unary[0][labels[0]]
+	for t := 1; t < len(labels); t++ {
+		s += c.Trans.At(labels[t-1], labels[t]) + unary[t][labels[t]]
+	}
+	s += c.End.Data[labels[len(labels)-1]]
+	return s
+}
+
+// NLLGrad computes the negative log-likelihood of the gold label sequence
+// and its gradients: dUnary (∂loss/∂unary scores, same shape as unary) plus
+// accumulated CRF parameter gradients in g.
+func (c *CRF) NLLGrad(unary [][]float64, labels []int, g *CRFGrads) (loss float64, dUnary [][]float64) {
+	T := len(unary)
+	K := c.K
+	alpha, logZ := c.forwardLog(unary)
+	beta := c.backwardLog(unary)
+	loss = logZ - c.score(unary, labels)
+
+	// Unary marginals: P(y_t = k) = exp(alpha+beta-logZ).
+	dUnary = make([][]float64, T)
+	for t := 0; t < T; t++ {
+		dUnary[t] = make([]float64, K)
+		for k := 0; k < K; k++ {
+			p := math.Exp(alpha[t][k] + beta[t][k] - logZ)
+			dUnary[t][k] = p
+		}
+		dUnary[t][labels[t]] -= 1
+	}
+
+	// Start/end gradients: marginals at boundaries minus gold indicators.
+	for k := 0; k < K; k++ {
+		g.Start.Data[k] += math.Exp(alpha[0][k]+beta[0][k]-logZ) - b2f(labels[0] == k)
+		g.End.Data[k] += math.Exp(alpha[T-1][k]+beta[T-1][k]-logZ) - b2f(labels[T-1] == k)
+	}
+
+	// Transition gradients: pairwise marginals minus gold transitions.
+	for t := 1; t < T; t++ {
+		for i := 0; i < K; i++ {
+			for j := 0; j < K; j++ {
+				p := math.Exp(alpha[t-1][i] + c.Trans.At(i, j) + unary[t][j] + beta[t][j] - logZ)
+				g.Trans.Add(i, j, p)
+			}
+		}
+		g.Trans.Add(labels[t-1], labels[t], -1)
+	}
+	return loss, dUnary
+}
+
+// Decode runs Viterbi over the unary scores and returns the most probable
+// label sequence.
+func (c *CRF) Decode(unary [][]float64) []int {
+	T := len(unary)
+	K := c.K
+	if T == 0 {
+		return nil
+	}
+	delta := make([][]float64, T)
+	back := make([][]int, T)
+	delta[0] = make([]float64, K)
+	for k := 0; k < K; k++ {
+		delta[0][k] = c.Start.Data[k] + unary[0][k]
+	}
+	for t := 1; t < T; t++ {
+		delta[t] = make([]float64, K)
+		back[t] = make([]int, K)
+		for j := 0; j < K; j++ {
+			best := math.Inf(-1)
+			arg := 0
+			for i := 0; i < K; i++ {
+				s := delta[t-1][i] + c.Trans.At(i, j)
+				if s > best {
+					best = s
+					arg = i
+				}
+			}
+			delta[t][j] = best + unary[t][j]
+			back[t][j] = arg
+		}
+	}
+	bestEnd := 0
+	bestScore := math.Inf(-1)
+	for k := 0; k < K; k++ {
+		if s := delta[T-1][k] + c.End.Data[k]; s > bestScore {
+			bestScore = s
+			bestEnd = k
+		}
+	}
+	labels := make([]int, T)
+	labels[T-1] = bestEnd
+	for t := T - 1; t > 0; t-- {
+		labels[t-1] = back[t][labels[t]]
+	}
+	return labels
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

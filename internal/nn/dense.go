@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// randSource wraps math/rand so constructors share one seeding style.
+type randSource struct{ r *rand.Rand }
+
+// NewRand builds a deterministic random source.
+func NewRand(seed int64) *randSource {
+	return &randSource{r: rand.New(rand.NewSource(seed))}
+}
+
+// Dense is a fully connected layer y = Wx + b.
+type Dense struct {
+	InDim, OutDim int
+	W             *Mat
+	B             *Mat
+}
+
+// NewDense builds a dense layer with Xavier initialization.
+func NewDense(inDim, outDim int, rng *randSource) *Dense {
+	return &Dense{
+		InDim: inDim, OutDim: outDim,
+		W: NewMatRand(outDim, inDim, rng.r),
+		B: NewMat(outDim, 1),
+	}
+}
+
+// Params returns trainable matrices in stable order.
+func (d *Dense) Params() []*Mat { return []*Mat{d.W, d.B} }
+
+// DenseGrads holds gradients aligned with Params().
+type DenseGrads struct{ W, B *Mat }
+
+// NewDenseGrads allocates zero gradients for d.
+func NewDenseGrads(d *Dense) *DenseGrads {
+	return &DenseGrads{W: NewMat(d.OutDim, d.InDim), B: NewMat(d.OutDim, 1)}
+}
+
+// List returns gradients aligned with Dense.Params().
+func (g *DenseGrads) List() []*Mat { return []*Mat{g.W, g.B} }
+
+// Zero clears the gradients.
+func (g *DenseGrads) Zero() { g.W.Zero(); g.B.Zero() }
+
+// Forward computes the layer output for one input vector.
+func (d *Dense) Forward(x []float64) []float64 {
+	out := make([]float64, d.OutDim)
+	d.W.MulVec(x, out)
+	for i := range out {
+		out[i] += d.B.Data[i]
+	}
+	return out
+}
+
+// Backward accumulates weight gradients for one (input, dOut) pair and
+// returns ∂loss/∂x.
+func (d *Dense) Backward(x, dOut []float64, g *DenseGrads) []float64 {
+	g.W.AddOuter(dOut, x, 1)
+	for i := range dOut {
+		g.B.Data[i] += dOut[i]
+	}
+	dx := make([]float64, d.InDim)
+	d.W.MulVecT(dOut, dx)
+	return dx
+}
+
+// CrossEntropyGrad computes softmax cross-entropy loss for one step and the
+// gradient on the logits (probs - onehot).
+func CrossEntropyGrad(logits []float64, label int) (loss float64, dLogits []float64) {
+	probs := make([]float64, len(logits))
+	Softmax(logits, probs)
+	p := probs[label]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	dLogits = probs
+	dLogits[label] -= 1
+	return -math.Log(p), dLogits
+}

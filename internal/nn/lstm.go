@@ -1,0 +1,168 @@
+package nn
+
+import "math"
+
+// LSTM is a single-layer LSTM with full backpropagation through time. Gate
+// weights are packed into one input matrix Wx (4H×D), one recurrent matrix
+// Wh (4H×H), and one bias B (4H×1), with gate order [input, forget, cell,
+// output]. The forget-gate bias is initialized to 1, the standard trick for
+// remembering long histories.
+type LSTM struct {
+	InputDim  int
+	HiddenDim int
+	Wx        *Mat
+	Wh        *Mat
+	B         *Mat
+}
+
+// NewLSTM builds an LSTM with Xavier-initialized weights.
+func NewLSTM(inputDim, hiddenDim int, rng *randSource) *LSTM {
+	l := &LSTM{
+		InputDim:  inputDim,
+		HiddenDim: hiddenDim,
+		Wx:        NewMatRand(4*hiddenDim, inputDim, rng.r),
+		Wh:        NewMatRand(4*hiddenDim, hiddenDim, rng.r),
+		B:         NewMat(4*hiddenDim, 1),
+	}
+	for i := 0; i < hiddenDim; i++ {
+		l.B.Data[hiddenDim+i] = 1 // forget gate bias
+	}
+	return l
+}
+
+// Params returns the trainable matrices in a stable order.
+func (l *LSTM) Params() []*Mat { return []*Mat{l.Wx, l.Wh, l.B} }
+
+// LSTMGrads holds gradients aligned with Params().
+type LSTMGrads struct {
+	Wx, Wh, B *Mat
+}
+
+// NewLSTMGrads allocates zero gradients for l.
+func NewLSTMGrads(l *LSTM) *LSTMGrads {
+	return &LSTMGrads{
+		Wx: NewMat(4*l.HiddenDim, l.InputDim),
+		Wh: NewMat(4*l.HiddenDim, l.HiddenDim),
+		B:  NewMat(4*l.HiddenDim, 1),
+	}
+}
+
+// List returns the gradients aligned with LSTM.Params().
+func (g *LSTMGrads) List() []*Mat { return []*Mat{g.Wx, g.Wh, g.B} }
+
+// Zero clears the gradients.
+func (g *LSTMGrads) Zero() { g.Wx.Zero(); g.Wh.Zero(); g.B.Zero() }
+
+// LSTMTape records the forward activations of one sequence so Backward can
+// replay them.
+type LSTMTape struct {
+	inputs  [][]float64
+	gates   [][]float64 // per step: i,f,g,o after nonlinearity (4H)
+	cells   [][]float64 // c_t
+	hiddens [][]float64 // h_t
+	tanhC   [][]float64 // tanh(c_t)
+}
+
+// Hidden returns the hidden state at step t.
+func (t *LSTMTape) Hidden(step int) []float64 { return t.hiddens[step] }
+
+// Len returns the sequence length.
+func (t *LSTMTape) Len() int { return len(t.hiddens) }
+
+// Forward runs the LSTM over a sequence of input vectors and returns the
+// tape of activations. Initial h and c are zero.
+func (l *LSTM) Forward(inputs [][]float64) *LSTMTape {
+	H := l.HiddenDim
+	tape := &LSTMTape{inputs: inputs}
+	hPrev := make([]float64, H)
+	cPrev := make([]float64, H)
+	pre := make([]float64, 4*H)
+	tmp := make([]float64, 4*H)
+	for _, x := range inputs {
+		l.Wx.MulVec(x, pre)
+		l.Wh.MulVec(hPrev, tmp)
+		AddVec(pre, tmp)
+		for i := 0; i < 4*H; i++ {
+			pre[i] += l.B.Data[i]
+		}
+		gates := make([]float64, 4*H)
+		c := make([]float64, H)
+		h := make([]float64, H)
+		tc := make([]float64, H)
+		for j := 0; j < H; j++ {
+			iG := Sigmoid(pre[j])
+			fG := Sigmoid(pre[H+j])
+			gG := math.Tanh(pre[2*H+j])
+			oG := Sigmoid(pre[3*H+j])
+			gates[j], gates[H+j], gates[2*H+j], gates[3*H+j] = iG, fG, gG, oG
+			c[j] = fG*cPrev[j] + iG*gG
+			tc[j] = math.Tanh(c[j])
+			h[j] = oG * tc[j]
+		}
+		tape.gates = append(tape.gates, gates)
+		tape.cells = append(tape.cells, c)
+		tape.hiddens = append(tape.hiddens, h)
+		tape.tanhC = append(tape.tanhC, tc)
+		hPrev, cPrev = h, c
+	}
+	return tape
+}
+
+// Backward backpropagates through time. dHidden[t] is ∂loss/∂h_t from the
+// layers above (may contain nils for steps without direct loss). Gradients
+// accumulate into g.
+func (l *LSTM) Backward(tape *LSTMTape, dHidden [][]float64, g *LSTMGrads) {
+	H := l.HiddenDim
+	T := tape.Len()
+	dhNext := make([]float64, H)
+	dcNext := make([]float64, H)
+	dPre := make([]float64, 4*H)
+	dhFromRec := make([]float64, H)
+
+	for t := T - 1; t >= 0; t-- {
+		dh := make([]float64, H)
+		copy(dh, dhNext)
+		if t < len(dHidden) && dHidden[t] != nil {
+			AddVec(dh, dHidden[t])
+		}
+		gates := tape.gates[t]
+		tc := tape.tanhC[t]
+		var cPrev []float64
+		if t > 0 {
+			cPrev = tape.cells[t-1]
+		} else {
+			cPrev = make([]float64, H)
+		}
+		dc := make([]float64, H)
+		copy(dc, dcNext)
+		for j := 0; j < H; j++ {
+			iG, fG, gG, oG := gates[j], gates[H+j], gates[2*H+j], gates[3*H+j]
+			// h = o * tanh(c)
+			dOut := dh[j] * tc[j]
+			dc[j] += dh[j] * oG * (1 - tc[j]*tc[j])
+			// c = f*cPrev + i*g
+			dIn := dc[j] * gG
+			dF := dc[j] * cPrev[j]
+			dG := dc[j] * iG
+			dcNext[j] = dc[j] * fG
+			// through the nonlinearities
+			dPre[j] = dIn * iG * (1 - iG)
+			dPre[H+j] = dF * fG * (1 - fG)
+			dPre[2*H+j] = dG * (1 - gG*gG)
+			dPre[3*H+j] = dOut * oG * (1 - oG)
+		}
+		var hPrev []float64
+		if t > 0 {
+			hPrev = tape.hiddens[t-1]
+		} else {
+			hPrev = make([]float64, H)
+		}
+		g.Wx.AddOuter(dPre, tape.inputs[t], 1)
+		g.Wh.AddOuter(dPre, hPrev, 1)
+		for i := 0; i < 4*H; i++ {
+			g.B.Data[i] += dPre[i]
+		}
+		l.Wh.MulVecT(dPre, dhFromRec)
+		copy(dhNext, dhFromRec)
+	}
+}

@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Matrix serialization: production deployments persist the trained
+// predictor so a restarted node can serve the midnight cycle without
+// retraining on the full history. The format is a tagged little-endian
+// stream of parameter matrices.
+
+const matMagic = uint32(0x4d584e4e) // "MXNN"
+
+// EncodeMats serializes a parameter list.
+func EncodeMats(mats []*Mat) []byte {
+	var out []byte
+	out = binary.LittleEndian.AppendUint32(out, matMagic)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(mats)))
+	for _, m := range mats {
+		out = binary.LittleEndian.AppendUint32(out, uint32(m.Rows))
+		out = binary.LittleEndian.AppendUint32(out, uint32(m.Cols))
+		for _, v := range m.Data {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
+	}
+	return out
+}
+
+// DecodeMats parses a stream produced by EncodeMats. When dst is non-nil,
+// the decoded matrices must match dst's shapes and are copied into them
+// (loading weights into a freshly constructed model); otherwise new
+// matrices are returned.
+func DecodeMats(data []byte, dst []*Mat) ([]*Mat, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("nn: weight stream too short")
+	}
+	if binary.LittleEndian.Uint32(data) != matMagic {
+		return nil, fmt.Errorf("nn: bad weight magic")
+	}
+	count := int(binary.LittleEndian.Uint32(data[4:]))
+	if dst != nil && count != len(dst) {
+		return nil, fmt.Errorf("nn: weight stream has %d matrices, model expects %d", count, len(dst))
+	}
+	pos := 8
+	out := make([]*Mat, 0, count)
+	for i := 0; i < count; i++ {
+		if pos+8 > len(data) {
+			return nil, fmt.Errorf("nn: truncated matrix header %d", i)
+		}
+		rows := int(binary.LittleEndian.Uint32(data[pos:]))
+		cols := int(binary.LittleEndian.Uint32(data[pos+4:]))
+		pos += 8
+		if rows < 0 || cols < 0 || rows*cols > 1<<26 {
+			return nil, fmt.Errorf("nn: implausible matrix shape %dx%d", rows, cols)
+		}
+		need := rows * cols * 8
+		if pos+need > len(data) {
+			return nil, fmt.Errorf("nn: truncated matrix data %d", i)
+		}
+		var m *Mat
+		if dst != nil {
+			m = dst[i]
+			if m.Rows != rows || m.Cols != cols {
+				return nil, fmt.Errorf("nn: matrix %d shape %dx%d, model expects %dx%d",
+					i, rows, cols, m.Rows, m.Cols)
+			}
+		} else {
+			m = NewMat(rows, cols)
+		}
+		for j := 0; j < rows*cols; j++ {
+			m.Data[j] = math.Float64frombits(binary.LittleEndian.Uint64(data[pos+j*8:]))
+		}
+		pos += need
+		out = append(out, m)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("nn: %d trailing bytes in weight stream", len(data)-pos)
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package nn
+
+// LSTMStack chains LSTM layers: layer i+1 consumes layer i's hidden
+// sequence. The paper's predictor uses numLayers=2; a stack of one layer
+// degenerates to a plain LSTM.
+type LSTMStack struct {
+	Layers []*LSTM
+}
+
+// NewLSTMStack builds numLayers LSTMs; the first maps inputDim→hiddenDim,
+// the rest hiddenDim→hiddenDim.
+func NewLSTMStack(numLayers, inputDim, hiddenDim int, rng *randSource) *LSTMStack {
+	if numLayers < 1 {
+		numLayers = 1
+	}
+	s := &LSTMStack{}
+	dim := inputDim
+	for i := 0; i < numLayers; i++ {
+		s.Layers = append(s.Layers, NewLSTM(dim, hiddenDim, rng))
+		dim = hiddenDim
+	}
+	return s
+}
+
+// Params returns all layers' trainable matrices in stable order.
+func (s *LSTMStack) Params() []*Mat {
+	var out []*Mat
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// StackGrads holds per-layer gradients.
+type StackGrads struct {
+	Layers []*LSTMGrads
+}
+
+// NewStackGrads allocates zero gradients for s.
+func NewStackGrads(s *LSTMStack) *StackGrads {
+	g := &StackGrads{}
+	for _, l := range s.Layers {
+		g.Layers = append(g.Layers, NewLSTMGrads(l))
+	}
+	return g
+}
+
+// List returns gradients aligned with LSTMStack.Params().
+func (g *StackGrads) List() []*Mat {
+	var out []*Mat
+	for _, lg := range g.Layers {
+		out = append(out, lg.List()...)
+	}
+	return out
+}
+
+// Zero clears all gradients.
+func (g *StackGrads) Zero() {
+	for _, lg := range g.Layers {
+		lg.Zero()
+	}
+}
+
+// StackTape records every layer's forward activations.
+type StackTape struct {
+	Tapes []*LSTMTape
+}
+
+// Hidden returns the TOP layer's hidden state at step t — the sequence the
+// head consumes.
+func (t *StackTape) Hidden(step int) []float64 {
+	return t.Tapes[len(t.Tapes)-1].Hidden(step)
+}
+
+// Len returns the sequence length.
+func (t *StackTape) Len() int { return t.Tapes[0].Len() }
+
+// Forward runs the stack over the input sequence.
+func (s *LSTMStack) Forward(inputs [][]float64) *StackTape {
+	tape := &StackTape{}
+	cur := inputs
+	for _, l := range s.Layers {
+		lt := l.Forward(cur)
+		tape.Tapes = append(tape.Tapes, lt)
+		cur = lt.hiddens
+	}
+	return tape
+}
+
+// Backward backpropagates dHidden (gradients on the TOP layer's hidden
+// states) down through every layer, accumulating into g.
+func (s *LSTMStack) Backward(tape *StackTape, dHidden [][]float64, g *StackGrads) {
+	d := dHidden
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		lt := tape.Tapes[i]
+		if i == 0 {
+			s.Layers[i].Backward(lt, d, g.Layers[i])
+			return
+		}
+		// Need the gradient w.r.t. this layer's INPUT sequence (= the
+		// layer-below's hidden sequence). LSTM.Backward does not expose
+		// input gradients, so compute them here by extending the BPTT pass.
+		d = s.Layers[i].backwardWithInputGrads(lt, d, g.Layers[i])
+	}
+}
+
+// backwardWithInputGrads is LSTM.Backward plus ∂loss/∂x_t for every step,
+// needed to chain stacked layers.
+func (l *LSTM) backwardWithInputGrads(tape *LSTMTape, dHidden [][]float64, g *LSTMGrads) [][]float64 {
+	H := l.HiddenDim
+	T := tape.Len()
+	dInputs := make([][]float64, T)
+	dhNext := make([]float64, H)
+	dcNext := make([]float64, H)
+	dPre := make([]float64, 4*H)
+	dhFromRec := make([]float64, H)
+
+	for t := T - 1; t >= 0; t-- {
+		dh := make([]float64, H)
+		copy(dh, dhNext)
+		if t < len(dHidden) && dHidden[t] != nil {
+			AddVec(dh, dHidden[t])
+		}
+		gates := tape.gates[t]
+		tc := tape.tanhC[t]
+		var cPrev []float64
+		if t > 0 {
+			cPrev = tape.cells[t-1]
+		} else {
+			cPrev = make([]float64, H)
+		}
+		dc := make([]float64, H)
+		copy(dc, dcNext)
+		for j := 0; j < H; j++ {
+			iG, fG, gG, oG := gates[j], gates[H+j], gates[2*H+j], gates[3*H+j]
+			dOut := dh[j] * tc[j]
+			dc[j] += dh[j] * oG * (1 - tc[j]*tc[j])
+			dIn := dc[j] * gG
+			dF := dc[j] * cPrev[j]
+			dG := dc[j] * iG
+			dcNext[j] = dc[j] * fG
+			dPre[j] = dIn * iG * (1 - iG)
+			dPre[H+j] = dF * fG * (1 - fG)
+			dPre[2*H+j] = dG * (1 - gG*gG)
+			dPre[3*H+j] = dOut * oG * (1 - oG)
+		}
+		var hPrev []float64
+		if t > 0 {
+			hPrev = tape.hiddens[t-1]
+		} else {
+			hPrev = make([]float64, H)
+		}
+		g.Wx.AddOuter(dPre, tape.inputs[t], 1)
+		g.Wh.AddOuter(dPre, hPrev, 1)
+		for i := 0; i < 4*H; i++ {
+			g.B.Data[i] += dPre[i]
+		}
+		dx := make([]float64, l.InputDim)
+		l.Wx.MulVecT(dPre, dx)
+		dInputs[t] = dx
+		l.Wh.MulVecT(dPre, dhFromRec)
+		copy(dhNext, dhFromRec)
+	}
+	return dInputs
+}

@@ -1,0 +1,189 @@
+// Package nn implements the small neural-network stack the JSONPath
+// Predictor is built on: dense layers, LSTM cells with full
+// backpropagation-through-time, a linear-chain CRF with forward-backward
+// training and Viterbi decoding, softmax cross-entropy, and the Adam
+// optimizer. Everything is stdlib-only, deterministic given a seed, and
+// sized for the scaled-down traces this reproduction trains on.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMat allocates a zero matrix.
+func NewMat(rows, cols int) *Mat {
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewMatRand allocates a matrix with Xavier-scaled random entries.
+func NewMatRand(rows, cols int, rng *rand.Rand) *Mat {
+	m := NewMat(rows, cols)
+	scale := math.Sqrt(2.0 / float64(rows+cols))
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * scale
+	}
+	return m
+}
+
+// At returns m[r,c].
+func (m *Mat) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns m[r,c].
+func (m *Mat) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Add accumulates m[r,c] += v.
+func (m *Mat) Add(r, c int, v float64) { m.Data[r*m.Cols+c] += v }
+
+// Row returns a view of row r.
+func (m *Mat) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Zero clears the matrix in place.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone copies the matrix.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec computes m · x (x length Cols) into out (length Rows).
+func (m *Mat) MulVec(x, out []float64) {
+	if len(x) != m.Cols || len(out) != m.Rows {
+		panic(fmt.Sprintf("nn: MulVec shape mismatch: %dx%d by %d into %d", m.Rows, m.Cols, len(x), len(out)))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		sum := 0.0
+		for c, v := range x {
+			sum += row[c] * v
+		}
+		out[r] = sum
+	}
+}
+
+// AddOuter accumulates m += scale · a⊗b (a length Rows, b length Cols);
+// the core of weight-gradient accumulation.
+func (m *Mat) AddOuter(a, b []float64, scale float64) {
+	for r, av := range a {
+		row := m.Row(r)
+		for c, bv := range b {
+			row[c] += scale * av * bv
+		}
+	}
+}
+
+// MulVecT computes mᵀ · x (x length Rows) into out (length Cols); used to
+// backpropagate through a matmul.
+func (m *Mat) MulVecT(x, out []float64) {
+	for c := range out {
+		out[c] = 0
+	}
+	for r, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := m.Row(r)
+		for c, wv := range row {
+			out[c] += wv * xv
+		}
+	}
+}
+
+// ---- vector helpers ----
+
+// Sigmoid is the logistic function.
+func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// AddVec accumulates dst += src.
+func AddVec(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// ScaleVec multiplies dst by s in place.
+func ScaleVec(dst []float64, s float64) {
+	for i := range dst {
+		dst[i] *= s
+	}
+}
+
+// Softmax writes softmax(logits) into out, numerically stable.
+func Softmax(logits, out []float64) {
+	maxV := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxV)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}
+
+// LogSumExp returns log Σ exp(xs), numerically stable.
+func LogSumExp(xs []float64) float64 {
+	maxV := math.Inf(-1)
+	for _, v := range xs {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if math.IsInf(maxV, -1) {
+		return maxV
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += math.Exp(v - maxV)
+	}
+	return maxV + math.Log(sum)
+}
+
+// Argmax returns the index of the maximum element.
+func Argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+		_ = v
+	}
+	return best
+}
+
+// ClipGrads scales the gradient set so its global L2 norm is at most limit;
+// standard protection against exploding LSTM gradients.
+func ClipGrads(grads []*Mat, limit float64) {
+	var sq float64
+	for _, g := range grads {
+		for _, v := range g.Data {
+			sq += v * v
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm <= limit || norm == 0 {
+		return
+	}
+	s := limit / norm
+	for _, g := range grads {
+		ScaleVec(g.Data, s)
+	}
+}

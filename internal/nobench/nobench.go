@@ -1,0 +1,121 @@
+// Package nobench generates JSON records following the NoBench benchmark's
+// schema conventions (the data set behind the paper's Fig 3 parsing-cost
+// study): each record mixes stable string/number attributes, boolean and
+// null-able fields, dynamically typed fields, sparse attributes that only a
+// fraction of records carry, a nested object, and a nested array.
+package nobench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/sjson"
+)
+
+// Config controls record shape.
+type Config struct {
+	Seed int64
+	// SparseEvery: record i carries sparse_XXX attributes chosen by
+	// i%SparseEvery, giving schema variation across records.
+	SparseEvery int
+	// NestedArrayLen bounds the nested_arr length.
+	NestedArrayLen int
+}
+
+// DefaultConfig matches the published NoBench layout at small scale.
+func DefaultConfig() Config {
+	return Config{Seed: 1, SparseEvery: 100, NestedArrayLen: 8}
+}
+
+// Generator produces NoBench records deterministically.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	n   int
+}
+
+// New builds a generator.
+func New(cfg Config) *Generator {
+	if cfg.SparseEvery <= 0 {
+		cfg.SparseEvery = 100
+	}
+	if cfg.NestedArrayLen <= 0 {
+		cfg.NestedArrayLen = 8
+	}
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Next returns the next record as a JSON string.
+func (g *Generator) Next() string {
+	return sjson.Serialize(g.NextValue())
+}
+
+// NextValue returns the next record as a parsed tree.
+func (g *Generator) NextValue() *sjson.Value {
+	i := g.n
+	g.n++
+	obj := sjson.Object()
+	obj.Set("str1", sjson.String(randomWord(g.rng)))
+	obj.Set("str2", sjson.String(randomWord(g.rng)))
+	obj.Set("num", sjson.Int(int64(g.rng.Intn(100000))))
+	obj.Set("bool", sjson.Bool(g.rng.Intn(2) == 0))
+	// dyn1 is number or string depending on the record (dynamic typing).
+	if i%2 == 0 {
+		obj.Set("dyn1", sjson.Int(int64(i)))
+	} else {
+		obj.Set("dyn1", sjson.String(fmt.Sprintf("%d", i)))
+	}
+	// dyn2 is absent in a third of records, null in another third.
+	switch i % 3 {
+	case 0:
+		obj.Set("dyn2", sjson.String(randomWord(g.rng)))
+	case 1:
+		obj.Set("dyn2", sjson.Null())
+	}
+	// Sparse attributes: each record carries a handful of sparse_XXX keys
+	// drawn from a rotating window, so the overall schema is wide but each
+	// record is narrow.
+	base := (i % g.cfg.SparseEvery) * 10
+	for s := 0; s < 3; s++ {
+		obj.Set(fmt.Sprintf("sparse_%03d", base+s), sjson.String(randomWord(g.rng)))
+	}
+	nested := sjson.Object()
+	nested.Set("str", sjson.String(randomWord(g.rng)))
+	nested.Set("num", sjson.Int(int64(g.rng.Intn(1000))))
+	obj.Set("nested_obj", nested)
+	arr := sjson.Array()
+	for a := 0; a < 1+g.rng.Intn(g.cfg.NestedArrayLen); a++ {
+		arr.Append(sjson.String(randomWord(g.rng)))
+	}
+	obj.Set("nested_arr", arr)
+	obj.Set("thousandth", sjson.Int(int64(i%1000)))
+	return obj
+}
+
+// Records returns n serialized records.
+func (g *Generator) Records(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+var words = []string{
+	"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+	"hotel", "india", "juliet", "kilo", "lima", "mike", "november",
+	"oscar", "papa", "quebec", "romeo", "sierra", "tango",
+}
+
+func randomWord(rng *rand.Rand) string {
+	var sb strings.Builder
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(words[rng.Intn(len(words))])
+	}
+	return sb.String()
+}

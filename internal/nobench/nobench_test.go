@@ -1,0 +1,82 @@
+package nobench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sjson"
+)
+
+func TestRecordsAreValidJSON(t *testing.T) {
+	g := New(DefaultConfig())
+	for i := 0; i < 200; i++ {
+		rec := g.Next()
+		v, err := sjson.ParseString(rec)
+		if err != nil {
+			t.Fatalf("record %d invalid: %v\n%s", i, err, rec)
+		}
+		for _, required := range []string{"str1", "num", "bool", "dyn1", "nested_obj", "nested_arr", "thousandth"} {
+			if !v.Has(required) {
+				t.Fatalf("record %d missing %q: %s", i, required, rec)
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := New(DefaultConfig()).Records(50)
+	b := New(DefaultConfig()).Records(50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs between equal-seed generators", i)
+		}
+	}
+}
+
+func TestDynamicTypingAlternates(t *testing.T) {
+	g := New(DefaultConfig())
+	v0, _ := sjson.ParseString(g.Next())
+	v1, _ := sjson.ParseString(g.Next())
+	if v0.Get("dyn1").Kind() != sjson.KindNumber {
+		t.Error("record 0 dyn1 should be a number")
+	}
+	if v1.Get("dyn1").Kind() != sjson.KindString {
+		t.Error("record 1 dyn1 should be a string")
+	}
+}
+
+func TestSparseAttributesVary(t *testing.T) {
+	g := New(DefaultConfig())
+	recs := g.Records(200)
+	keys := map[string]int{}
+	for _, r := range recs {
+		v, _ := sjson.ParseString(r)
+		for _, k := range v.Keys() {
+			if strings.HasPrefix(k, "sparse_") {
+				keys[k]++
+			}
+		}
+	}
+	if len(keys) < 50 {
+		t.Errorf("only %d distinct sparse attributes across 200 records", len(keys))
+	}
+	// No single sparse key should appear in every record.
+	for k, n := range keys {
+		if n == 200 {
+			t.Errorf("sparse key %s appears in all records", k)
+		}
+	}
+}
+
+func TestNestedShapes(t *testing.T) {
+	g := New(DefaultConfig())
+	v, _ := sjson.ParseString(g.Next())
+	nested := v.Get("nested_obj")
+	if nested.Kind() != sjson.KindObject || !nested.Has("str") || !nested.Has("num") {
+		t.Errorf("nested_obj = %s", sjson.Serialize(nested))
+	}
+	arr := v.Get("nested_arr")
+	if arr.Kind() != sjson.KindArray || arr.Len() < 1 {
+		t.Errorf("nested_arr = %s", sjson.Serialize(arr))
+	}
+}

@@ -1,0 +1,182 @@
+package orc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datum"
+)
+
+// fileSize writes rows and returns the encoded byte count.
+func fileSize(t *testing.T, rows [][]datum.Datum) int {
+	t.Helper()
+	data, err := WriteRows(testSchema, rows, WriterOptions{RowGroupRows: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(data)
+}
+
+func TestRLECompressesConstantInts(t *testing.T) {
+	constant := make([][]datum.Datum, 400)
+	varied := make([][]datum.Datum, 400)
+	for i := range constant {
+		constant[i] = []datum.Datum{datum.Int(7), datum.Float(1), datum.Str("x"), datum.Bool(true)}
+		varied[i] = []datum.Datum{datum.Int(int64(i * 7919)), datum.Float(1), datum.Str("x"), datum.Bool(true)}
+	}
+	cSize := fileSize(t, constant)
+	vSize := fileSize(t, varied)
+	if cSize >= vSize {
+		t.Errorf("constant ints (%dB) should encode smaller than varied (%dB)", cSize, vSize)
+	}
+	// Round trip still exact.
+	data, _ := WriteRows(testSchema, constant, WriterOptions{RowGroupRows: 100})
+	r, err := OpenReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := r.ReadColumn("id", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range col {
+		if d.I != 7 {
+			t.Fatalf("col[%d] = %v", i, d)
+		}
+	}
+}
+
+func TestDictionaryCompressesRepeatedStrings(t *testing.T) {
+	repeated := make([][]datum.Datum, 400)
+	unique := make([][]datum.Datum, 400)
+	for i := range repeated {
+		repeated[i] = []datum.Datum{datum.Int(int64(i)), datum.Float(0),
+			datum.Str(fmt.Sprintf("category-%d-with-a-long-name", i%3)), datum.Bool(false)}
+		unique[i] = []datum.Datum{datum.Int(int64(i)), datum.Float(0),
+			datum.Str(fmt.Sprintf("category-%d-with-a-long-name", i)), datum.Bool(false)}
+	}
+	rSize := fileSize(t, repeated)
+	uSize := fileSize(t, unique)
+	if rSize >= uSize*3/4 {
+		t.Errorf("repeated strings (%dB) should dictionary-encode well below unique (%dB)", rSize, uSize)
+	}
+	data, _ := WriteRows(testSchema, repeated, WriterOptions{RowGroupRows: 100})
+	r, err := OpenReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := r.ReadColumn("name", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range col {
+		want := fmt.Sprintf("category-%d-with-a-long-name", i%3)
+		if d.S != want {
+			t.Fatalf("col[%d] = %q, want %q", i, d.S, want)
+		}
+	}
+}
+
+func TestUnselectedColumnsNotCharged(t *testing.T) {
+	rows := make([][]datum.Datum, 200)
+	for i := range rows {
+		// The string column dominates the file size.
+		rows[i] = []datum.Datum{datum.Int(int64(i)), datum.Float(0),
+			datum.Str(fmt.Sprintf("wide-unique-value-%06d-%06d", i, i*i)), datum.Bool(false)}
+	}
+	data, err := WriteRows(testSchema, rows, WriterOptions{RowGroupRows: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func(cols []string) int64 {
+		var st ReadStats
+		cur, err := r.NewCursor(cols, nil, &st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			row, err := cur.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if row == nil {
+				break
+			}
+		}
+		return st.BytesRead
+	}
+	idOnly := read([]string{"id"})
+	withName := read([]string{"id", "name"})
+	if idOnly*3 >= withName {
+		t.Errorf("id-only read %dB, id+name %dB — unselected wide column should not be charged", idOnly, withName)
+	}
+}
+
+func TestBitpackedBoolsRoundTrip(t *testing.T) {
+	rows := make([][]datum.Datum, 77) // odd count exercises the partial byte
+	for i := range rows {
+		b := datum.Bool(i%3 == 0)
+		if i%11 == 5 {
+			b = datum.NullOf(datum.TypeBool)
+		}
+		rows[i] = []datum.Datum{datum.Int(0), datum.Float(0), datum.Str(""), b}
+	}
+	data, err := WriteRows(testSchema, rows, WriterOptions{RowGroupRows: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := r.ReadColumn("active", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range col {
+		if i%11 == 5 {
+			if !d.Null {
+				t.Fatalf("col[%d] should be NULL", i)
+			}
+			continue
+		}
+		if d.B != (i%3 == 0) {
+			t.Fatalf("col[%d] = %v", i, d.B)
+		}
+	}
+}
+
+func TestCorruptChunksRejected(t *testing.T) {
+	rows := make([][]datum.Datum, 20)
+	for i := range rows {
+		rows[i] = []datum.Datum{datum.Int(int64(i)), datum.Float(0), datum.Str("abc"), datum.Bool(true)}
+	}
+	good, err := WriteRows(testSchema, rows, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip bytes through the data region; the reader must either error or
+	// return values, never panic.
+	for off := 8; off < len(good)-8; off += 13 {
+		bad := append([]byte{}, good...)
+		bad[off] ^= 0xFF
+		r, err := OpenReader(bad)
+		if err != nil {
+			continue
+		}
+		cur, err := r.NewCursor([]string{"id", "name", "active"}, nil, nil)
+		if err != nil {
+			continue
+		}
+		for {
+			row, err := cur.Next()
+			if err != nil || row == nil {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,525 @@
+package orc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datum"
+)
+
+var testSchema = Schema{Columns: []Column{
+	{Name: "id", Type: datum.TypeInt64},
+	{Name: "price", Type: datum.TypeFloat64},
+	{Name: "name", Type: datum.TypeString},
+	{Name: "active", Type: datum.TypeBool},
+}}
+
+func makeRows(n int) [][]datum.Datum {
+	rows := make([][]datum.Datum, n)
+	for i := 0; i < n; i++ {
+		row := []datum.Datum{
+			datum.Int(int64(i)),
+			datum.Float(float64(i) / 2),
+			datum.Str(fmt.Sprintf("name-%04d", i)),
+			datum.Bool(i%3 == 0),
+		}
+		if i%7 == 5 {
+			row[1] = datum.NullOf(datum.TypeFloat64)
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func writeRead(t *testing.T, rows [][]datum.Datum, opts WriterOptions) *Reader {
+	t.Helper()
+	data, err := WriteRows(testSchema, rows, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	rows := makeRows(100)
+	r := writeRead(t, rows, WriterOptions{})
+	if r.NumRows() != 100 {
+		t.Fatalf("NumRows = %d", r.NumRows())
+	}
+	if len(r.Schema().Columns) != 4 {
+		t.Fatalf("schema = %+v", r.Schema())
+	}
+	cur, err := r.NewCursor([]string{"id", "price", "name", "active"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		row, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row == nil {
+			if i != 100 {
+				t.Fatalf("read %d rows, want 100", i)
+			}
+			break
+		}
+		want := rows[i]
+		for c := range want {
+			if !datum.Equal(row[c], want[c]) || row[c].Null != want[c].Null {
+				t.Fatalf("row %d col %d = %+v, want %+v", i, c, row[c], want[c])
+			}
+		}
+	}
+}
+
+func TestColumnProjection(t *testing.T) {
+	r := writeRead(t, makeRows(50), WriterOptions{})
+	col, err := r.ReadColumn("name", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col) != 50 || col[17].S != "name-0017" {
+		t.Fatalf("name column wrong: len=%d col[17]=%+v", len(col), col[17])
+	}
+	if _, err := r.ReadColumn("nope", nil); err == nil {
+		t.Error("reading missing column should error")
+	}
+}
+
+func TestRowGroupBoundaries(t *testing.T) {
+	r := writeRead(t, makeRows(25), WriterOptions{RowGroupRows: 10})
+	if got := r.NumRowGroups(); got != 3 {
+		t.Errorf("NumRowGroups = %d, want 3 (10+10+5)", got)
+	}
+	stats, err := r.RowGroupStats("id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].MinI != 0 || stats[0].MaxI != 9 {
+		t.Errorf("group 0 id stats = %+v", stats[0])
+	}
+	if stats[2].MinI != 20 || stats[2].MaxI != 24 {
+		t.Errorf("group 2 id stats = %+v", stats[2])
+	}
+}
+
+func TestNullStats(t *testing.T) {
+	rows := [][]datum.Datum{
+		{datum.Int(1), datum.NullOf(datum.TypeFloat64), datum.Str("a"), datum.Bool(true)},
+		{datum.Int(2), datum.NullOf(datum.TypeFloat64), datum.Str("b"), datum.Bool(true)},
+	}
+	r := writeRead(t, rows, WriterOptions{})
+	stats, _ := r.RowGroupStats("price")
+	if stats[0].NullCount != 2 || stats[0].HasValues {
+		t.Errorf("all-null stats = %+v", stats[0])
+	}
+	bstats, _ := r.RowGroupStats("active")
+	if !bstats[0].HasTrue || bstats[0].HasFalse {
+		t.Errorf("bool stats = %+v", bstats[0])
+	}
+}
+
+func TestStripeSplitting(t *testing.T) {
+	// Tiny stripe target forces one stripe per row group.
+	r := writeRead(t, makeRows(30), WriterOptions{RowGroupRows: 10, StripeTargetBytes: 1})
+	if r.NumStripes() != 3 {
+		t.Errorf("NumStripes = %d, want 3", r.NumStripes())
+	}
+	// Data still reads back completely.
+	col, err := r.ReadColumn("id", nil)
+	if err != nil || len(col) != 30 {
+		t.Fatalf("ReadColumn after stripe split: len=%d err=%v", len(col), err)
+	}
+	for i, d := range col {
+		if d.I != int64(i) {
+			t.Fatalf("col[%d] = %d", i, d.I)
+		}
+	}
+}
+
+func TestSARGSkipsRowGroups(t *testing.T) {
+	var stats ReadStats
+	r := writeRead(t, makeRows(100), WriterOptions{RowGroupRows: 10})
+	sarg := NewSARG(Predicate{Column: "id", Op: OpGE, Value: datum.Int(75)})
+	cur, err := r.NewCursor([]string{"id"}, sarg, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		row, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row == nil {
+			break
+		}
+		n++
+	}
+	// Groups 0-6 (ids 0..69) are skipped; groups 7-9 are read (30 rows).
+	if stats.RowGroupsSkipped != 7 || stats.RowGroupsRead != 3 {
+		t.Errorf("skip stats = %+v", stats)
+	}
+	if n != 30 {
+		t.Errorf("rows surfaced = %d, want 30 (group-level filtering only)", n)
+	}
+}
+
+func TestSARGStringAndFloat(t *testing.T) {
+	r := writeRead(t, makeRows(100), WriterOptions{RowGroupRows: 10})
+	cases := []struct {
+		sarg     *SARG
+		wantRead int64
+		wantSkip int64
+	}{
+		{NewSARG(Predicate{Column: "name", Op: OpEQ, Value: datum.Str("name-0042")}), 1, 9},
+		{NewSARG(Predicate{Column: "price", Op: OpLT, Value: datum.Float(5)}), 1, 9},
+		{NewSARG(Predicate{Column: "id", Op: OpEQ, Value: datum.Int(1000)}), 0, 10},
+		{NewSARG(Predicate{Column: "id", Op: OpNE, Value: datum.Int(5)}), 10, 0},
+		{nil, 10, 0},
+		{NewSARG(
+			Predicate{Column: "id", Op: OpGE, Value: datum.Int(20)},
+			Predicate{Column: "id", Op: OpLT, Value: datum.Int(40)},
+		), 2, 8},
+	}
+	for i, tc := range cases {
+		var stats ReadStats
+		cur, err := r.NewCursor([]string{"id"}, tc.sarg, &stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			row, err := cur.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if row == nil {
+				break
+			}
+		}
+		if stats.RowGroupsRead != tc.wantRead || stats.RowGroupsSkipped != tc.wantSkip {
+			t.Errorf("case %d (%s): stats = %+v, want read=%d skip=%d",
+				i, tc.sarg.String(), stats, tc.wantRead, tc.wantSkip)
+		}
+	}
+}
+
+func TestSARGNeverSkipsMatchingRows(t *testing.T) {
+	// Exhaustive check on one file: for many predicates, every row matching
+	// the predicate exactly must appear in the cursor output.
+	rows := makeRows(200)
+	r := writeRead(t, rows, WriterOptions{RowGroupRows: 16})
+	ops := []CompareOp{OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE}
+	for _, op := range ops {
+		for _, pivot := range []int64{0, 57, 199, 300} {
+			sarg := NewSARG(Predicate{Column: "id", Op: op, Value: datum.Int(pivot)})
+			cur, err := r.NewCursor([]string{"id"}, sarg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[int64]bool{}
+			for {
+				row, err := cur.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if row == nil {
+					break
+				}
+				seen[row[0].I] = true
+			}
+			for _, fullRow := range rows {
+				if sarg.EvalRow(testSchema, fullRow) && !seen[fullRow[0].I] {
+					t.Errorf("op %v pivot %d: matching row id=%d was skipped", op, pivot, fullRow[0].I)
+				}
+			}
+		}
+	}
+}
+
+func TestSharedRowGroupMask(t *testing.T) {
+	r := writeRead(t, makeRows(100), WriterOptions{RowGroupRows: 10})
+	sarg := NewSARG(Predicate{Column: "id", Op: OpLT, Value: datum.Int(30)})
+	cacheCur, err := r.NewCursor([]string{"id"}, sarg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := cacheCur.RowGroupMask()
+	// Groups 0-2 included, rest skipped.
+	for i, inc := range mask {
+		want := i < 3
+		if inc != want {
+			t.Errorf("mask[%d] = %v, want %v", i, inc, want)
+		}
+	}
+	var primStats ReadStats
+	primCur, err := r.NewCursor([]string{"name"}, nil, &primStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primCur.SetRowGroupMask(mask); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		row, err := primCur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row == nil {
+			break
+		}
+		n++
+	}
+	if n != 30 || primStats.RowGroupsSkipped != 7 {
+		t.Errorf("primary read %d rows, stats=%+v", n, primStats)
+	}
+	// Mask after iteration start is rejected.
+	if err := primCur.SetRowGroupMask(mask); err == nil {
+		t.Error("SetRowGroupMask after iteration should error")
+	}
+	if err := cacheCur.SetRowGroupMask([]bool{true}); err == nil {
+		t.Error("wrong-length mask should error")
+	}
+}
+
+func TestCorruptFiles(t *testing.T) {
+	good, err := WriteRows(testSchema, makeRows(10), WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"tiny":      []byte("ORCG"),
+		"bad head":  append([]byte("XXXX"), good[4:]...),
+		"bad tail":  append(append([]byte{}, good[:len(good)-1]...), 'X'),
+		"truncated": good[:len(good)/2],
+	}
+	for name, data := range cases {
+		if _, err := OpenReader(data); err == nil {
+			t.Errorf("%s: OpenReader succeeded, want error", name)
+		}
+	}
+}
+
+func TestWriterMisuse(t *testing.T) {
+	w := NewWriter(testSchema, WriterOptions{})
+	if err := w.AppendRow([]datum.Datum{datum.Int(1)}); err == nil {
+		t.Error("arity mismatch should error")
+	}
+	if _, err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Finish(); err == nil {
+		t.Error("double Finish should error")
+	}
+	if err := w.AppendRow(makeRows(1)[0]); err == nil {
+		t.Error("AppendRow after Finish should error")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	r := writeRead(t, nil, WriterOptions{})
+	if r.NumRows() != 0 || r.NumRowGroups() != 0 {
+		t.Errorf("empty file: rows=%d groups=%d", r.NumRows(), r.NumRowGroups())
+	}
+	cur, err := r.NewCursor([]string{"id"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row, err := cur.Next(); err != nil || row != nil {
+		t.Errorf("Next on empty = (%v, %v)", row, err)
+	}
+}
+
+func TestCoercionOnWrite(t *testing.T) {
+	rows := [][]datum.Datum{{
+		datum.Str("42"),  // string into int column
+		datum.Int(3),     // int into float column
+		datum.Float(1.5), // float into string column
+		datum.Int(1),     // int into bool column
+	}}
+	r := writeRead(t, rows, WriterOptions{})
+	cur, _ := r.NewCursor([]string{"id", "price", "name", "active"}, nil, nil)
+	row, err := cur.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].I != 42 || row[1].F != 3 || row[2].S != "1.5" || !row[3].B {
+		t.Errorf("coerced row = %+v", row)
+	}
+}
+
+// Property: write/read round-trips arbitrary rows of all four types,
+// preserving null positions and values, across row-group boundaries.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%300) + 1
+		rows := make([][]datum.Datum, n)
+		for i := range rows {
+			row := make([]datum.Datum, 4)
+			if rng.Intn(10) == 0 {
+				row[0] = datum.NullOf(datum.TypeInt64)
+			} else {
+				row[0] = datum.Int(rng.Int63n(1e9) - 5e8)
+			}
+			if rng.Intn(10) == 0 {
+				row[1] = datum.NullOf(datum.TypeFloat64)
+			} else {
+				row[1] = datum.Float(rng.NormFloat64() * 100)
+			}
+			if rng.Intn(10) == 0 {
+				row[2] = datum.NullOf(datum.TypeString)
+			} else {
+				row[2] = datum.Str(fmt.Sprintf("s%d-%d", rng.Intn(100), i))
+			}
+			row[3] = datum.Bool(rng.Intn(2) == 0)
+			rows[i] = row
+		}
+		data, err := WriteRows(testSchema, rows, WriterOptions{RowGroupRows: 37})
+		if err != nil {
+			return false
+		}
+		r, err := OpenReader(data)
+		if err != nil {
+			return false
+		}
+		cur, err := r.NewCursor([]string{"id", "price", "name", "active"}, nil, nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; ; i++ {
+			row, err := cur.Next()
+			if err != nil {
+				return false
+			}
+			if row == nil {
+				return i == n
+			}
+			for c := range row {
+				if row[c].Null != rows[i][c].Null {
+					return false
+				}
+				if !row[c].Null && !datum.Equal(row[c], rows[i][c]) {
+					return false
+				}
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SARG row-group pruning is sound — rows matching the predicate
+// are never lost, for random data and random predicates.
+func TestQuickSARGSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(150) + 20
+		rows := make([][]datum.Datum, n)
+		for i := range rows {
+			rows[i] = []datum.Datum{
+				datum.Int(rng.Int63n(100)),
+				datum.Float(float64(rng.Intn(100))),
+				datum.Str(fmt.Sprintf("k%02d", rng.Intn(50))),
+				datum.Bool(rng.Intn(2) == 0),
+			}
+		}
+		data, err := WriteRows(testSchema, rows, WriterOptions{RowGroupRows: 16})
+		if err != nil {
+			return false
+		}
+		r, err := OpenReader(data)
+		if err != nil {
+			return false
+		}
+		cols := []string{"id", "price", "name", "active"}
+		ops := []CompareOp{OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE}
+		pred := Predicate{Column: cols[rng.Intn(3)], Op: ops[rng.Intn(len(ops))]}
+		switch pred.Column {
+		case "id":
+			pred.Value = datum.Int(rng.Int63n(100))
+		case "price":
+			pred.Value = datum.Float(float64(rng.Intn(100)))
+		case "name":
+			pred.Value = datum.Str(fmt.Sprintf("k%02d", rng.Intn(50)))
+		}
+		sarg := NewSARG(pred)
+		cur, err := r.NewCursor(cols, sarg, nil)
+		if err != nil {
+			return false
+		}
+		got := map[string]int{}
+		for {
+			row, err := cur.Next()
+			if err != nil {
+				return false
+			}
+			if row == nil {
+				break
+			}
+			got[fmt.Sprint(row)]++
+		}
+		for _, row := range rows {
+			if sarg.EvalRow(testSchema, row) {
+				key := fmt.Sprint(row)
+				if got[key] == 0 {
+					return false
+				}
+				got[key]--
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWrite10k(b *testing.B) {
+	rows := makeRows(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := WriteRows(testSchema, rows, WriterOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanWithSARG(b *testing.B) {
+	rows := makeRows(10000)
+	data, err := WriteRows(testSchema, rows, WriterOptions{RowGroupRows: 1000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := OpenReader(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sarg := NewSARG(Predicate{Column: "id", Op: OpGE, Value: datum.Int(9000)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cur, err := r.NewCursor([]string{"id", "name"}, sarg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			row, err := cur.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if row == nil {
+				break
+			}
+		}
+	}
+}

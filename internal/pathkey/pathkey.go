@@ -1,0 +1,47 @@
+// Package pathkey defines the identity of a JSONPath occurrence in the
+// warehouse. The paper locates a parsed field by four coordinates —
+// database name, table name, column name, and JSONPath — and every layer of
+// Maxson (collector statistics, predictor features, scoring, cache naming)
+// keys on that quadruple.
+package pathkey
+
+import "strings"
+
+// Key identifies one JSONPath at one storage location.
+type Key struct {
+	DB     string
+	Table  string
+	Column string
+	Path   string // canonical JSONPath text (jsonpath.Path.Canonical())
+}
+
+// String renders db.table.column:path.
+func (k Key) String() string {
+	return k.DB + "." + k.Table + "." + k.Column + ":" + k.Path
+}
+
+// Sanitized renders the key as a storage-safe identifier: the cache field
+// naming scheme from the paper's §IV-C (column name + JSONPath).
+func (k Key) Sanitized() string {
+	repl := strings.NewReplacer(
+		"$", "", ".", "_", "[", "_", "]", "", "'", "", `"`, "", " ", "_",
+	)
+	return k.Column + "__" + strings.Trim(repl.Replace(k.Path), "_")
+}
+
+// TableID renders db.table, the raw-table identity a cache table maps to.
+func (k Key) TableID() string { return k.DB + "." + k.Table }
+
+// Less orders keys lexicographically for deterministic iteration.
+func Less(a, b Key) bool {
+	if a.DB != b.DB {
+		return a.DB < b.DB
+	}
+	if a.Table != b.Table {
+		return a.Table < b.Table
+	}
+	if a.Column != b.Column {
+		return a.Column < b.Column
+	}
+	return a.Path < b.Path
+}

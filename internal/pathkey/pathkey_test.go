@@ -1,0 +1,58 @@
+package pathkey
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestStringAndTableID(t *testing.T) {
+	k := Key{DB: "mydb", Table: "t", Column: "logs", Path: "$.a.b"}
+	if k.String() != "mydb.t.logs:$.a.b" {
+		t.Errorf("String = %q", k.String())
+	}
+	if k.TableID() != "mydb.t" {
+		t.Errorf("TableID = %q", k.TableID())
+	}
+}
+
+func TestSanitized(t *testing.T) {
+	cases := []struct{ path, want string }{
+		{"$.turnover", "col__turnover"},
+		{"$.a.b", "col__a_b"},
+		{"$.arr[3].x", "col__arr_3_x"},
+		{"$['odd name'].v", "col__odd_name_v"},
+		{"$", "col__"},
+	}
+	for _, c := range cases {
+		k := Key{Column: "col", Path: c.path}
+		if got := k.Sanitized(); got != c.want {
+			t.Errorf("Sanitized(%q) = %q, want %q", c.path, got, c.want)
+		}
+	}
+}
+
+func TestLessTotalOrder(t *testing.T) {
+	keys := []Key{
+		{DB: "b", Table: "t", Column: "c", Path: "$.x"},
+		{DB: "a", Table: "u", Column: "c", Path: "$.x"},
+		{DB: "a", Table: "t", Column: "d", Path: "$.x"},
+		{DB: "a", Table: "t", Column: "c", Path: "$.y"},
+		{DB: "a", Table: "t", Column: "c", Path: "$.x"},
+	}
+	sort.Slice(keys, func(i, j int) bool { return Less(keys[i], keys[j]) })
+	want := []Key{
+		{DB: "a", Table: "t", Column: "c", Path: "$.x"},
+		{DB: "a", Table: "t", Column: "c", Path: "$.y"},
+		{DB: "a", Table: "t", Column: "d", Path: "$.x"},
+		{DB: "a", Table: "u", Column: "c", Path: "$.x"},
+		{DB: "b", Table: "t", Column: "c", Path: "$.x"},
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("order[%d] = %v, want %v", i, keys[i], want[i])
+		}
+	}
+	if Less(keys[0], keys[0]) {
+		t.Error("Less must be irreflexive")
+	}
+}

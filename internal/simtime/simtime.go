@@ -1,0 +1,79 @@
+// Package simtime provides a controllable clock shared by the storage and
+// caching layers.
+//
+// Maxson's correctness hinges on time comparisons — a cache table is valid
+// only if it was populated after the raw table's last modification, and the
+// daily cycle runs "at midnight". Reproducing those behaviours in tests
+// requires a clock that the test advances explicitly; production code can
+// pass the wall clock instead.
+package simtime
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time.
+type Clock interface {
+	Now() time.Time
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now returns time.Now().
+func (Real) Now() time.Time { return time.Now() }
+
+// Sim is a manually advanced clock. The zero value starts at the Unix epoch;
+// use NewSim to pick a start. Sim is safe for concurrent use.
+type Sim struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewSim returns a simulated clock set to start.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Advance moves the clock forward by d and returns the new time. Negative
+// durations are ignored so time never runs backwards.
+func (s *Sim) Advance(d time.Duration) time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d > 0 {
+		s.now = s.now.Add(d)
+	}
+	return s.now
+}
+
+// Set jumps the clock to t if t is not before the current time.
+func (s *Sim) Set(t time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.After(s.now) {
+		s.now = t
+	}
+}
+
+// NextMidnight returns the first midnight (00:00 UTC) strictly after t.
+func NextMidnight(t time.Time) time.Time {
+	y, m, d := t.UTC().Date()
+	midnight := time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+	if !midnight.After(t) {
+		midnight = midnight.Add(24 * time.Hour)
+	}
+	return midnight
+}
+
+// DateKey renders t as the warehouse's yyyymmdd partition key.
+func DateKey(t time.Time) string {
+	return t.UTC().Format("20060102")
+}

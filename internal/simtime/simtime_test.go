@@ -1,0 +1,93 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimClockAdvance(t *testing.T) {
+	start := time.Date(2019, 1, 1, 10, 30, 0, 0, time.UTC)
+	c := NewSim(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Advance(2 * time.Hour)
+	if !c.Now().Equal(start.Add(2 * time.Hour)) {
+		t.Errorf("after advance: %v", c.Now())
+	}
+	c.Advance(-time.Hour)
+	if !c.Now().Equal(start.Add(2 * time.Hour)) {
+		t.Error("negative advance moved the clock")
+	}
+}
+
+func TestSimClockSetNeverGoesBack(t *testing.T) {
+	start := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := NewSim(start)
+	c.Set(start.Add(time.Hour))
+	if !c.Now().Equal(start.Add(time.Hour)) {
+		t.Error("Set forward failed")
+	}
+	c.Set(start)
+	if !c.Now().Equal(start.Add(time.Hour)) {
+		t.Error("Set moved the clock backwards")
+	}
+}
+
+func TestSimClockConcurrent(t *testing.T) {
+	c := NewSim(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Advance(time.Millisecond)
+				_ = c.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Unix(0, 0).Add(2 * time.Second)
+	if !c.Now().Equal(want) {
+		t.Errorf("concurrent advances lost updates: %v != %v", c.Now(), want)
+	}
+}
+
+func TestNextMidnight(t *testing.T) {
+	cases := []struct{ in, want time.Time }{
+		{
+			time.Date(2019, 1, 1, 10, 0, 0, 0, time.UTC),
+			time.Date(2019, 1, 2, 0, 0, 0, 0, time.UTC),
+		},
+		{
+			// Exactly midnight advances to the NEXT midnight (strictly after).
+			time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC),
+			time.Date(2019, 1, 2, 0, 0, 0, 0, time.UTC),
+		},
+		{
+			time.Date(2019, 1, 31, 23, 59, 59, 0, time.UTC),
+			time.Date(2019, 2, 1, 0, 0, 0, 0, time.UTC),
+		},
+	}
+	for _, c := range cases {
+		if got := NextMidnight(c.in); !got.Equal(c.want) {
+			t.Errorf("NextMidnight(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDateKey(t *testing.T) {
+	if got := DateKey(time.Date(2019, 1, 5, 23, 0, 0, 0, time.UTC)); got != "20190105" {
+		t.Errorf("DateKey = %q", got)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	before := time.Now()
+	got := Real{}.Now()
+	if got.Before(before.Add(-time.Second)) {
+		t.Error("Real clock is far off")
+	}
+}

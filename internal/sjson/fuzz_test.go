@@ -1,0 +1,37 @@
+package sjson
+
+import "testing"
+
+// FuzzParse exercises the parser against arbitrary byte inputs: it must
+// never panic, and any value it accepts must serialize to text that parses
+// back to an equal value. The seed corpus covers every syntactic construct;
+// `go test` runs the corpus, and `go test -fuzz=FuzzParse ./internal/sjson`
+// explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`{}`, `[]`, `null`, `true`, `false`, `0`, `-1.5e3`,
+		`"str"`, `"esc \n A 😀"`,
+		`{"a":1,"b":[true,null,{"c":"d"}]}`,
+		`[[[[[1]]]]]`,
+		`{"dup":1,"dup":2}`,
+		`{"k":"v"`, `[1,2`, `{"a":}`, `01`, `1e`, `"unterminated`,
+		string([]byte{0, 255}), `{"k":"v"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Parse(data)
+		if err != nil {
+			return
+		}
+		out := Serialize(v)
+		v2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("serialized output does not re-parse: %v\ninput: %q\noutput: %q", err, data, out)
+		}
+		if !Equal(v, v2) {
+			t.Fatalf("round trip changed value\ninput: %q\noutput: %q", data, out)
+		}
+	})
+}

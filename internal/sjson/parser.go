@@ -1,0 +1,388 @@
+package sjson
+
+import (
+	"fmt"
+	"strconv"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// SyntaxError describes a JSON parse failure with its byte offset.
+type SyntaxError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sjson: syntax error at offset %d: %s", e.Offset, e.Msg)
+}
+
+// ParseStats accumulates parsing work so the engine's cost model can meter
+// the parse phase separately from read and compute. All counters are totals
+// since the struct was zeroed.
+type ParseStats struct {
+	BytesScanned int64 // input bytes consumed by the tokenizer
+	ValuesBuilt  int64 // JSON values materialized (tree nodes)
+	Documents    int64 // top-level documents parsed
+}
+
+// Add merges other into s.
+func (s *ParseStats) Add(other ParseStats) {
+	s.BytesScanned += other.BytesScanned
+	s.ValuesBuilt += other.ValuesBuilt
+	s.Documents += other.Documents
+}
+
+// Parser is a reusable recursive-descent JSON parser. A zero Parser is ready
+// to use; reusing one across documents amortizes nothing but keeps the stats
+// in one place. Parser is not safe for concurrent use.
+type Parser struct {
+	data  []byte
+	pos   int
+	depth int
+	stats ParseStats
+}
+
+// maxDepth bounds nesting so hostile inputs cannot overflow the stack.
+const maxDepth = 512
+
+// Parse parses a single JSON document from data. Trailing whitespace is
+// allowed; any other trailing content is an error.
+func Parse(data []byte) (*Value, error) {
+	var p Parser
+	return p.Parse(data)
+}
+
+// ParseString is Parse for string input.
+func ParseString(s string) (*Value, error) { return Parse([]byte(s)) }
+
+// Parse parses one document and accumulates stats on the receiver.
+func (p *Parser) Parse(data []byte) (*Value, error) {
+	p.data = data
+	p.pos = 0
+	p.depth = 0
+	p.skipSpace()
+	v, err := p.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.data) {
+		return nil, p.errf("unexpected trailing data")
+	}
+	p.stats.BytesScanned += int64(len(data))
+	p.stats.Documents++
+	return v, nil
+}
+
+// Stats returns the accumulated parse statistics.
+func (p *Parser) Stats() ParseStats { return p.stats }
+
+// ResetStats zeroes the accumulated statistics.
+func (p *Parser) ResetStats() { p.stats = ParseStats{} }
+
+func (p *Parser) errf(format string, args ...any) error {
+	return &SyntaxError{Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) skipSpace() {
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *Parser) parseValue() (*Value, error) {
+	if p.pos >= len(p.data) {
+		return nil, p.errf("unexpected end of input")
+	}
+	p.stats.ValuesBuilt++
+	switch c := p.data[p.pos]; {
+	case c == '{':
+		return p.parseObject()
+	case c == '[':
+		return p.parseArray()
+	case c == '"':
+		s, err := p.parseStringLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return &Value{kind: KindString, strVal: s}, nil
+	case c == 't':
+		if err := p.expect("true"); err != nil {
+			return nil, err
+		}
+		return &Value{kind: KindBool, boolVal: true}, nil
+	case c == 'f':
+		if err := p.expect("false"); err != nil {
+			return nil, err
+		}
+		return &Value{kind: KindBool}, nil
+	case c == 'n':
+		if err := p.expect("null"); err != nil {
+			return nil, err
+		}
+		return &Value{kind: KindNull}, nil
+	case c == '-' || (c >= '0' && c <= '9'):
+		return p.parseNumber()
+	default:
+		return nil, p.errf("unexpected character %q", c)
+	}
+}
+
+func (p *Parser) expect(lit string) error {
+	if p.pos+len(lit) > len(p.data) || string(p.data[p.pos:p.pos+len(lit)]) != lit {
+		return p.errf("invalid literal, expected %q", lit)
+	}
+	p.pos += len(lit)
+	return nil
+}
+
+func (p *Parser) parseObject() (*Value, error) {
+	p.depth++
+	if p.depth > maxDepth {
+		return nil, p.errf("nesting exceeds %d levels", maxDepth)
+	}
+	defer func() { p.depth-- }()
+	p.pos++ // consume '{'
+	obj := &Value{kind: KindObject}
+	p.skipSpace()
+	if p.pos < len(p.data) && p.data[p.pos] == '}' {
+		p.pos++
+		return obj, nil
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.data) || p.data[p.pos] != '"' {
+			return nil, p.errf("expected object key string")
+		}
+		key, err := p.parseStringLiteral()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.data) || p.data[p.pos] != ':' {
+			return nil, p.errf("expected ':' after object key")
+		}
+		p.pos++
+		p.skipSpace()
+		val, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		obj.objVal = append(obj.objVal, Member{Key: key, Value: val})
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return nil, p.errf("unterminated object")
+		}
+		switch p.data[p.pos] {
+		case ',':
+			p.pos++
+		case '}':
+			p.pos++
+			if len(obj.objVal) > smallObjectThreshold {
+				obj.buildIndex()
+			}
+			return obj, nil
+		default:
+			return nil, p.errf("expected ',' or '}' in object")
+		}
+	}
+}
+
+func (p *Parser) parseArray() (*Value, error) {
+	p.depth++
+	if p.depth > maxDepth {
+		return nil, p.errf("nesting exceeds %d levels", maxDepth)
+	}
+	defer func() { p.depth-- }()
+	p.pos++ // consume '['
+	arr := &Value{kind: KindArray}
+	p.skipSpace()
+	if p.pos < len(p.data) && p.data[p.pos] == ']' {
+		p.pos++
+		return arr, nil
+	}
+	for {
+		p.skipSpace()
+		val, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		arr.arrVal = append(arr.arrVal, val)
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return nil, p.errf("unterminated array")
+		}
+		switch p.data[p.pos] {
+		case ',':
+			p.pos++
+		case ']':
+			p.pos++
+			return arr, nil
+		default:
+			return nil, p.errf("expected ',' or ']' in array")
+		}
+	}
+}
+
+func (p *Parser) parseStringLiteral() (string, error) {
+	p.pos++ // consume opening quote
+	start := p.pos
+	// Fast path: scan for the closing quote with no escapes.
+	for p.pos < len(p.data) {
+		c := p.data[p.pos]
+		if c == '"' {
+			s := string(p.data[start:p.pos])
+			p.pos++
+			return s, nil
+		}
+		if c == '\\' || c < 0x20 {
+			break
+		}
+		p.pos++
+	}
+	// Slow path: handle escapes.
+	buf := make([]byte, p.pos-start, (p.pos-start)+16)
+	copy(buf, p.data[start:p.pos])
+	for p.pos < len(p.data) {
+		c := p.data[p.pos]
+		switch {
+		case c == '"':
+			p.pos++
+			return string(buf), nil
+		case c < 0x20:
+			return "", p.errf("unescaped control character in string")
+		case c == '\\':
+			p.pos++
+			if p.pos >= len(p.data) {
+				return "", p.errf("unterminated escape sequence")
+			}
+			esc := p.data[p.pos]
+			p.pos++
+			switch esc {
+			case '"':
+				buf = append(buf, '"')
+			case '\\':
+				buf = append(buf, '\\')
+			case '/':
+				buf = append(buf, '/')
+			case 'b':
+				buf = append(buf, '\b')
+			case 'f':
+				buf = append(buf, '\f')
+			case 'n':
+				buf = append(buf, '\n')
+			case 'r':
+				buf = append(buf, '\r')
+			case 't':
+				buf = append(buf, '\t')
+			case 'u':
+				r, err := p.parseHexRune()
+				if err != nil {
+					return "", err
+				}
+				if utf16.IsSurrogate(r) {
+					if p.pos+1 < len(p.data) && p.data[p.pos] == '\\' && p.data[p.pos+1] == 'u' {
+						p.pos += 2
+						r2, err := p.parseHexRune()
+						if err != nil {
+							return "", err
+						}
+						r = utf16.DecodeRune(r, r2)
+					} else {
+						r = utf8.RuneError
+					}
+				}
+				var tmp [utf8.UTFMax]byte
+				n := utf8.EncodeRune(tmp[:], r)
+				buf = append(buf, tmp[:n]...)
+			default:
+				return "", p.errf("invalid escape character %q", esc)
+			}
+		default:
+			buf = append(buf, c)
+			p.pos++
+		}
+	}
+	return "", p.errf("unterminated string")
+}
+
+func (p *Parser) parseHexRune() (rune, error) {
+	if p.pos+4 > len(p.data) {
+		return 0, p.errf("truncated \\u escape")
+	}
+	n, err := strconv.ParseUint(string(p.data[p.pos:p.pos+4]), 16, 32)
+	if err != nil {
+		return 0, p.errf("invalid \\u escape")
+	}
+	p.pos += 4
+	return rune(n), nil
+}
+
+func (p *Parser) parseNumber() (*Value, error) {
+	start := p.pos
+	if p.pos < len(p.data) && p.data[p.pos] == '-' {
+		p.pos++
+	}
+	digits := 0
+	for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+		p.pos++
+		digits++
+	}
+	if digits == 0 {
+		return nil, p.errf("invalid number: no integer digits")
+	}
+	// Leading zeros are invalid per RFC 8259 except for a bare "0".
+	if digits > 1 {
+		first := start
+		if p.data[first] == '-' {
+			first++
+		}
+		if p.data[first] == '0' {
+			return nil, p.errf("invalid number: leading zero")
+		}
+	}
+	isFloat := false
+	if p.pos < len(p.data) && p.data[p.pos] == '.' {
+		isFloat = true
+		p.pos++
+		fracDigits := 0
+		for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+			p.pos++
+			fracDigits++
+		}
+		if fracDigits == 0 {
+			return nil, p.errf("invalid number: no fraction digits")
+		}
+	}
+	if p.pos < len(p.data) && (p.data[p.pos] == 'e' || p.data[p.pos] == 'E') {
+		isFloat = true
+		p.pos++
+		if p.pos < len(p.data) && (p.data[p.pos] == '+' || p.data[p.pos] == '-') {
+			p.pos++
+		}
+		expDigits := 0
+		for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+			p.pos++
+			expDigits++
+		}
+		if expDigits == 0 {
+			return nil, p.errf("invalid number: no exponent digits")
+		}
+	}
+	raw := string(p.data[start:p.pos])
+	f, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return nil, p.errf("invalid number %q", raw)
+	}
+	v := &Value{kind: KindNumber, numVal: f}
+	if !isFloat {
+		v.numRaw = raw
+	}
+	return v, nil
+}

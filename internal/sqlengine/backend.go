@@ -1,0 +1,154 @@
+package sqlengine
+
+import (
+	"sync/atomic"
+
+	"repro/internal/jsonpath"
+	"repro/internal/mison"
+	"repro/internal/sjson"
+)
+
+// ParseMeter accumulates JSON-parsing work across a query execution. It is
+// updated atomically because scan partitions run in parallel.
+type ParseMeter struct {
+	Docs  atomic.Int64 // documents parsed / indexed
+	Bytes atomic.Int64 // bytes scanned by the JSON parser
+	Calls atomic.Int64 // get_json_object evaluations
+}
+
+// Snapshot returns a plain-struct copy.
+func (m *ParseMeter) Snapshot() ParseCounts {
+	return ParseCounts{Docs: m.Docs.Load(), Bytes: m.Bytes.Load(), Calls: m.Calls.Load()}
+}
+
+// ParseCounts is a point-in-time copy of a ParseMeter.
+type ParseCounts struct {
+	Docs, Bytes, Calls int64
+}
+
+// ParserBackend evaluates get_json_object against raw JSON text. Engine
+// executions pick one; the paper's Fig 15 compares Jackson (tree parser)
+// with Mison (structural index).
+type ParserBackend interface {
+	// Name identifies the backend in experiment output.
+	Name() string
+	// NewDocEvaluator returns a per-partition evaluator. Evaluators are not
+	// shared across goroutines.
+	NewDocEvaluator(meter *ParseMeter) DocEvaluator
+}
+
+// DocEvaluator extracts path values from one document at a time. Extract
+// returns the scalar rendering and whether the value was present.
+type DocEvaluator interface {
+	Extract(doc string, path *jsonpath.Path) (string, bool)
+}
+
+// ---- Jackson-style backend: full tree parse per document ----
+
+// JacksonBackend parses the whole document into a tree and navigates it,
+// the way SparkSQL's default Jackson-based get_json_object behaves. A
+// per-document memo avoids re-parsing when several paths hit the same
+// document in one row (SparkSQL caches the parsed tree per input string in
+// the same way).
+type JacksonBackend struct{}
+
+// Name implements ParserBackend.
+func (JacksonBackend) Name() string { return "jackson" }
+
+// NewDocEvaluator implements ParserBackend.
+func (JacksonBackend) NewDocEvaluator(meter *ParseMeter) DocEvaluator {
+	return &jacksonEval{meter: meter}
+}
+
+type jacksonEval struct {
+	meter   *ParseMeter
+	lastDoc string
+	lastVal *sjson.Value
+	lastErr bool
+}
+
+func (j *jacksonEval) Extract(doc string, path *jsonpath.Path) (string, bool) {
+	j.meter.Calls.Add(1)
+	if doc != j.lastDoc || (j.lastVal == nil && !j.lastErr) {
+		root, err := sjson.ParseString(doc)
+		j.meter.Docs.Add(1)
+		j.meter.Bytes.Add(int64(len(doc)))
+		j.lastDoc = doc
+		j.lastErr = err != nil
+		if err != nil {
+			j.lastVal = nil
+		} else {
+			j.lastVal = root
+		}
+	}
+	if j.lastVal == nil {
+		return "", false
+	}
+	v := path.Eval(j.lastVal)
+	if v.IsNull() {
+		return "", false
+	}
+	return v.Scalar(), true
+}
+
+// ---- Mison-style backend: structural index projection ----
+
+// MisonBackend projects paths straight out of the raw bytes via the
+// structural index, skipping tree materialization.
+type MisonBackend struct{}
+
+// Name implements ParserBackend.
+func (MisonBackend) Name() string { return "mison" }
+
+// NewDocEvaluator implements ParserBackend.
+func (MisonBackend) NewDocEvaluator(meter *ParseMeter) DocEvaluator {
+	return &misonEval{meter: meter, pathIdx: make(map[string]int)}
+}
+
+// misonEval batches every path of the query through one projector, so each
+// document's structural index is built once and all fields project out of
+// it — Mison's intended mode. The path set grows as the first row
+// encounters each get_json_object call; later rows project all paths in a
+// single pass.
+type misonEval struct {
+	meter   *ParseMeter
+	paths   []*jsonpath.Path
+	pathIdx map[string]int
+	pr      *mison.Projector
+	lastDoc string
+	lastRes []mison.Result
+	// tree serves wildcard paths the index cannot.
+	tree *jacksonEval
+}
+
+func (m *misonEval) Extract(doc string, path *jsonpath.Path) (string, bool) {
+	m.meter.Calls.Add(1)
+	// The structural index serves point lookups only; wildcard paths fan
+	// out over arrays and need the tree (Mison's real limitation).
+	if path.HasWildcard() {
+		if m.tree == nil {
+			m.tree = &jacksonEval{meter: m.meter}
+		} else {
+			m.tree.meter = m.meter
+		}
+		m.meter.Calls.Add(-1) // the tree evaluator counts the call itself
+		return m.tree.Extract(doc, path)
+	}
+	key := path.Canonical()
+	idx, known := m.pathIdx[key]
+	if !known {
+		m.paths = append(m.paths, path)
+		idx = len(m.paths) - 1
+		m.pathIdx[key] = idx
+		m.pr = mison.NewProjector(m.paths...)
+		m.lastRes = nil // force re-projection with the grown path set
+	}
+	if doc != m.lastDoc || m.lastRes == nil {
+		m.lastRes = m.pr.Project([]byte(doc))
+		m.lastDoc = doc
+		m.meter.Docs.Add(1)
+		m.meter.Bytes.Add(int64(len(doc)))
+	}
+	res := m.lastRes[idx]
+	return res.Scalar, res.Present
+}

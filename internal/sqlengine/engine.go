@@ -1,0 +1,189 @@
+package sqlengine
+
+import (
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/warehouse"
+)
+
+// Engine executes SQL against a warehouse, SparkSQL-style. Engines are safe
+// for concurrent Query calls.
+type Engine struct {
+	wh          *warehouse.Warehouse
+	backend     ParserBackend
+	parallelism int
+	defaultDB   string
+	cost        CostModel
+	sparser     bool
+	// PlanModifier, when set, rewrites physical plans after planning —
+	// Maxson installs its MaxsonParser here. The returned extra node count
+	// is added to PlanExprNodes so Fig 13 sees the modification overhead.
+	PlanModifier func(plan *PhysicalPlan, stmt *SelectStmt) (extraNodes int64, err error)
+}
+
+// EngineOption configures an Engine.
+type EngineOption func(*Engine)
+
+// WithBackend selects the JSON parser backend (default Jackson-style).
+func WithBackend(b ParserBackend) EngineOption {
+	return func(e *Engine) {
+		if b != nil {
+			e.backend = b
+		}
+	}
+}
+
+// WithParallelism caps concurrent partitions (default GOMAXPROCS).
+func WithParallelism(n int) EngineOption {
+	return func(e *Engine) {
+		if n > 0 {
+			e.parallelism = n
+		}
+	}
+}
+
+// WithDefaultDB sets the database used by unqualified table names.
+func WithDefaultDB(db string) EngineOption {
+	return func(e *Engine) { e.defaultDB = db }
+}
+
+// WithSparser enables Sparser-style raw-byte prefiltering: selective
+// string-equality predicates on JSON paths skip parsing for documents that
+// cannot match.
+func WithSparser(on bool) EngineOption {
+	return func(e *Engine) { e.sparser = on }
+}
+
+// WithCostModel overrides the calibrated cost model.
+func WithCostModel(cm CostModel) EngineOption {
+	return func(e *Engine) { e.cost = cm }
+}
+
+// NewEngine builds an engine over a warehouse.
+func NewEngine(wh *warehouse.Warehouse, opts ...EngineOption) *Engine {
+	e := &Engine{
+		wh:          wh,
+		backend:     JacksonBackend{},
+		parallelism: runtime.GOMAXPROCS(0),
+		defaultDB:   "default",
+		cost:        DefaultCostModel(),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Warehouse returns the engine's warehouse.
+func (e *Engine) Warehouse() *warehouse.Warehouse { return e.wh }
+
+// Backend returns the active parser backend.
+func (e *Engine) Backend() ParserBackend { return e.backend }
+
+// CostModel returns the engine's cost model.
+func (e *Engine) CostModel() CostModel { return e.cost }
+
+// nowWall reads the wall clock for WallTime metering.
+func (e *Engine) nowWall() time.Duration {
+	return time.Duration(time.Now().UnixNano())
+}
+
+// Query parses, plans, and executes one SELECT. The returned metrics carry
+// both plan-time and execution-time accounting.
+func (e *Engine) Query(sql string) (*ResultSet, *Metrics, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.QueryStmt(stmt)
+}
+
+// QueryStmt plans and executes a parsed statement.
+func (e *Engine) QueryStmt(stmt *SelectStmt) (*ResultSet, *Metrics, error) {
+	planStart := time.Now()
+	plan, err := e.Plan(stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+	planNodes := countPlanNodes(stmt)
+	var extra int64
+	if e.PlanModifier != nil {
+		extra, err = e.PlanModifier(plan, stmt)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	planWall := time.Since(planStart)
+
+	if stmt.Explain {
+		m := &Metrics{PlanWall: planWall, PlanExprNodes: planNodes + extra}
+		rs := &ResultSet{Columns: []string{"plan"}}
+		for _, line := range strings.Split(plan.String(), "\n") {
+			rs.Rows = append(rs.Rows, []datum.Datum{datum.Str(line)})
+		}
+		return rs, m, nil
+	}
+
+	rs, m, err := e.Execute(plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.PlanWall = planWall
+	m.PlanExprNodes = planNodes + extra
+	return rs, m, nil
+}
+
+// PlanOnly parses and plans without executing; used by the Fig 13 plan-time
+// experiment.
+func (e *Engine) PlanOnly(sql string) (*PhysicalPlan, *Metrics, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := &Metrics{}
+	planStart := time.Now()
+	plan, err := e.Plan(stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Count statement nodes before the modifier runs: plan expressions can
+	// alias statement expressions, and the modifier rewrites them in place.
+	planNodes := countPlanNodes(stmt)
+	var extra int64
+	if e.PlanModifier != nil {
+		extra, err = e.PlanModifier(plan, stmt)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	m.PlanWall = time.Since(planStart)
+	m.PlanExprNodes = planNodes + extra
+	return plan, m, nil
+}
+
+// countPlanNodes counts expression nodes across the statement — the unit of
+// plan-generation work in the Fig 13 comparison.
+func countPlanNodes(stmt *SelectStmt) int64 {
+	var n int64
+	for _, it := range stmt.Items {
+		if !it.Star {
+			n += CountExprNodes(it.Expr)
+		}
+	}
+	if stmt.Where != nil {
+		n += CountExprNodes(stmt.Where)
+	}
+	for _, g := range stmt.GroupBy {
+		n += CountExprNodes(g)
+	}
+	for _, o := range stmt.OrderBy {
+		n += CountExprNodes(o.Expr)
+	}
+	if stmt.Join != nil {
+		n += CountExprNodes(stmt.Join.On)
+	}
+	return n
+}

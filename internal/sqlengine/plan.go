@@ -1,0 +1,187 @@
+package sqlengine
+
+import (
+	"fmt"
+
+	"repro/internal/datum"
+	"repro/internal/orc"
+)
+
+// RowSource streams rows of one partition (split). Next returns nil at end.
+type RowSource interface {
+	Next() ([]datum.Datum, error)
+}
+
+// ScanSourceFactory opens one split of a scan. Maxson substitutes its
+// combined (primary + cache) reader by replacing a ScanNode's Factory.
+type ScanSourceFactory interface {
+	// NumSplits returns the partition count.
+	NumSplits() (int, error)
+	// Open opens split i. The returned schema must be identical across
+	// splits.
+	Open(split int, m *Metrics) (RowSource, error)
+	// Schema returns the output schema.
+	Schema() (RowSchema, error)
+}
+
+// RawPrefilter is a Sparser-style raw-byte filter: before parsing a JSON
+// document, check that it contains the needle substring at all. Sound only
+// for top-level AND conjuncts of the form get_json_object(col, p) = 'lit'
+// where the literal contains no JSON-escaped characters — then a matching
+// row's document must contain the quoted literal verbatim, so rows without
+// it can skip the parse entirely (Palkar et al., VLDB 2018).
+type RawPrefilter struct {
+	Column string
+	Needle string
+	colIdx int
+}
+
+// ScanNode reads a base table. Columns lists the storage columns to read;
+// SARG is an optional storage-level predicate for row-group skipping.
+type ScanNode struct {
+	DB      string
+	Table   string
+	Binding string // alias used to qualify output columns
+	Columns []string
+	SARG    *orc.SARG
+	// PreFilters hold Sparser-style raw-byte filters (engine option).
+	PreFilters []RawPrefilter
+	// Factory overrides the default warehouse file reader (set by Maxson's
+	// plan modifier). When nil, the engine builds a default factory.
+	Factory ScanSourceFactory
+	// schema is filled at plan time.
+	schema RowSchema
+}
+
+// Schema returns the scan's output schema.
+func (s *ScanNode) Schema() RowSchema { return s.schema }
+
+// SetSchema installs the output schema (used by plan modifiers that change
+// the scan's output shape).
+func (s *ScanNode) SetSchema(schema RowSchema) { s.schema = schema }
+
+// PhysicalPlan is the executable form of one SELECT. The executor runs the
+// scan (and join build) partitions in parallel, then the serial tail.
+type PhysicalPlan struct {
+	Scan *ScanNode
+
+	// Join, when non-nil, hash-joins Scan (probe side) with Build.
+	Join *JoinNode
+
+	// Filter is the bound WHERE predicate over the combined input schema
+	// (after join, before aggregation); nil when absent.
+	Filter Expr
+
+	// GroupBy keys and extracted aggregates; empty GroupBy with non-empty
+	// Aggs is a global aggregation.
+	GroupBy []Expr
+	Aggs    []*Aggregate
+
+	// Having filters groups post-aggregation (bound against the
+	// [group keys..., agg values...] intermediate row).
+	Having Expr
+
+	// Items are the output projections. In aggregate plans they are bound
+	// against [group keys..., agg values...]; otherwise against the input
+	// schema.
+	Items []SelectItem
+
+	// OrderBy/Limit/Distinct are applied last, in that order (Distinct is
+	// applied before Sort, matching SparkSQL).
+	OrderBy  []OrderItem
+	Limit    int
+	Distinct bool
+
+	// InputSchema is the schema filters and projections are bound against
+	// (scan schema, or joined schema).
+	InputSchema RowSchema
+	// OutputSchema names the result columns.
+	OutputSchema RowSchema
+
+	// aggregate indicates the aggregation path is active.
+	aggregate bool
+}
+
+// JoinNode describes a hash equi-join.
+type JoinNode struct {
+	Build *ScanNode // right side, materialized into a hash table
+	// LeftKeys/RightKeys are bound key expressions; LeftKeys bind against
+	// the probe scan schema, RightKeys against the build scan schema.
+	LeftKeys  []Expr
+	RightKeys []Expr
+}
+
+// String renders a plan outline for diagnostics and the Fig 9-style
+// plan-comparison output.
+func (p *PhysicalPlan) String() string {
+	out := ""
+	if p.Limit >= 0 {
+		out += fmt.Sprintf("Limit %d\n", p.Limit)
+	}
+	for _, o := range p.OrderBy {
+		dir := "ASC"
+		if o.Desc {
+			dir = "DESC"
+		}
+		out += fmt.Sprintf("Sort %s %s\n", o.Expr.String(), dir)
+	}
+	if p.Distinct {
+		out += "Distinct\n"
+	}
+	if p.Having != nil {
+		out += "Having " + p.Having.String() + "\n"
+	}
+	if p.aggregate {
+		out += "Aggregate ["
+		for i, g := range p.GroupBy {
+			if i > 0 {
+				out += ", "
+			}
+			out += g.String()
+		}
+		out += "] aggs=["
+		for i, a := range p.Aggs {
+			if i > 0 {
+				out += ", "
+			}
+			out += a.String()
+		}
+		out += "]\n"
+	}
+	out += "Project ["
+	for i, it := range p.Items {
+		if i > 0 {
+			out += ", "
+		}
+		if it.Star {
+			out += "*"
+		} else {
+			out += it.OutputName()
+		}
+	}
+	out += "]\n"
+	if p.Filter != nil {
+		out += "Filter " + p.Filter.String() + "\n"
+	}
+	if p.Join != nil {
+		out += fmt.Sprintf("HashJoin build=%s.%s\n", p.Join.Build.DB, p.Join.Build.Table)
+	}
+	out += fmt.Sprintf("Scan %s.%s cols=%v", p.Scan.DB, p.Scan.Table, p.Scan.Columns)
+	if p.Scan.SARG != nil {
+		out += " sarg=(" + p.Scan.SARG.String() + ")"
+	}
+	if len(p.Scan.PreFilters) > 0 {
+		out += " prefilters=["
+		for i, pf := range p.Scan.PreFilters {
+			if i > 0 {
+				out += ", "
+			}
+			out += pf.Column + "~" + pf.Needle
+		}
+		out += "]"
+	}
+	if p.Scan.Factory != nil {
+		out += " source=custom"
+	}
+	return out
+}

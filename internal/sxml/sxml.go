@@ -1,0 +1,387 @@
+// Package sxml extends the reproduction to XML, the other semi-structured
+// format the paper names when noting that "Maxson's pre-caching technique
+// can also be applied to other data formats, such as XML" (§VI).
+//
+// It provides a small, dependency-free XML parser and a canonical mapping
+// into the sjson document model, so XML payloads flow through the existing
+// JSONPath collector, predictor, cacher, and combiner unchanged:
+//
+//   - an element becomes an object;
+//   - attributes become members named "@attr";
+//   - character data becomes the "#text" member (or the element collapses
+//     to a plain string when it has no attributes or children);
+//   - repeated child elements fold into an array.
+//
+// With that mapping, the XML document
+//
+//	<order id="7"><item sku="a1">2</item><item sku="b2">5</item></order>
+//
+// is queryable as get_json_object(col, '$.order.item[1].@sku').
+package sxml
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sjson"
+)
+
+// SyntaxError reports malformed XML.
+type SyntaxError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sxml: syntax error at offset %d: %s", e.Offset, e.Msg)
+}
+
+// Node is one parsed XML element.
+type Node struct {
+	Name     string
+	Attrs    []Attr
+	Children []*Node
+	Text     string // concatenated character data directly inside this element
+}
+
+// Attr is one attribute.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// parser holds scan state.
+type parser struct {
+	data []byte
+	pos  int
+}
+
+// Parse parses one XML document (prolog and comments tolerated) and
+// returns its root element.
+func Parse(data []byte) (*Node, error) {
+	p := &parser{data: data}
+	p.skipMisc()
+	root, err := p.parseElement()
+	if err != nil {
+		return nil, err
+	}
+	p.skipMisc()
+	if p.pos != len(p.data) {
+		return nil, p.errf("unexpected trailing content")
+	}
+	return root, nil
+}
+
+// ParseString is Parse for string input.
+func ParseString(s string) (*Node, error) { return Parse([]byte(s)) }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// skipMisc skips whitespace, the XML prolog, comments, and DOCTYPE.
+func (p *parser) skipMisc() {
+	for {
+		p.skipSpace()
+		switch {
+		case p.hasPrefix("<?"):
+			end := strings.Index(string(p.data[p.pos:]), "?>")
+			if end < 0 {
+				p.pos = len(p.data)
+				return
+			}
+			p.pos += end + 2
+		case p.hasPrefix("<!--"):
+			end := strings.Index(string(p.data[p.pos:]), "-->")
+			if end < 0 {
+				p.pos = len(p.data)
+				return
+			}
+			p.pos += end + 3
+		case p.hasPrefix("<!DOCTYPE"):
+			end := strings.IndexByte(string(p.data[p.pos:]), '>')
+			if end < 0 {
+				p.pos = len(p.data)
+				return
+			}
+			p.pos += end + 1
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) hasPrefix(s string) bool {
+	return p.pos+len(s) <= len(p.data) && string(p.data[p.pos:p.pos+len(s)]) == s
+}
+
+func isNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':'
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9' || c == '-' || c == '.'
+}
+
+func (p *parser) parseName() (string, error) {
+	start := p.pos
+	if p.pos >= len(p.data) || !isNameStart(p.data[p.pos]) {
+		return "", p.errf("expected name")
+	}
+	for p.pos < len(p.data) && isNameChar(p.data[p.pos]) {
+		p.pos++
+	}
+	return string(p.data[start:p.pos]), nil
+}
+
+func (p *parser) parseElement() (*Node, error) {
+	if p.pos >= len(p.data) || p.data[p.pos] != '<' {
+		return nil, p.errf("expected '<'")
+	}
+	p.pos++
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	node := &Node{Name: name}
+
+	// Attributes.
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return nil, p.errf("unterminated start tag <%s", name)
+		}
+		if p.data[p.pos] == '/' {
+			if p.pos+1 >= len(p.data) || p.data[p.pos+1] != '>' {
+				return nil, p.errf("malformed empty-element tag")
+			}
+			p.pos += 2
+			return node, nil
+		}
+		if p.data[p.pos] == '>' {
+			p.pos++
+			break
+		}
+		attrName, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.data) || p.data[p.pos] != '=' {
+			return nil, p.errf("expected '=' after attribute %s", attrName)
+		}
+		p.pos++
+		p.skipSpace()
+		val, err := p.parseAttrValue()
+		if err != nil {
+			return nil, err
+		}
+		node.Attrs = append(node.Attrs, Attr{Name: attrName, Value: val})
+	}
+
+	// Content.
+	var text strings.Builder
+	for {
+		if p.pos >= len(p.data) {
+			return nil, p.errf("unterminated element <%s>", name)
+		}
+		if p.data[p.pos] == '<' {
+			switch {
+			case p.hasPrefix("</"):
+				p.pos += 2
+				endName, err := p.parseName()
+				if err != nil {
+					return nil, err
+				}
+				if endName != name {
+					return nil, p.errf("mismatched end tag </%s>, open element is <%s>", endName, name)
+				}
+				p.skipSpace()
+				if p.pos >= len(p.data) || p.data[p.pos] != '>' {
+					return nil, p.errf("malformed end tag")
+				}
+				p.pos++
+				node.Text = strings.TrimSpace(text.String())
+				return node, nil
+			case p.hasPrefix("<!--"):
+				end := strings.Index(string(p.data[p.pos:]), "-->")
+				if end < 0 {
+					return nil, p.errf("unterminated comment")
+				}
+				p.pos += end + 3
+			case p.hasPrefix("<![CDATA["):
+				p.pos += len("<![CDATA[")
+				end := strings.Index(string(p.data[p.pos:]), "]]>")
+				if end < 0 {
+					return nil, p.errf("unterminated CDATA")
+				}
+				text.Write(p.data[p.pos : p.pos+end])
+				p.pos += end + 3
+			default:
+				child, err := p.parseElement()
+				if err != nil {
+					return nil, err
+				}
+				node.Children = append(node.Children, child)
+			}
+			continue
+		}
+		// Character data up to the next '<'.
+		start := p.pos
+		for p.pos < len(p.data) && p.data[p.pos] != '<' {
+			p.pos++
+		}
+		chunk, err := unescapeText(string(p.data[start:p.pos]))
+		if err != nil {
+			p.pos = start
+			return nil, p.errf("%v", err)
+		}
+		text.WriteString(chunk)
+	}
+}
+
+func (p *parser) parseAttrValue() (string, error) {
+	if p.pos >= len(p.data) || (p.data[p.pos] != '"' && p.data[p.pos] != '\'') {
+		return "", p.errf("expected quoted attribute value")
+	}
+	quote := p.data[p.pos]
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.data) && p.data[p.pos] != quote {
+		p.pos++
+	}
+	if p.pos >= len(p.data) {
+		return "", p.errf("unterminated attribute value")
+	}
+	raw := string(p.data[start:p.pos])
+	p.pos++
+	return unescapeText(raw)
+}
+
+// unescapeText resolves the five predefined entities plus numeric
+// character references.
+func unescapeText(s string) (string, error) {
+	if !strings.ContainsRune(s, '&') {
+		return s, nil
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			sb.WriteByte(s[i])
+			i++
+			continue
+		}
+		end := strings.IndexByte(s[i:], ';')
+		if end < 0 {
+			return "", fmt.Errorf("unterminated entity")
+		}
+		ent := s[i+1 : i+end]
+		switch {
+		case ent == "lt":
+			sb.WriteByte('<')
+		case ent == "gt":
+			sb.WriteByte('>')
+		case ent == "amp":
+			sb.WriteByte('&')
+		case ent == "quot":
+			sb.WriteByte('"')
+		case ent == "apos":
+			sb.WriteByte('\'')
+		case strings.HasPrefix(ent, "#x") || strings.HasPrefix(ent, "#X"):
+			var r rune
+			if _, err := fmt.Sscanf(ent[2:], "%x", &r); err != nil {
+				return "", fmt.Errorf("bad character reference &%s;", ent)
+			}
+			sb.WriteRune(r)
+		case strings.HasPrefix(ent, "#"):
+			var r rune
+			if _, err := fmt.Sscanf(ent[1:], "%d", &r); err != nil {
+				return "", fmt.Errorf("bad character reference &%s;", ent)
+			}
+			sb.WriteRune(r)
+		default:
+			return "", fmt.Errorf("unknown entity &%s;", ent)
+		}
+		i += end + 1
+	}
+	return sb.String(), nil
+}
+
+// ---- canonical JSON mapping ----
+
+// ToJSON converts a parsed element into the canonical sjson value described
+// in the package comment. The root element becomes a one-member object
+// keyed by its name, so paths read naturally: $.order.item[0].
+func ToJSON(root *Node) *sjson.Value {
+	obj := sjson.Object()
+	obj.Set(root.Name, nodeValue(root))
+	return obj
+}
+
+// ConvertString parses XML text and serializes its canonical JSON — the
+// ingest-time transformation that lets XML payloads use the entire JSON
+// caching pipeline.
+func ConvertString(xml string) (string, error) {
+	root, err := ParseString(xml)
+	if err != nil {
+		return "", err
+	}
+	return sjson.Serialize(ToJSON(root)), nil
+}
+
+func nodeValue(n *Node) *sjson.Value {
+	// Leaf with no attributes collapses to its text.
+	if len(n.Attrs) == 0 && len(n.Children) == 0 {
+		return sjson.String(n.Text)
+	}
+	obj := sjson.Object()
+	for _, a := range n.Attrs {
+		obj.Set("@"+a.Name, sjson.String(a.Value))
+	}
+	if n.Text != "" {
+		obj.Set("#text", sjson.String(n.Text))
+	}
+	// Group children by name; repeats fold into arrays in first-seen order.
+	byName := map[string][]*Node{}
+	var order []string
+	for _, c := range n.Children {
+		if _, seen := byName[c.Name]; !seen {
+			order = append(order, c.Name)
+		}
+		byName[c.Name] = append(byName[c.Name], c)
+	}
+	for _, name := range order {
+		group := byName[name]
+		if len(group) == 1 {
+			obj.Set(name, nodeValue(group[0]))
+			continue
+		}
+		arr := sjson.Array()
+		for _, c := range group {
+			arr.Append(nodeValue(c))
+		}
+		obj.Set(name, arr)
+	}
+	return obj
+}

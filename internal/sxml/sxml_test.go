@@ -1,0 +1,184 @@
+package sxml
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/jsonpath"
+	"repro/internal/sjson"
+)
+
+const orderXML = `<?xml version="1.0"?>
+<!-- daily order log -->
+<order id="7" region="eu">
+	<customer>ACME</customer>
+	<item sku="a1" qty="2">apple</item>
+	<item sku="b2" qty="5">banana</item>
+	<total>12.50</total>
+</order>`
+
+func TestParseBasics(t *testing.T) {
+	root, err := ParseString(orderXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Name != "order" {
+		t.Fatalf("root = %q", root.Name)
+	}
+	if v, ok := root.Attr("id"); !ok || v != "7" {
+		t.Errorf("id attr = %q, %v", v, ok)
+	}
+	if _, ok := root.Attr("missing"); ok {
+		t.Error("missing attr reported present")
+	}
+	if len(root.Children) != 4 {
+		t.Fatalf("children = %d", len(root.Children))
+	}
+	if root.Children[0].Text != "ACME" {
+		t.Errorf("customer = %q", root.Children[0].Text)
+	}
+	if sku, _ := root.Children[2].Attr("sku"); sku != "b2" {
+		t.Errorf("second item sku = %q", sku)
+	}
+}
+
+func TestParseSelfClosingAndNesting(t *testing.T) {
+	root, err := ParseString(`<a><b/><c x="1"/><d><e>deep</e></d></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Children) != 3 {
+		t.Fatalf("children = %d", len(root.Children))
+	}
+	if root.Children[2].Children[0].Text != "deep" {
+		t.Error("nesting broken")
+	}
+}
+
+func TestEntitiesAndCDATA(t *testing.T) {
+	root, err := ParseString(`<m a="&lt;&amp;&gt;">x &quot;y&apos; &#65;&#x42;<![CDATA[<raw&>]]></m>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := root.Attr("a"); v != "<&>" {
+		t.Errorf("attr entities = %q", v)
+	}
+	if root.Text != `x "y' AB<raw&>` {
+		t.Errorf("text = %q", root.Text)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "<", "<a>", "<a></b>", "<a b></a>", `<a b="x></a>`, "plain",
+		"<a>&unknown;</a>", "<a><b></a></b>", "<a/><b/>", "<a>&#zz;</a>",
+	}
+	for _, in := range bad {
+		if _, err := ParseString(in); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestToJSONMapping(t *testing.T) {
+	root, err := ParseString(orderXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ToJSON(root)
+	cases := []struct{ path, want string }{
+		{"$.order.@id", "7"},
+		{"$.order.@region", "eu"},
+		{"$.order.customer", "ACME"},
+		{"$.order.item[0].@sku", "a1"},
+		{"$.order.item[1].@qty", "5"},
+		{"$.order.item[1].#text", "banana"},
+		{"$.order.total", "12.50"},
+	}
+	for _, c := range cases {
+		p := jsonpath.MustCompile(c.path)
+		got := p.Eval(v)
+		if got.IsNull() || got.Scalar() != c.want {
+			t.Errorf("%s = %v, want %q", c.path, got.Scalar(), c.want)
+		}
+	}
+}
+
+func TestConvertString(t *testing.T) {
+	out, err := ConvertString(`<log lvl="info"><msg>ok</msg></log>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := sjson.ParseString(out)
+	if err != nil {
+		t.Fatalf("conversion produced invalid JSON: %v\n%s", err, out)
+	}
+	if got := jsonpath.MustCompile("$.log.@lvl").Eval(v).Scalar(); got != "info" {
+		t.Errorf("@lvl = %q", got)
+	}
+	if _, err := ConvertString("<broken"); err == nil {
+		t.Error("bad XML should error")
+	}
+}
+
+func TestSingleChildStaysScalar(t *testing.T) {
+	out, err := ConvertString(`<r><only>1</only></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"only":"1"`) {
+		t.Errorf("single child should not become an array: %s", out)
+	}
+}
+
+// Property: ConvertString output always parses as JSON, for generated
+// element trees with assorted attributes/text.
+func TestQuickConversionAlwaysValidJSON(t *testing.T) {
+	names := []string{"a", "bee", "c1", "data-x"}
+	texts := []string{"", "hello", "x < y > z & q", `"quoted"`, "123"}
+	f := func(seed int64) bool {
+		rng := seed
+		next := func(n int64) int64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := rng % n
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		var build func(depth int) string
+		build = func(depth int) string {
+			name := names[next(int64(len(names)))]
+			var sb strings.Builder
+			sb.WriteByte('<')
+			sb.WriteString(name)
+			if next(2) == 0 {
+				sb.WriteString(` k="` + escape(texts[next(int64(len(texts)))]) + `"`)
+			}
+			sb.WriteByte('>')
+			n := next(3)
+			for i := int64(0); i < n && depth > 0; i++ {
+				sb.WriteString(build(depth - 1))
+			}
+			sb.WriteString(escape(texts[next(int64(len(texts)))]))
+			sb.WriteString("</" + name + ">")
+			return sb.String()
+		}
+		doc := build(3)
+		out, err := ConvertString(doc)
+		if err != nil {
+			return false
+		}
+		_, err = sjson.ParseString(out)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}

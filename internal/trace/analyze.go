@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/pathkey"
+)
+
+// UpdateHourHistogram counts table updates per hour of day — Fig 2.
+func (t *Trace) UpdateHourHistogram() [24]int {
+	var hist [24]int
+	for _, u := range t.Updates {
+		hist[u.Time.UTC().Hour()]++
+	}
+	return hist
+}
+
+// PathQueryCount is one row of the Fig 4 distribution.
+type PathQueryCount struct {
+	Key     pathkey.Key
+	Queries int
+}
+
+// PathQueryCounts returns, per JSONPath, the number of queries that
+// reference it, sorted descending — Fig 4.
+func (t *Trace) PathQueryCounts() []PathQueryCount {
+	counts := make(map[pathkey.Key]int)
+	for _, q := range t.Queries {
+		seen := make(map[pathkey.Key]bool, len(q.Paths))
+		for _, p := range q.Paths {
+			if !seen[p] {
+				seen[p] = true
+				counts[p]++
+			}
+		}
+	}
+	out := make([]PathQueryCount, 0, len(counts))
+	for k, c := range counts {
+		out = append(out, PathQueryCount{Key: k, Queries: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Queries != out[j].Queries {
+			return out[i].Queries > out[j].Queries
+		}
+		return pathkey.Less(out[i].Key, out[j].Key)
+	})
+	return out
+}
+
+// MeanQueriesPerPath returns the average number of queries referencing each
+// accessed path (the paper reports ~14).
+func (t *Trace) MeanQueriesPerPath() float64 {
+	counts := t.PathQueryCounts()
+	if len(counts) == 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range counts {
+		total += c.Queries
+	}
+	return float64(total) / float64(len(counts))
+}
+
+// TrafficConcentration reports the smallest fraction of paths (by
+// popularity rank) that carries at least the given fraction of parse
+// traffic. The paper: 27% of paths carry 89% of traffic.
+func (t *Trace) TrafficConcentration(trafficFrac float64) (pathFrac float64) {
+	counts := t.PathQueryCounts()
+	total := 0
+	for _, c := range counts {
+		total += c.Queries
+	}
+	if total == 0 {
+		return 0
+	}
+	acc := 0
+	for i, c := range counts {
+		acc += c.Queries
+		if float64(acc) >= trafficFrac*float64(total) {
+			return float64(i+1) / float64(len(counts))
+		}
+	}
+	return 1
+}
+
+// RecurrenceStats summarizes temporal correlation (§II-D1).
+type RecurrenceStats struct {
+	Total         int
+	Recurring     int
+	RecurringFrac float64
+	DistinctUsers int
+}
+
+// Recurrence computes the fraction of recurring queries.
+func (t *Trace) Recurrence() RecurrenceStats {
+	var s RecurrenceStats
+	users := map[int]bool{}
+	for _, q := range t.Queries {
+		s.Total++
+		if q.Recurring {
+			s.Recurring++
+		}
+		users[q.User] = true
+	}
+	s.DistinctUsers = len(users)
+	if s.Total > 0 {
+		s.RecurringFrac = float64(s.Recurring) / float64(s.Total)
+	}
+	return s
+}
+
+// DupParseStats measures how much parse traffic is redundant: a parse of
+// path p on day d is redundant when p was already parsed earlier the same
+// day by another query (the paper: 89% of parsing traffic is repetitive).
+func (t *Trace) DupParseStats() (total, redundant int) {
+	type dayPath struct {
+		day  int
+		path pathkey.Key
+	}
+	seen := map[dayPath]bool{}
+	for _, q := range t.Queries {
+		day := int(q.Time.Sub(t.Start).Hours() / 24)
+		for _, p := range q.Paths {
+			total++
+			k := dayPath{day, p}
+			if seen[k] {
+				redundant++
+			}
+			seen[k] = true
+		}
+	}
+	return total, redundant
+}
+
+// CountMatrix returns per-path daily access counts: result[key][d] is the
+// number of times key was parsed on day d. This is the JSONPath Collector's
+// statistics table and the predictor's raw input.
+func (t *Trace) CountMatrix() map[pathkey.Key][]int {
+	m := make(map[pathkey.Key][]int)
+	for _, q := range t.Queries {
+		day := int(q.Time.Sub(t.Start).Hours() / 24)
+		if day < 0 || day >= t.Days {
+			continue
+		}
+		for _, p := range q.Paths {
+			counts, ok := m[p]
+			if !ok {
+				counts = make([]int, t.Days)
+				m[p] = counts
+			}
+			counts[day]++
+		}
+	}
+	return m
+}
+
+// SortedKeys returns the count-matrix keys in deterministic order.
+func SortedKeys(m map[pathkey.Key][]int) []pathkey.Key {
+	keys := make([]pathkey.Key, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return pathkey.Less(keys[i], keys[j]) })
+	return keys
+}

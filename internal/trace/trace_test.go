@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/pathkey"
+)
+
+func genSmall(t *testing.T) *Trace {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Days = 30
+	cfg.Users = 30
+	cfg.Tables = 20
+	return Generate(cfg)
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig())
+	b := Generate(DefaultConfig())
+	if len(a.Queries) != len(b.Queries) || len(a.Updates) != len(b.Updates) {
+		t.Fatal("same seed produced different traces")
+	}
+	for i := range a.Queries {
+		if !a.Queries[i].Time.Equal(b.Queries[i].Time) || len(a.Queries[i].Paths) != len(b.Queries[i].Paths) {
+			t.Fatalf("query %d differs between runs", i)
+		}
+	}
+}
+
+func TestRecurringFractionMatchesPaper(t *testing.T) {
+	tr := genSmall(t)
+	s := tr.Recurrence()
+	if s.Total == 0 {
+		t.Fatal("no queries generated")
+	}
+	// The paper reports 82% recurring; the generator should land nearby.
+	if s.RecurringFrac < 0.70 || s.RecurringFrac > 0.97 {
+		t.Errorf("recurring fraction = %.3f, want near 0.82", s.RecurringFrac)
+	}
+	if s.DistinctUsers < 10 {
+		t.Errorf("distinct users = %d", s.DistinctUsers)
+	}
+}
+
+func TestUpdateHistogramNoonHeavy(t *testing.T) {
+	tr := genSmall(t)
+	hist := tr.UpdateHourHistogram()
+	noon := hist[11] + hist[12] + hist[13]
+	midnight := hist[23] + hist[0] + hist[1]
+	if noon <= midnight*3 {
+		t.Errorf("noon updates (%d) should dwarf midnight updates (%d)", noon, midnight)
+	}
+	total := 0
+	for _, h := range hist {
+		total += h
+	}
+	if total != len(tr.Updates) {
+		t.Errorf("histogram total %d != updates %d", total, len(tr.Updates))
+	}
+}
+
+func TestPowerLawConcentration(t *testing.T) {
+	tr := genSmall(t)
+	frac := tr.TrafficConcentration(0.89)
+	// The paper: 89% of traffic on 27% of paths. Synthetic should be in the
+	// same regime — strongly concentrated.
+	if frac <= 0 || frac > 0.45 {
+		t.Errorf("89%% of traffic on %.1f%% of paths; want strong concentration (~27%%)", frac*100)
+	}
+	if mean := tr.MeanQueriesPerPath(); mean < 3 {
+		t.Errorf("mean queries per path = %.1f, want >> 1", mean)
+	}
+}
+
+func TestDupParseStats(t *testing.T) {
+	tr := genSmall(t)
+	total, redundant := tr.DupParseStats()
+	if total == 0 {
+		t.Fatal("no parse events")
+	}
+	frac := float64(redundant) / float64(total)
+	// The paper reports 89% redundant parse traffic; require the synthetic
+	// workload to be clearly redundancy-dominated.
+	if frac < 0.5 {
+		t.Errorf("redundant parse fraction = %.3f, want > 0.5", frac)
+	}
+}
+
+func TestCountMatrixConsistent(t *testing.T) {
+	tr := genSmall(t)
+	m := tr.CountMatrix()
+	if len(m) == 0 {
+		t.Fatal("empty count matrix")
+	}
+	// Sum over the matrix equals total path references within the window.
+	sum := 0
+	for _, counts := range m {
+		if len(counts) != tr.Days {
+			t.Fatalf("counts length %d != days %d", len(counts), tr.Days)
+		}
+		for _, c := range counts {
+			sum += c
+		}
+	}
+	refs := 0
+	for _, q := range tr.Queries {
+		day := int(q.Time.Sub(tr.Start).Hours() / 24)
+		if day >= 0 && day < tr.Days {
+			refs += len(q.Paths)
+		}
+	}
+	if sum != refs {
+		t.Errorf("matrix sum %d != path references %d", sum, refs)
+	}
+}
+
+func TestSortedKeysStable(t *testing.T) {
+	m := map[pathkey.Key][]int{
+		{DB: "b", Table: "t", Column: "c", Path: "$.x"}: nil,
+		{DB: "a", Table: "t", Column: "c", Path: "$.y"}: nil,
+		{DB: "a", Table: "t", Column: "c", Path: "$.x"}: nil,
+	}
+	keys := SortedKeys(m)
+	if keys[0].DB != "a" || keys[0].Path != "$.x" || keys[2].DB != "b" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestQueriesSpreadOverDays(t *testing.T) {
+	tr := genSmall(t)
+	days := map[int]int{}
+	for _, q := range tr.Queries {
+		days[int(q.Time.Sub(tr.Start).Hours()/24)]++
+	}
+	// Daily recurring templates should give activity on most days.
+	if len(days) < tr.Days*3/4 {
+		t.Errorf("queries on only %d of %d days", len(days), tr.Days)
+	}
+}
+
+func TestPathKeySanitized(t *testing.T) {
+	k := pathkey.Key{DB: "db", Table: "t", Column: "payload", Path: "$.store.fruit[0]['odd name']"}
+	s := k.Sanitized()
+	for _, c := range s {
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+		if !ok {
+			t.Fatalf("Sanitized contains %q: %s", c, s)
+		}
+	}
+	if s != "payload__store_fruit_0_odd_name" {
+		t.Errorf("Sanitized = %q", s)
+	}
+}

@@ -1,0 +1,363 @@
+// Package warehouse implements the Hive-like metastore and table storage
+// the paper's queries run against: databases contain tables, a table is a
+// directory of ORC part files on the distributed file system, JSON payloads
+// are stored in STRING columns, and every table tracks the modification
+// time that Maxson's cache-validity check compares against.
+//
+// Data loading follows the production pattern from the paper's §II-B: new
+// data arrives as whole part files appended to the table directory (daily
+// loads), previously appended files are almost never rewritten, and each
+// part file is treated as one input split so downstream cache files can
+// align file-by-file.
+package warehouse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/dfs"
+	"repro/internal/orc"
+	"repro/internal/simtime"
+)
+
+// Common errors.
+var (
+	ErrNoSuchDatabase = errors.New("warehouse: no such database")
+	ErrNoSuchTable    = errors.New("warehouse: no such table")
+	ErrTableExists    = errors.New("warehouse: table already exists")
+)
+
+// Warehouse is the metastore plus its backing file system.
+type Warehouse struct {
+	fs    *dfs.FS
+	clock simtime.Clock
+	root  string
+
+	mu     sync.RWMutex
+	tables map[string]*tableMeta // key: db.table
+	dbs    map[string]bool
+	orcOpt orc.WriterOptions
+}
+
+type tableMeta struct {
+	db, name string
+	schema   orc.Schema
+	dir      string
+	nextPart int
+	// modTime moves on every change; rewriteTime only when previously
+	// appended data is modified. Daily appends leave rewriteTime alone —
+	// the distinction Maxson's cache-validity check relies on, since the
+	// cache stays correct for the part files it covers (new files are
+	// simply not covered yet) but is silently wrong after a rewrite.
+	modTime     time.Time
+	rewriteTime time.Time
+	createdAt   time.Time
+}
+
+// Option configures a Warehouse.
+type Option func(*Warehouse)
+
+// WithClock sets the clock used for table modification times.
+func WithClock(c simtime.Clock) Option {
+	return func(w *Warehouse) {
+		if c != nil {
+			w.clock = c
+		}
+	}
+}
+
+// WithWriterOptions sets the ORC layout used for part files.
+func WithWriterOptions(o orc.WriterOptions) Option {
+	return func(w *Warehouse) { w.orcOpt = o }
+}
+
+// New creates a warehouse rooted at /warehouse on fs.
+func New(fs *dfs.FS, opts ...Option) *Warehouse {
+	w := &Warehouse{
+		fs:     fs,
+		clock:  simtime.Real{},
+		root:   "/warehouse",
+		tables: make(map[string]*tableMeta),
+		dbs:    make(map[string]bool),
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	return w
+}
+
+// FS exposes the backing file system (read-mostly; the cacher writes its
+// cache tables through the warehouse API instead).
+func (w *Warehouse) FS() *dfs.FS { return w.fs }
+
+// Clock returns the warehouse clock.
+func (w *Warehouse) Clock() simtime.Clock { return w.clock }
+
+// WriterOptions returns the ORC layout part files are written with.
+func (w *Warehouse) WriterOptions() orc.WriterOptions { return w.orcOpt }
+
+func key(db, table string) string { return db + "." + table }
+
+// CreateDatabase registers a database; creating it twice is a no-op.
+func (w *Warehouse) CreateDatabase(db string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.dbs[db] = true
+}
+
+// CreateTable registers a table with the given schema.
+func (w *Warehouse) CreateTable(db, table string, schema orc.Schema) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.dbs[db] {
+		return fmt.Errorf("%w: %s", ErrNoSuchDatabase, db)
+	}
+	k := key(db, table)
+	if _, ok := w.tables[k]; ok {
+		return fmt.Errorf("%w: %s", ErrTableExists, k)
+	}
+	now := w.clock.Now()
+	w.tables[k] = &tableMeta{
+		db: db, name: table,
+		schema:    schema,
+		dir:       fmt.Sprintf("%s/%s/%s", w.root, db, table),
+		modTime:   now,
+		createdAt: now,
+	}
+	return nil
+}
+
+// DropTable removes a table and its files.
+func (w *Warehouse) DropTable(db, table string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	k := key(db, table)
+	tm, ok := w.tables[k]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchTable, k)
+	}
+	w.fs.DeleteDir(tm.dir)
+	delete(w.tables, k)
+	return nil
+}
+
+// TableExists reports whether the table is registered.
+func (w *Warehouse) TableExists(db, table string) bool {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	_, ok := w.tables[key(db, table)]
+	return ok
+}
+
+// ListTables lists a database's tables sorted by name.
+func (w *Warehouse) ListTables(db string) []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var out []string
+	for _, tm := range w.tables {
+		if tm.db == db {
+			out = append(out, tm.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TableInfo is a read-only snapshot of table metadata.
+type TableInfo struct {
+	DB      string
+	Name    string
+	Schema  orc.Schema
+	Dir     string
+	Files   []string // part files, sorted: the split order
+	ModTime time.Time
+	NumRows int64
+}
+
+// Table returns a snapshot of table metadata (files sorted in split order).
+func (w *Warehouse) Table(db, table string) (*TableInfo, error) {
+	w.mu.RLock()
+	tm, ok := w.tables[key(db, table)]
+	w.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, key(db, table))
+	}
+	files := w.fs.List(tm.dir)
+	var rows int64
+	for _, f := range files {
+		if r, err := w.openFile(f); err == nil {
+			rows += r.NumRows()
+		}
+	}
+	return &TableInfo{
+		DB: db, Name: table,
+		Schema:  tm.schema,
+		Dir:     tm.dir,
+		Files:   files,
+		ModTime: tm.modTime,
+		NumRows: rows,
+	}, nil
+}
+
+// ModTime returns the table's last modification time (Algorithm 1 compares
+// this with the cache population time).
+func (w *Warehouse) ModTime(db, table string) (time.Time, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	tm, ok := w.tables[key(db, table)]
+	if !ok {
+		return time.Time{}, fmt.Errorf("%w: %s", ErrNoSuchTable, key(db, table))
+	}
+	return tm.modTime, nil
+}
+
+// AppendRows writes rows as a new part file of the table (the daily-load
+// pattern) and returns the file path. It bumps the table modification time.
+func (w *Warehouse) AppendRows(db, table string, rows [][]datum.Datum) (string, error) {
+	w.mu.Lock()
+	tm, ok := w.tables[key(db, table)]
+	if !ok {
+		w.mu.Unlock()
+		return "", fmt.Errorf("%w: %s", ErrNoSuchTable, key(db, table))
+	}
+	part := tm.nextPart
+	tm.nextPart++
+	schema := tm.schema
+	dir := tm.dir
+	opts := w.orcOpt
+	w.mu.Unlock()
+
+	data, err := orc.WriteRows(schema, rows, opts)
+	if err != nil {
+		return "", err
+	}
+	path := fmt.Sprintf("%s/part-%05d.orc", dir, part)
+	if err := w.fs.WriteFile(path, data); err != nil {
+		return "", err
+	}
+	w.mu.Lock()
+	tm.modTime = w.clock.Now()
+	w.mu.Unlock()
+	return path, nil
+}
+
+// RewriteFile replaces an existing part file's rows, modeling the rare
+// "previously appended data was modified" event (2% of tables in the
+// paper's study) that must invalidate caches.
+func (w *Warehouse) RewriteFile(db, table, path string, rows [][]datum.Datum) error {
+	w.mu.Lock()
+	tm, ok := w.tables[key(db, table)]
+	w.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchTable, key(db, table))
+	}
+	if !strings.HasPrefix(path, tm.dir+"/") {
+		return fmt.Errorf("warehouse: %s is not a file of %s", path, key(db, table))
+	}
+	if !w.fs.Exists(path) {
+		return fmt.Errorf("warehouse: no such part file %s", path)
+	}
+	data, err := orc.WriteRows(tm.schema, rows, w.orcOpt)
+	if err != nil {
+		return err
+	}
+	if err := w.fs.WriteFile(path, data); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	now := w.clock.Now()
+	tm.modTime = now
+	tm.rewriteTime = now
+	w.mu.Unlock()
+	return nil
+}
+
+// RewriteTime returns when previously appended data was last modified; the
+// zero time means never (appends do not count).
+func (w *Warehouse) RewriteTime(db, table string) (time.Time, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	tm, ok := w.tables[key(db, table)]
+	if !ok {
+		return time.Time{}, fmt.Errorf("%w: %s", ErrNoSuchTable, key(db, table))
+	}
+	return tm.rewriteTime, nil
+}
+
+// CreatedAt returns the table's registration time.
+func (w *Warehouse) CreatedAt(db, table string) (time.Time, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	tm, ok := w.tables[key(db, table)]
+	if !ok {
+		return time.Time{}, fmt.Errorf("%w: %s", ErrNoSuchTable, key(db, table))
+	}
+	return tm.createdAt, nil
+}
+
+// OpenFile opens one part file for reading.
+func (w *Warehouse) OpenFile(path string) (*orc.Reader, error) { return w.openFile(path) }
+
+func (w *Warehouse) openFile(path string) (*orc.Reader, error) {
+	data, err := w.fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return orc.OpenReader(data)
+}
+
+// ReadAll reads every row of selected columns across all part files, in
+// split order. It exists for tests and small tools; the query engine
+// streams per split instead.
+func (w *Warehouse) ReadAll(db, table string, columns []string) ([][]datum.Datum, error) {
+	info, err := w.Table(db, table)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]datum.Datum
+	for _, f := range info.Files {
+		r, err := w.openFile(f)
+		if err != nil {
+			return nil, err
+		}
+		cur, err := r.NewCursor(columns, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			row, err := cur.Next()
+			if err != nil {
+				return nil, err
+			}
+			if row == nil {
+				break
+			}
+			cp := make([]datum.Datum, len(row))
+			copy(cp, row)
+			out = append(out, cp)
+		}
+	}
+	return out, nil
+}
+
+// TotalBytes sums the sizes of a table's part files.
+func (w *Warehouse) TotalBytes(db, table string) (int64, error) {
+	info, err := w.Table(db, table)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, f := range info.Files {
+		sz, err := w.fs.Size(f)
+		if err != nil {
+			return 0, err
+		}
+		total += sz
+	}
+	return total, nil
+}

@@ -1,0 +1,272 @@
+package warehouse
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/dfs"
+	"repro/internal/orc"
+	"repro/internal/simtime"
+)
+
+var saleSchema = orc.Schema{Columns: []orc.Column{
+	{Name: "mall_id", Type: datum.TypeString},
+	{Name: "date", Type: datum.TypeString},
+	{Name: "sale_logs", Type: datum.TypeString},
+}}
+
+func newTestWarehouse() (*Warehouse, *simtime.Sim) {
+	clock := simtime.NewSim(time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC))
+	fs := dfs.New(dfs.WithClock(clock))
+	return New(fs, WithClock(clock)), clock
+}
+
+func saleRows(n int, date string) [][]datum.Datum {
+	rows := make([][]datum.Datum, n)
+	for i := range rows {
+		rows[i] = []datum.Datum{
+			datum.Str("0001"),
+			datum.Str(date),
+			datum.Str(fmt.Sprintf(`{"item_id":%d,"item_name":"item-%d","turnover":%d}`, i, i, i*10)),
+		}
+	}
+	return rows
+}
+
+func TestCreateAndDescribe(t *testing.T) {
+	w, _ := newTestWarehouse()
+	if err := w.CreateTable("mydb", "t", saleSchema); !errors.Is(err, ErrNoSuchDatabase) {
+		t.Errorf("CreateTable without database error = %v", err)
+	}
+	w.CreateDatabase("mydb")
+	if err := w.CreateTable("mydb", "t", saleSchema); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CreateTable("mydb", "t", saleSchema); !errors.Is(err, ErrTableExists) {
+		t.Errorf("duplicate CreateTable error = %v", err)
+	}
+	if !w.TableExists("mydb", "t") || w.TableExists("mydb", "nope") {
+		t.Error("TableExists wrong")
+	}
+	info, err := w.Table("mydb", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumRows != 0 || len(info.Files) != 0 {
+		t.Errorf("fresh table info = %+v", info)
+	}
+	if _, err := w.Table("mydb", "nope"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("missing table error = %v", err)
+	}
+}
+
+func TestAppendAndRead(t *testing.T) {
+	w, clock := newTestWarehouse()
+	w.CreateDatabase("mydb")
+	if err := w.CreateTable("mydb", "t", saleSchema); err != nil {
+		t.Fatal(err)
+	}
+	day1 := clock.Now()
+	if _, err := w.AppendRows("mydb", "t", saleRows(10, "20190101")); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(24 * time.Hour)
+	p2, err := w.AppendRows("mydb", "t", saleRows(5, "20190102"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := w.Table("mydb", "t")
+	if info.NumRows != 15 || len(info.Files) != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Files[1] != p2 {
+		t.Errorf("file order: %v", info.Files)
+	}
+	mt, _ := w.ModTime("mydb", "t")
+	if !mt.Equal(day1.Add(24 * time.Hour)) {
+		t.Errorf("ModTime = %v", mt)
+	}
+	rows, err := w.ReadAll("mydb", "t", []string{"date", "sale_logs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 || rows[0][0].S != "20190101" || rows[14][0].S != "20190102" {
+		t.Errorf("ReadAll wrong: %d rows", len(rows))
+	}
+}
+
+func TestRewriteFileBumpsModTime(t *testing.T) {
+	w, clock := newTestWarehouse()
+	w.CreateDatabase("db")
+	if err := w.CreateTable("db", "t", saleSchema); err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.AppendRows("db", "t", saleRows(3, "20190101"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := w.ModTime("db", "t")
+	clock.Advance(time.Hour)
+	if err := w.RewriteFile("db", "t", p, saleRows(4, "20190101")); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := w.ModTime("db", "t")
+	if !after.After(before) {
+		t.Error("RewriteFile did not bump ModTime")
+	}
+	info, _ := w.Table("db", "t")
+	if info.NumRows != 4 {
+		t.Errorf("rows after rewrite = %d", info.NumRows)
+	}
+	if err := w.RewriteFile("db", "t", "/elsewhere/f", nil); err == nil {
+		t.Error("RewriteFile outside table dir should error")
+	}
+	if err := w.RewriteFile("db", "t", info.Dir+"/missing.orc", nil); err == nil {
+		t.Error("RewriteFile of missing part should error")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	w, _ := newTestWarehouse()
+	w.CreateDatabase("db")
+	if err := w.CreateTable("db", "t", saleSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendRows("db", "t", saleRows(2, "20190101")); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := w.Table("db", "t")
+	if err := w.DropTable("db", "t"); err != nil {
+		t.Fatal(err)
+	}
+	if w.TableExists("db", "t") {
+		t.Error("table still exists after drop")
+	}
+	if w.FS().Exists(info.Files[0]) {
+		t.Error("part file survived DropTable")
+	}
+	if err := w.DropTable("db", "t"); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("double drop error = %v", err)
+	}
+}
+
+func TestListTables(t *testing.T) {
+	w, _ := newTestWarehouse()
+	w.CreateDatabase("db")
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if err := w.CreateTable("db", name, saleSchema); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := w.ListTables("db")
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ListTables = %v", got)
+		}
+	}
+	if len(w.ListTables("empty")) != 0 {
+		t.Error("unknown db should list nothing")
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	w, _ := newTestWarehouse()
+	w.CreateDatabase("db")
+	if err := w.CreateTable("db", "t", saleSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendRows("db", "t", saleRows(100, "20190101")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.TotalBytes("db", "t")
+	if err != nil || n <= 0 {
+		t.Errorf("TotalBytes = %d err=%v", n, err)
+	}
+}
+
+func TestSplitOrderStableAcrossAppends(t *testing.T) {
+	w, _ := newTestWarehouse()
+	w.CreateDatabase("db")
+	if err := w.CreateTable("db", "t", saleSchema); err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for i := 0; i < 12; i++ {
+		p, err := w.AppendRows("db", "t", saleRows(1, fmt.Sprintf("201901%02d", i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	info, _ := w.Table("db", "t")
+	for i := range paths {
+		if info.Files[i] != paths[i] {
+			t.Fatalf("file %d out of order: %s vs %s (zero-padded part names must sort numerically)", i, info.Files[i], paths[i])
+		}
+	}
+}
+
+func TestAccessorsAndOptions(t *testing.T) {
+	clock := simtime.NewSim(time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC))
+	fs := dfs.New(dfs.WithClock(clock))
+	opts := orc.WriterOptions{RowGroupRows: 123}
+	w := New(fs, WithClock(clock), WithWriterOptions(opts))
+	if w.Clock() != clock {
+		t.Error("Clock accessor wrong")
+	}
+	if w.WriterOptions().RowGroupRows != 123 {
+		t.Error("WriterOptions accessor wrong")
+	}
+	if w.FS() != fs {
+		t.Error("FS accessor wrong")
+	}
+}
+
+func TestRewriteAndCreatedTimes(t *testing.T) {
+	w, clock := newTestWarehouse()
+	w.CreateDatabase("db")
+	created := clock.Now()
+	if err := w.CreateTable("db", "t", saleSchema); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := w.CreatedAt("db", "t")
+	if err != nil || !ct.Equal(created) {
+		t.Errorf("CreatedAt = %v err=%v", ct, err)
+	}
+	rt, err := w.RewriteTime("db", "t")
+	if err != nil || !rt.IsZero() {
+		t.Errorf("fresh RewriteTime = %v err=%v, want zero", rt, err)
+	}
+	// Appends do not move RewriteTime.
+	clock.Advance(time.Hour)
+	p, err := w.AppendRows("db", "t", saleRows(2, "20190101"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt, _ := w.RewriteTime("db", "t"); !rt.IsZero() {
+		t.Errorf("append moved RewriteTime to %v", rt)
+	}
+	// Rewrites do.
+	clock.Advance(time.Hour)
+	if err := w.RewriteFile("db", "t", p, saleRows(2, "20190101")); err != nil {
+		t.Fatal(err)
+	}
+	if rt, _ := w.RewriteTime("db", "t"); !rt.Equal(clock.Now()) {
+		t.Errorf("RewriteTime = %v, want %v", rt, clock.Now())
+	}
+	// OpenFile works on part files.
+	r, err := w.OpenFile(p)
+	if err != nil || r.NumRows() != 2 {
+		t.Errorf("OpenFile: rows=%v err=%v", r, err)
+	}
+	if _, err := w.RewriteTime("db", "nope"); err == nil {
+		t.Error("missing table RewriteTime should error")
+	}
+	if _, err := w.CreatedAt("db", "nope"); err == nil {
+		t.Error("missing table CreatedAt should error")
+	}
+}

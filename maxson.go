@@ -1,0 +1,164 @@
+// Package maxson is the public API of this reproduction of "Maxson: Reduce
+// Duplicate Parsing Overhead on Raw Data" (Shi et al., ICDE 2020).
+//
+// Maxson is a JSONPath-result caching system for SQL-on-JSON analytics.
+// Production JSON workloads show strong temporal correlations (recurring
+// daily/weekly queries) and spatial correlations (power-law JSONPath
+// popularity), so the same JSONPaths are parsed out of the same documents
+// over and over. Instead of parsing faster, Maxson parses less: every
+// midnight it predicts which JSONPaths will be parsed at least twice the
+// next day (MPJPs) with an LSTM+CRF model, ranks them with a scoring
+// function under a storage budget, pre-parses their values into columnar
+// cache tables, and transparently rewrites query plans so cached paths read
+// from the cache instead of re-parsing JSON.
+//
+// A minimal session:
+//
+//	sys := maxson.NewSystem(maxson.SystemConfig{DefaultDB: "mydb"})
+//	sys.Warehouse().CreateDatabase("mydb")
+//	... create tables, load rows ...
+//	rs, metrics, err := sys.Query(`SELECT get_json_object(logs, '$.turnover') FROM mydb.sales`)
+//	sys.AdvanceToMidnight()
+//	report, err := sys.RunMidnightCycle() // predict + score + pre-cache
+//	rs, metrics, err = sys.Query(...)     // now served from the cache
+package maxson
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datum"
+	"repro/internal/dfs"
+	"repro/internal/orc"
+	"repro/internal/simtime"
+	"repro/internal/sqlengine"
+	"repro/internal/warehouse"
+)
+
+// Re-exported building blocks, so applications only import this package.
+type (
+	// System bundles the engine, warehouse, and the Maxson daily cycle.
+	System struct {
+		m     *core.Maxson
+		wh    *warehouse.Warehouse
+		e     *sqlengine.Engine
+		clock *simtime.Sim
+	}
+
+	// SystemConfig configures NewSystem.
+	SystemConfig struct {
+		// DefaultDB qualifies unqualified table names (default "default").
+		DefaultDB string
+		// CacheBudgetBytes caps the cache footprint (default 1 GiB).
+		CacheBudgetBytes int64
+		// Window is the predictor history window in days (default 7, the
+		// paper's best-performing setting).
+		Window int
+		// Backend selects the JSON parser for uncached paths: "jackson"
+		// (tree parser, default) or "mison" (structural index).
+		Backend string
+		// StartTime seeds the simulated clock (default 2019-01-01 UTC).
+		StartTime time.Time
+		// RowGroupRows tunes the columnar layout (default 10000).
+		RowGroupRows int
+	}
+
+	// ResultSet is a query result.
+	ResultSet = sqlengine.ResultSet
+	// Metrics is per-query work accounting (read/parse/compute phases).
+	Metrics = sqlengine.Metrics
+	// CycleReport summarizes one midnight caching cycle.
+	CycleReport = core.CycleReport
+	// Datum is a scalar value.
+	Datum = datum.Datum
+	// Schema describes table columns.
+	Schema = orc.Schema
+	// Column is one column of a schema.
+	Column = orc.Column
+)
+
+// Value type constructors and column types, re-exported.
+var (
+	Int    = datum.Int
+	Float  = datum.Float
+	Str    = datum.Str
+	Bool   = datum.Bool
+	NullOf = datum.NullOf
+)
+
+// Column types.
+const (
+	TypeInt64   = datum.TypeInt64
+	TypeFloat64 = datum.TypeFloat64
+	TypeString  = datum.TypeString
+	TypeBool    = datum.TypeBool
+)
+
+// NewSystem builds a complete in-memory Maxson deployment: a simulated
+// append-only file system, a warehouse, a SQL engine, and the Maxson
+// caching pipeline installed as the engine's plan modifier.
+func NewSystem(cfg SystemConfig) *System {
+	if cfg.DefaultDB == "" {
+		cfg.DefaultDB = "default"
+	}
+	if cfg.CacheBudgetBytes <= 0 {
+		cfg.CacheBudgetBytes = 1 << 30
+	}
+	if cfg.StartTime.IsZero() {
+		cfg.StartTime = time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	clock := simtime.NewSim(cfg.StartTime)
+	fs := dfs.New(dfs.WithClock(clock))
+	wh := warehouse.New(fs, warehouse.WithClock(clock),
+		warehouse.WithWriterOptions(orc.WriterOptions{RowGroupRows: cfg.RowGroupRows}))
+	var backend sqlengine.ParserBackend = sqlengine.JacksonBackend{}
+	if cfg.Backend == "mison" {
+		backend = sqlengine.MisonBackend{}
+	}
+	e := sqlengine.NewEngine(wh,
+		sqlengine.WithDefaultDB(cfg.DefaultDB),
+		sqlengine.WithBackend(backend))
+	m := core.New(e, core.Config{
+		BudgetBytes: cfg.CacheBudgetBytes,
+		Window:      cfg.Window,
+		DefaultDB:   cfg.DefaultDB,
+	})
+	return &System{m: m, wh: wh, e: e, clock: clock}
+}
+
+// Warehouse exposes table management: CreateDatabase, CreateTable,
+// AppendRows, and reading APIs.
+func (s *System) Warehouse() *warehouse.Warehouse { return s.wh }
+
+// Engine exposes the SQL engine directly (plans, cost model).
+func (s *System) Engine() *sqlengine.Engine { return s.e }
+
+// Core exposes the full Maxson internals (collector, registry, scorer,
+// cacher, planner) for advanced use and experiments.
+func (s *System) Core() *core.Maxson { return s.m }
+
+// Query executes SQL; JSONPath accesses are observed by the collector and,
+// after a caching cycle, served from the cache when valid.
+func (s *System) Query(sql string) (*ResultSet, *Metrics, error) {
+	return s.m.Query(sql)
+}
+
+// RunMidnightCycle trains/refreshes the predictor, predicts tomorrow's
+// MPJPs, ranks them with the scoring function, and re-populates the cache
+// under the budget.
+func (s *System) RunMidnightCycle() (*CycleReport, error) {
+	return s.m.RunMidnightCycle()
+}
+
+// AdvanceToMidnight moves the simulated clock to the next midnight (the
+// scheduled cycle time).
+func (s *System) AdvanceToMidnight() { s.m.AdvanceToMidnight() }
+
+// AdvanceClock moves the simulated clock forward.
+func (s *System) AdvanceClock(d time.Duration) { s.clock.Advance(d) }
+
+// Now returns the simulated current time.
+func (s *System) Now() time.Time { return s.clock.Now() }
+
+// CacheBytes reports the current valid cache footprint.
+func (s *System) CacheBytes() int64 { return s.m.Registry.TotalBytes() }
