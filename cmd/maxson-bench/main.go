@@ -7,14 +7,22 @@
 //	maxson-bench -exp all
 //	maxson-bench -exp fig11 -rows 500
 //	maxson-bench -exp table3 -days 60
+//	maxson-bench -exp fig12 -json            # NDJSON to stdout
+//	maxson-bench -exp all -json -out results.ndjson
 //
 // Experiments: fig2, fig3, fig4, table3, table4, fig11 (includes Table V),
 // fig12, fig13, fig14, fig15, all.
+//
+// With -json each experiment emits one NDJSON document
+// {"experiment": ..., "ran_ms": ..., "result": {...}} so downstream tooling
+// can diff runs without scraping the human-readable tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -31,6 +39,8 @@ func main() {
 	days := flag.Int("days", 60, "trace length in days for workload/model experiments")
 	seed := flag.Int64("seed", 1, "random seed")
 	epochs := flag.Int("epochs", 12, "LSTM training epochs")
+	asJSON := flag.Bool("json", false, "emit one NDJSON document per experiment instead of tables")
+	outPath := flag.String("out", "", "with -json: write NDJSON to this file instead of stdout")
 	flag.Parse()
 
 	traceCfg := trace.DefaultConfig()
@@ -76,13 +86,39 @@ func main() {
 		}
 	}
 
+	var jsonOut io.Writer
+	if *asJSON {
+		jsonOut = os.Stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			jsonOut = f
+		}
+	}
+
 	for _, name := range selected {
 		start := time.Now()
 		result, err := runners[name]()
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		fmt.Printf("==== %s (ran in %v) ====\n", name, time.Since(start).Round(time.Millisecond))
+		ran := time.Since(start)
+		if *asJSON {
+			doc := map[string]any{
+				"experiment": name,
+				"ran_ms":     ran.Milliseconds(),
+				"result":     result,
+			}
+			enc := json.NewEncoder(jsonOut)
+			if err := enc.Encode(doc); err != nil {
+				log.Fatalf("%s: encode: %v", name, err)
+			}
+			continue
+		}
+		fmt.Printf("==== %s (ran in %v) ====\n", name, ran.Round(time.Millisecond))
 		fmt.Println(result.String())
 	}
 }

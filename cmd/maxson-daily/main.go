@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"os"
 	"time"
 
 	"repro"
@@ -24,11 +26,18 @@ func main() {
 	budgetMB := flag.Int64("budget-mb", 64, "cache budget in MiB")
 	rowsPerDay := flag.Int("rows", 200, "rows loaded per table per day")
 	warmup := flag.Int("warmup", 8, "days before the first midnight cycle")
+	verbose := flag.Bool("v", false, "emit structured cycle logs to stderr")
+	metrics := flag.Bool("metrics", false, "dump the metrics registry after the run")
 	flag.Parse()
 
+	var logger *slog.Logger
+	if *verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	}
 	sys := maxson.NewSystem(maxson.SystemConfig{
 		DefaultDB:        "prod",
 		CacheBudgetBytes: *budgetMB << 20,
+		Logger:           logger,
 	})
 	wh := sys.Warehouse()
 	wh.CreateDatabase("prod")
@@ -109,6 +118,7 @@ func main() {
 		}
 
 		cycleNote := "-"
+		stageNote := ""
 		sys.AdvanceToMidnight()
 		if day >= *warmup {
 			report, err := sys.RunMidnightCycle()
@@ -116,12 +126,23 @@ func main() {
 				log.Fatal(err)
 			}
 			cycleNote = fmt.Sprintf("%d cached, %s", report.Selected, humanBytes(sys.CacheBytes()))
+			stageNote = report.StageSummary()
 		}
 		fmt.Printf("%3d | %11d | %12d | %-11v | %s\n", day, parsed, cached, simTime, cycleNote)
+		if stageNote != "" {
+			fmt.Printf("    |             |              |             | stages: %s\n", stageNote)
+		}
 	}
 
 	fmt.Println()
 	printSummary(sys)
+	if *metrics {
+		fmt.Println()
+		fmt.Println("metrics registry:")
+		if err := sys.Obs().WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 func printSummary(sys *maxson.System) {

@@ -8,6 +8,12 @@
 //	maxson-sql "SELECT get_json_object(sale_logs, '$.turnover') FROM mydb.T LIMIT 3"
 //	maxson-sql -maxson "SELECT ..."   # pre-caches all JSONPaths first
 //	maxson-sql -plan "SELECT ..."     # print the physical plan only
+//	maxson-sql -explain "SELECT ..."  # EXPLAIN ANALYZE: annotated operator tree
+//
+// With -explain -maxson the query is replayed as a recurring daily workload,
+// a real midnight cycle runs (train, predict, score, populate), and the
+// annotated tree prints before and after — the cached run shows combined
+// scans and cache reads where the first showed raw parsing.
 package main
 
 import (
@@ -24,10 +30,12 @@ import (
 func main() {
 	useMaxson := flag.Bool("maxson", false, "pre-cache the demo table's JSONPaths before running")
 	planOnly := flag.Bool("plan", false, "print the physical plan instead of executing")
+	explain := flag.Bool("explain", false, "print an EXPLAIN ANALYZE annotated operator tree")
+	replayDaysFlag := flag.Int("replay-days", 15, "with -explain -maxson: days of recurring history to replay before the cycle")
 	days := flag.Int("days", 31, "days of demo data to load")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: maxson-sql [-maxson] [-plan] \"SELECT ...\"")
+		log.Fatal("usage: maxson-sql [-maxson] [-plan] [-explain] \"SELECT ...\"")
 	}
 	sql := flag.Arg(0)
 
@@ -60,6 +68,47 @@ func main() {
 	}
 	sys.AdvanceClock(24 * time.Hour)
 
+	if *explain {
+		out, _, _, err := sys.Explain(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !*useMaxson {
+			fmt.Print(out)
+			return
+		}
+		fmt.Println("-- before midnight cycle")
+		fmt.Print(out)
+
+		// Replay the query as a recurring daily workload so the collector
+		// accumulates history, then run the real pipeline: train the
+		// predictor, predict MPJPs, score them, populate the cache.
+		for day := 0; day < *replayDaysFlag; day++ {
+			sys.AdvanceClock(10 * time.Hour) // queries run mid-day
+			for rep := 0; rep < 2; rep++ {
+				if _, _, err := sys.Query(sql); err != nil {
+					log.Fatal(err)
+				}
+			}
+			sys.AdvanceToMidnight()
+		}
+		report, err := sys.RunMidnightCycle()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n-- midnight cycle: %d candidates, %d cached (%s); stages: %s\n",
+			report.CandidateMPJP, report.Cache.PathsCached,
+			humanBytes(sys.CacheBytes()), report.StageSummary())
+
+		after, _, _, err := sys.Explain(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\n-- after midnight cycle")
+		fmt.Print(after)
+		return
+	}
+
 	if *useMaxson {
 		var profiles []*core.PathProfile
 		for _, p := range []string{"$.item_id", "$.item_name", "$.sale_count", "$.turnover", "$.price"} {
@@ -88,12 +137,20 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(rs.String())
-	bd := m.Breakdown(sys.Engine().CostModel())
-	fmt.Printf("\n-- %d rows; read %dB, parsed %d docs (%dB), %d row-ops\n",
-		len(rs.Rows), m.BytesRead.Load(), m.Parse.Docs.Load(), m.Parse.Bytes.Load(), m.RowOps.Load())
-	fmt.Printf("-- simulated: read %v + parse %v + compute %v = %v\n",
-		bd.Read, bd.Parse, bd.Compute, bd.Total())
+	fmt.Printf("\n-- %d rows; %s\n", len(rs.Rows), m)
+	fmt.Printf("-- simulated: %s\n", m.Breakdown(sys.Engine().CostModel()))
 	if n := m.CacheValuesRead.Load(); n > 0 {
 		fmt.Printf("-- served %d values from the JSONPath cache\n", n)
+	}
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
 	}
 }

@@ -75,15 +75,10 @@ func (c *Cacher) Populate(selected []*PathProfile, parseNsPerByte float64) (Cach
 
 	// Delete the generation retired during the PREVIOUS cycle: no live
 	// query can still reference it (its registry entries vanished a full
-	// cycle ago).
-	for _, t := range c.pendingDrop {
-		if c.wh.TableExists(t[0], t[1]) {
-			if err := c.wh.DropTable(t[0], t[1]); err == nil {
-				stats.Dropped++
-			}
-		}
-	}
-	c.pendingDrop = nil
+	// cycle ago). RunMidnightCycle calls DropRetired itself (so the stage
+	// is timed separately); this call is then a no-op, but keeps direct
+	// CacheSelected users correct.
+	stats.Dropped = c.DropRetired()
 
 	// Retire the current generation: remove its registry entries first so
 	// new plans stop resolving them, then queue its tables for deletion
@@ -156,6 +151,30 @@ func (c *Cacher) Populate(selected []*PathProfile, parseNsPerByte float64) (Cach
 	c.lastStats = stats
 	return stats, nil
 }
+
+// DropRetired deletes the cache tables queued for deferred deletion by the
+// previous cycle and returns how many were dropped. Populate runs it
+// implicitly; RunMidnightCycle calls it explicitly first so the
+// retire-deferred-delete stage is accounted on its own.
+func (c *Cacher) DropRetired() int {
+	dropped := 0
+	for _, t := range c.pendingDrop {
+		if c.wh.TableExists(t[0], t[1]) {
+			if err := c.wh.DropTable(t[0], t[1]); err == nil {
+				dropped++
+			}
+		}
+	}
+	c.pendingDrop = nil
+	return dropped
+}
+
+// Generation returns the number of population cycles run so far.
+func (c *Cacher) Generation() int { return c.generation }
+
+// PendingDrops returns how many retired cache tables await deferred
+// deletion at the start of the next cycle.
+func (c *Cacher) PendingDrops() int { return len(c.pendingDrop) }
 
 func maxInt(a, b int) int {
 	if a > b {

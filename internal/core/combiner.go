@@ -5,11 +5,35 @@ import (
 
 	"repro/internal/datum"
 	"repro/internal/jsonpath"
+	"repro/internal/obs"
 	"repro/internal/orc"
 	"repro/internal/sjson"
 	"repro/internal/sqlengine"
 	"repro/internal/warehouse"
 )
+
+// combinerObs holds the Value Combiner's pre-resolved registry instruments:
+// one open counter per mode plus row-level hit/miss totals. All increments
+// are lock-free atomic adds.
+type combinerObs struct {
+	opensCombined          *obs.Counter
+	opensPushdown          *obs.Counter
+	opensFallbackRetired   *obs.Counter
+	opensFallbackUncovered *obs.Counter
+	rowsStitched           *obs.Counter
+	fallbackValues         *obs.Counter
+}
+
+func newCombinerObs(r *obs.Registry) *combinerObs {
+	return &combinerObs{
+		opensCombined:          r.Counter("combiner_opens_total", obs.L{K: "mode", V: "combined"}),
+		opensPushdown:          r.Counter("combiner_opens_total", obs.L{K: "mode", V: "combined-pushdown"}),
+		opensFallbackRetired:   r.Counter("combiner_opens_total", obs.L{K: "mode", V: "fallback-retired"}),
+		opensFallbackUncovered: r.Counter("combiner_opens_total", obs.L{K: "mode", V: "fallback-uncovered"}),
+		rowsStitched:           r.Counter("combiner_rows_stitched_total"),
+		fallbackValues:         r.Counter("combiner_fallback_values_total"),
+	}
+}
 
 // CombinedScanFactory is the Value Combiner (paper §IV-E): it opens two
 // synchronized readers per split — the PrimaryReader over the raw table's
@@ -42,6 +66,9 @@ type CombinedScanFactory struct {
 	pushdown bool
 
 	schema sqlengine.RowSchema
+
+	// obsc publishes open-mode and hit/miss counters (nil = unobserved).
+	obsc *combinerObs
 }
 
 // FallbackSpec describes how to recompute one cached column from raw data.
@@ -74,6 +101,14 @@ func NewCombinedScanFactory(
 	}
 }
 
+// SetObs attaches a metrics registry; per-split open modes and row-level
+// cache hit/miss totals publish there.
+func (f *CombinedScanFactory) SetObs(r *obs.Registry) {
+	if r != nil {
+		f.obsc = newCombinerObs(r)
+	}
+}
+
 // NumSplits implements sqlengine.ScanSourceFactory. Splits follow the raw
 // table's part files; the cacher guarantees the cache table has the same
 // file count.
@@ -103,7 +138,7 @@ func (f *CombinedScanFactory) Open(split int, m *sqlengine.Metrics) (sqlengine.R
 		// and deleted by a later population cycle. Degrade gracefully: the
 		// query stays correct by parsing raw data, exactly as if the paths
 		// were uncached.
-		return f.openFallback(rawInfo.Files[split], m)
+		return f.openFallback(rawInfo.Files[split], m, "fallback-retired")
 	}
 	if len(cacheInfo.Files) > len(rawInfo.Files) {
 		return nil, fmt.Errorf("core: cache table %s has %d files, raw table only %d — alignment broken",
@@ -112,7 +147,7 @@ func (f *CombinedScanFactory) Open(split int, m *sqlengine.Metrics) (sqlengine.R
 	// Splits beyond the cache's coverage (part files appended after the
 	// nightly population) read raw data and parse the paths on the fly.
 	if split >= len(cacheInfo.Files) {
-		return f.openFallback(rawInfo.Files[split], m)
+		return f.openFallback(rawInfo.Files[split], m, "fallback-uncovered")
 	}
 
 	// CacheReader.
@@ -168,14 +203,39 @@ func (f *CombinedScanFactory) Open(split int, m *sqlengine.Metrics) (sqlengine.R
 		src.rawCur = rawCur
 		src.rawStats = &rawStats
 	}
+	if m != nil && m.Span != nil {
+		m.Span.Set("source", "combined")
+		if src.sharedMask {
+			m.Span.Set("pushdown", "shared-mask")
+		}
+	}
+	if f.obsc != nil {
+		if src.sharedMask {
+			f.obsc.opensPushdown.Inc()
+		} else {
+			f.obsc.opensCombined.Inc()
+		}
+	}
+	src.obsc = f.obsc
 	return src, nil
 }
 
 // openFallback serves one uncovered split: it reads the primary columns
 // plus every raw JSON column the fallbacks need, and synthesizes the cache
 // columns by parsing the documents — the cost a freshly appended file pays
-// until the next midnight cycle covers it.
-func (f *CombinedScanFactory) openFallback(file string, m *sqlengine.Metrics) (sqlengine.RowSource, error) {
+// until the next midnight cycle covers it. mode distinguishes a retired
+// cache generation from a split the cache never covered.
+func (f *CombinedScanFactory) openFallback(file string, m *sqlengine.Metrics, mode string) (sqlengine.RowSource, error) {
+	if m != nil && m.Span != nil {
+		m.Span.Set("source", mode)
+	}
+	if f.obsc != nil {
+		if mode == "fallback-retired" {
+			f.obsc.opensFallbackRetired.Inc()
+		} else {
+			f.obsc.opensFallbackUncovered.Inc()
+		}
+	}
 	reader, err := f.wh.OpenFile(file)
 	if err != nil {
 		return nil, err
@@ -197,7 +257,7 @@ func (f *CombinedScanFactory) openFallback(file string, m *sqlengine.Metrics) (s
 		return nil, err
 	}
 	return &fallbackRowSource{
-		f: f, cur: cur, stats: &stats, m: m, colPos: colPos,
+		f: f, cur: cur, stats: &stats, m: m, colPos: colPos, obsc: f.obsc,
 	}, nil
 }
 
@@ -210,6 +270,7 @@ type fallbackRowSource struct {
 	prev   orc.ReadStats
 	m      *sqlengine.Metrics
 	colPos map[string]int
+	obsc   *combinerObs
 
 	lastDoc  string
 	lastRoot *sjson.Value
@@ -253,6 +314,9 @@ func (s *fallbackRowSource) Next() ([]datum.Datum, error) {
 	if s.m != nil {
 		s.m.CacheMisses.Add(int64(len(s.f.fallbacks)))
 	}
+	if s.obsc != nil {
+		s.obsc.fallbackValues.Add(int64(len(s.f.fallbacks)))
+	}
 	return out, nil
 }
 
@@ -289,6 +353,7 @@ type combinedRowSource struct {
 	nPrimary   int
 	nCache     int
 	sharedMask bool
+	obsc       *combinerObs
 }
 
 // Next implements sqlengine.RowSource (Algorithm 2: read both splits, pair
@@ -319,6 +384,10 @@ func (s *combinedRowSource) Next() ([]datum.Datum, error) {
 	out = append(out, cacheRow...)
 	if s.m != nil {
 		s.m.CacheValuesRead.Add(int64(s.nCache))
+		s.m.CacheHits.Add(1) // one stitched row served from cache
+	}
+	if s.obsc != nil {
+		s.obsc.rowsStitched.Inc()
 	}
 	return out, nil
 }
@@ -339,5 +408,9 @@ func (s *combinedRowSource) meter() {
 	s.m.BytesRead.Add(cur.BytesRead - s.cachePrev.BytesRead)
 	s.m.RowGroupsRead.Add(cur.RowGroupsRead - s.cachePrev.RowGroupsRead)
 	s.m.RowGroupsSkipped.Add(cur.RowGroupsSkipped - s.cachePrev.RowGroupsSkipped)
+	if s.rawStats == nil {
+		// Cache-only reading: the cache cursor is the row scan.
+		s.m.RowsScanned.Add(cur.RowsRead - s.cachePrev.RowsRead)
+	}
 	s.cachePrev = cur
 }

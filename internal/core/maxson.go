@@ -2,8 +2,12 @@ package core
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
+	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pathkey"
 	"repro/internal/simtime"
 	"repro/internal/sqlengine"
@@ -35,9 +39,13 @@ type Maxson struct {
 	RandomSeed int64
 	// ModelTrained tracks whether Model has been fitted.
 	ModelTrained bool
+	// Log receives structured cycle logging. Defaults to a discard handler;
+	// install any slog.Handler (cmd/maxson-daily wires a text handler).
+	Log *slog.Logger
 
 	wh        *warehouse.Warehouse
 	defaultDB string
+	obs       *obs.Registry
 }
 
 // Config bundles Maxson construction options.
@@ -46,6 +54,12 @@ type Config struct {
 	Window      int
 	Model       Predictor
 	DefaultDB   string
+	// Obs is the metrics registry shared with the engine. When nil, the
+	// engine's registry is adopted, or a fresh one is created so cache
+	// gauges always have a home.
+	Obs *obs.Registry
+	// Logger receives structured cycle logs (nil = discard).
+	Logger *slog.Logger
 }
 
 // New assembles a Maxson instance on top of an engine. The plan modifier is
@@ -76,8 +90,54 @@ func New(e *sqlengine.Engine, cfg Config) *Maxson {
 	if m.defaultDB == "" {
 		m.defaultDB = "default"
 	}
+	m.Log = cfg.Logger
+	if m.Log == nil {
+		m.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+
+	// One registry serves the whole stack: prefer the caller's, fall back to
+	// the engine's, create one otherwise. The engine adopts it if it has
+	// none, so engine totals and cache gauges land in the same snapshot.
+	m.obs = cfg.Obs
+	if m.obs == nil {
+		m.obs = e.ObsRegistry()
+	}
+	if m.obs == nil {
+		m.obs = obs.NewRegistry()
+	}
+	if e.ObsRegistry() == nil {
+		e.SetObsRegistry(m.obs)
+	}
+	m.Planner.Obs = m.obs
+	m.registerGauges()
+
 	m.Planner.Install(e)
 	return m
+}
+
+// Obs returns the metrics registry serving this instance.
+func (m *Maxson) Obs() *obs.Registry { return m.obs }
+
+// registerGauges exposes the cache registry's live state: entry count,
+// cached bytes against the budget, generation number, and tables awaiting
+// deferred deletion. GaugeFuncs are read at snapshot time, so exports always
+// reflect the current cycle.
+func (m *Maxson) registerGauges() {
+	m.obs.GaugeFunc("cache_registry_paths", func() int64 {
+		return int64(m.Registry.Len())
+	})
+	m.obs.GaugeFunc("cache_registry_bytes", func() int64 {
+		return m.Registry.TotalBytes()
+	})
+	m.obs.GaugeFunc("cache_budget_bytes", func() int64 {
+		return m.BudgetBytes
+	})
+	m.obs.GaugeFunc("cache_generation", func() int64 {
+		return int64(m.Cacher.Generation())
+	})
+	m.obs.GaugeFunc("cache_pending_drop_tables", func() int64 {
+		return int64(m.Cacher.PendingDrops())
+	})
 }
 
 // Query executes SQL through the engine while feeding the collector — the
@@ -91,6 +151,36 @@ func (m *Maxson) Query(sql string) (*sqlengine.ResultSet, *sqlengine.Metrics, er
 	return m.Engine.QueryStmt(stmt)
 }
 
+// Explain executes SQL with tracing (feeding the collector like Query does)
+// and returns the EXPLAIN ANALYZE rendering alongside the results. After a
+// midnight cycle the same query shows combined scans, cache value reads and
+// pushdown skips where the uncached run showed raw parsing.
+func (m *Maxson) Explain(sql string) (string, *sqlengine.ResultSet, *sqlengine.Metrics, error) {
+	stmt, err := sqlengine.Parse(sql)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	m.Collector.ObserveStmt(stmt, m.defaultDB, m.wh.Clock().Now())
+	return m.Engine.ExplainAnalyzeStmt(stmt)
+}
+
+// CycleStageNames lists the midnight cycle's stages in execution order.
+// Deferred deletion of the previous generation's cache tables runs FIRST —
+// by then no in-flight query can still reference them (paper §IV-C: "invalid
+// cache tables would be deleted when we perform caching operations next
+// time").
+var CycleStageNames = []string{"retire", "collect", "predict", "score", "populate"}
+
+// CycleStage times one stage of the midnight cycle. Items is the stage's
+// work unit: tables dropped (retire), distinct paths observed (collect),
+// MPJPs predicted (predict), candidates profiled (score), paths cached
+// (populate).
+type CycleStage struct {
+	Name  string
+	Items int
+	Wall  time.Duration
+}
+
 // CycleReport summarizes one midnight cycle.
 type CycleReport struct {
 	At            time.Time
@@ -98,6 +188,19 @@ type CycleReport struct {
 	Selected      int
 	Cache         CacheStats
 	TrainSamples  int
+	// Stages always holds all five stages in CycleStageNames order; stages
+	// an early exit skipped report zero items and zero duration.
+	Stages []CycleStage
+}
+
+// StageSummary renders the per-stage timings as one line, e.g.
+// "retire 12µs (1), collect 40µs (9), …".
+func (r *CycleReport) StageSummary() string {
+	parts := make([]string, 0, len(r.Stages))
+	for _, s := range r.Stages {
+		parts = append(parts, fmt.Sprintf("%s %v (%d)", s.Name, s.Wall.Round(time.Microsecond), s.Items))
+	}
+	return strings.Join(parts, ", ")
 }
 
 // RunMidnightCycle executes the daily pipeline as of the clock's current
@@ -108,18 +211,44 @@ type CycleReport struct {
 func (m *Maxson) RunMidnightCycle() (*CycleReport, error) {
 	now := m.wh.Clock().Now()
 	report := &CycleReport{At: now}
+	stageStart := time.Now()
+	stage := func(name string, items int) {
+		wall := time.Since(stageStart)
+		report.Stages = append(report.Stages, CycleStage{Name: name, Items: items, Wall: wall})
+		m.Log.Info("cycle stage", "stage", name, "items", items, "wall", wall)
+		stageStart = time.Now()
+	}
+	// finish zero-fills stages an early exit skipped (reports always carry
+	// all five) and emits the cycle summary log.
+	finish := func() {
+		for len(report.Stages) < len(CycleStageNames) {
+			report.Stages = append(report.Stages, CycleStage{Name: CycleStageNames[len(report.Stages)]})
+		}
+		m.Log.Info("midnight cycle done", "at", now,
+			"candidates", report.CandidateMPJP, "selected", report.Selected,
+			"paths_cached", report.Cache.PathsCached, "cache_bytes", report.Cache.BytesWritten,
+			"dropped", report.Cache.Dropped)
+	}
 
-	// History window: the Window days ending yesterday (queries never touch
-	// same-day data, §II-D).
+	// Stage 1: delete the cache tables the PREVIOUS cycle retired (deferred
+	// deletion — in-flight queries of that era have long drained).
+	dropped := m.Cacher.DropRetired()
+	stage("retire", dropped)
+	defer func() { report.Cache.Dropped += dropped }()
+
+	// Stage 2: collect the history window — the Window days ending yesterday
+	// (queries never touch same-day data, §II-D).
 	histStart := now.AddDate(0, 0, -m.Window-1)
 	counts := m.Collector.CountsFor(histStart, m.Window+1)
 	keys := sortedCountKeys(counts)
+	stage("collect", len(keys))
 	if len(keys) == 0 {
+		finish()
 		return report, nil
 	}
 
-	// Train once on all windows available in history, then predict with a
-	// sample per path whose window ends on the most recent full day.
+	// Stage 3: train once on all windows available in history, then predict
+	// with a sample per path whose window ends on the most recent full day.
 	if !m.ModelTrained {
 		trainStart := now.AddDate(0, 0, -4*m.Window)
 		trainCounts := m.Collector.CountsFor(trainStart, 4*m.Window)
@@ -143,13 +272,18 @@ func (m *Maxson) RunMidnightCycle() (*CycleReport, error) {
 		}
 	}
 	report.CandidateMPJP = len(candidates)
+	stage("predict", len(candidates))
 	if len(candidates) == 0 {
 		// Nothing predicted; clear the cache (it is rebuilt nightly).
-		m.Cacher.Populate(nil, m.Engine.CostModel().ParseNsPerByteTree)
+		stage("score", 0)
+		stats, _ := m.Cacher.Populate(nil, m.Engine.CostModel().ParseNsPerByteTree)
+		report.Cache = stats
+		stage("populate", 0)
+		finish()
 		return report, nil
 	}
 
-	// Score against the same history window of queries.
+	// Stage 4: score against the same history window of queries.
 	queries := m.Collector.Queries(histStart, now)
 	profiles := m.Scorer.Profile(candidates, queries, mpjpSet)
 
@@ -160,9 +294,13 @@ func (m *Maxson) RunMidnightCycle() (*CycleReport, error) {
 		selected = SelectUnderBudget(profiles, m.BudgetBytes)
 	}
 	report.Selected = len(selected)
+	stage("score", len(profiles))
 
+	// Stage 5: empty and re-populate the cache under the budget.
 	stats, err := m.Cacher.Populate(selected, m.Engine.CostModel().ParseNsPerByteTree)
 	report.Cache = stats
+	stage("populate", stats.PathsCached)
+	finish()
 	if err != nil {
 		return report, fmt.Errorf("core: cache population failed: %w", err)
 	}

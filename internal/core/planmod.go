@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/datum"
 	"repro/internal/jsonpath"
+	"repro/internal/obs"
 	"repro/internal/orc"
 	"repro/internal/pathkey"
 	"repro/internal/sqlengine"
@@ -27,6 +28,9 @@ type Planner struct {
 	// KeepJSONColumns disables dropping fully cached JSON columns from the
 	// primary read set (the Fig 9 optimization) — ablation knob only.
 	KeepJSONColumns bool
+	// Obs, when set, is handed to every combined scan factory so the Value
+	// Combiner publishes its open-mode and hit/miss counters.
+	Obs *obs.Registry
 }
 
 // NewPlanner wires a plan modifier.
@@ -202,7 +206,7 @@ func (p *Planner) modifyScan(plan *sqlengine.PhysicalPlan, scan *sqlengine.ScanN
 	}
 
 	cacheTable := hits[0].entry.CacheTable
-	scan.Factory = NewCombinedScanFactory(
+	factory := NewCombinedScanFactory(
 		p.wh, scan.DB, scan.Table,
 		primaryCols, scan.SARG,
 		cacheTable, cacheCols, cacheSARG,
@@ -210,6 +214,8 @@ func (p *Planner) modifyScan(plan *sqlengine.PhysicalPlan, scan *sqlengine.ScanN
 		p.Pushdown,
 		sqlengine.RowSchema{Cols: schemaCols},
 	)
+	factory.SetObs(p.Obs)
+	scan.Factory = factory
 	scan.Columns = primaryCols
 	scan.SetSchema(sqlengine.RowSchema{Cols: schemaCols})
 	return replaced

@@ -100,6 +100,13 @@ func (r *Registry) Entries() []*CacheEntry {
 	return out
 }
 
+// Len returns the number of entries (valid and invalid).
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
 // TotalBytes sums the footprint of valid entries.
 func (r *Registry) TotalBytes() int64 {
 	r.mu.RLock()

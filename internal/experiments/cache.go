@@ -234,6 +234,10 @@ type Fig12Row struct {
 	System    string // "spark" | "maxson"
 	Breakdown sqlengine.PhaseBreakdown
 	InputMB   float64
+	// Counter columns: where the savings come from. Maxson rows show cache
+	// reads and the row groups its pushdown skipped; spark rows show zero.
+	RowGroupsSkipped int64
+	CacheValuesRead  int64
 }
 
 // Fig12Result holds the Q2/Q9 breakdowns.
@@ -256,8 +260,10 @@ func RunFig12(rows int, seed int64) (*Fig12Result, error) {
 		}
 		out.Rows = append(out.Rows, Fig12Row{
 			Query: q, System: "spark",
-			Breakdown: m.Breakdown(ePlain.CostModel()),
-			InputMB:   float64(m.BytesRead.Load()) / (1 << 20),
+			Breakdown:        m.Breakdown(ePlain.CostModel()),
+			InputMB:          float64(m.BytesRead.Load()) / (1 << 20),
+			RowGroupsSkipped: m.RowGroupsSkipped.Load(),
+			CacheValuesRead:  m.CacheValuesRead.Load(),
 		})
 	}
 
@@ -274,8 +280,10 @@ func RunFig12(rows int, seed int64) (*Fig12Result, error) {
 		}
 		out.Rows = append(out.Rows, Fig12Row{
 			Query: q, System: "maxson",
-			Breakdown: m.Breakdown(env.engine.CostModel()),
-			InputMB:   float64(m.BytesRead.Load()) / (1 << 20),
+			Breakdown:        m.Breakdown(env.engine.CostModel()),
+			InputMB:          float64(m.BytesRead.Load()) / (1 << 20),
+			RowGroupsSkipped: m.RowGroupsSkipped.Load(),
+			CacheValuesRead:  m.CacheValuesRead.Load(),
 		})
 	}
 	return out, nil
@@ -285,10 +293,11 @@ func RunFig12(rows int, seed int64) (*Fig12Result, error) {
 func (r *Fig12Result) String() string {
 	var sb strings.Builder
 	sb.WriteString("Fig 12: Read/Parse/Compute breakdown and input size (simulated)\n")
-	sb.WriteString("  query  system  read        parse       compute     input(MB)\n")
+	sb.WriteString("  query  system  read        parse       compute     input(MB)  rg-skipped  cache-values\n")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&sb, "  %-6s %-7s %-11v %-11v %-11v %.2f\n",
-			row.Query, row.System, row.Breakdown.Read, row.Breakdown.Parse, row.Breakdown.Compute, row.InputMB)
+		fmt.Fprintf(&sb, "  %-6s %-7s %-11v %-11v %-11v %-10.2f %-11d %d\n",
+			row.Query, row.System, row.Breakdown.Read, row.Breakdown.Parse, row.Breakdown.Compute,
+			row.InputMB, row.RowGroupsSkipped, row.CacheValuesRead)
 	}
 	return sb.String()
 }

@@ -19,6 +19,10 @@ type SparserRow struct {
 	Maxson       time.Duration
 	ParsedSpark  int64
 	ParsedSprsr  int64
+	// Counter columns: documents the prefilter skipped without parsing, and
+	// the cache values Maxson's combined scan read instead of parsing.
+	PrefilterSkipped int64
+	CacheValuesRead  int64
 }
 
 // SparserResult quantifies the raw-prefilter extension: Sparser-style
@@ -74,6 +78,7 @@ func RunSparserStudy(rows int, seed int64) (*SparserResult, error) {
 		}
 		row.SparkSparser = mS.SimulatedTime(eSp.CostModel())
 		row.ParsedSprsr = mS.Parse.Docs.Load()
+		row.PrefilterSkipped = mS.PrefilterSkipped.Load()
 
 		wM := BuildWorkload(rows, seed)
 		env := newMaxsonEnv(wM, sqlengine.JacksonBackend{})
@@ -98,6 +103,7 @@ func RunSparserStudy(rows int, seed int64) (*SparserResult, error) {
 			return nil, fmt.Errorf("%s: maxson changed results", q.name)
 		}
 		row.Maxson = mM.SimulatedTime(env.engine.CostModel())
+		row.CacheValuesRead = mM.CacheValuesRead.Load()
 		out.Rows = append(out.Rows, row)
 	}
 	return out, nil
@@ -118,11 +124,12 @@ func fillerLenFor(query string) int {
 func (r *SparserResult) String() string {
 	var sb strings.Builder
 	sb.WriteString("Sparser study: raw prefiltering vs caching on equality predicates\n")
-	sb.WriteString("  query            select.  spark         spark+sparser  maxson        parsed(spark/sparser)\n")
+	sb.WriteString("  query            select.  spark         spark+sparser  maxson        parsed(spark/sparser)  prefilter-skipped  cache-values\n")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&sb, "  %-16s %.3f    %-13v %-14v %-13v %d/%d\n",
+		fmt.Fprintf(&sb, "  %-16s %.3f    %-13v %-14v %-13v %-22s %-18d %d\n",
 			row.Query, row.Selectivity, row.Spark, row.SparkSparser, row.Maxson,
-			row.ParsedSpark, row.ParsedSprsr)
+			fmt.Sprintf("%d/%d", row.ParsedSpark, row.ParsedSprsr),
+			row.PrefilterSkipped, row.CacheValuesRead)
 	}
 	return sb.String()
 }

@@ -7,6 +7,7 @@ package lru
 import (
 	"container/list"
 
+	"repro/internal/obs"
 	"repro/internal/pathkey"
 )
 
@@ -94,6 +95,24 @@ func (c *Cache) Access(key pathkey.Key, version int64, size int64) (hit bool) {
 	c.used += size
 	c.stats.Inserted++
 	return false
+}
+
+// Instrument registers gauge functions for this cache on the registry,
+// labelled cache=<name> so several LRU instances can share one registry.
+// The gauges read live state at snapshot time; the Cache itself is not
+// goroutine-safe, so snapshots should be taken from the owning goroutine.
+func (c *Cache) Instrument(r *obs.Registry, name string) {
+	if r == nil {
+		return
+	}
+	l := obs.L{K: "cache", V: name}
+	r.GaugeFunc("lru_used_bytes", func() int64 { return c.used }, l)
+	r.GaugeFunc("lru_budget_bytes", func() int64 { return c.budget }, l)
+	r.GaugeFunc("lru_entries", func() int64 { return int64(c.ll.Len()) }, l)
+	r.GaugeFunc("lru_hits_total", func() int64 { return c.stats.Hits }, l)
+	r.GaugeFunc("lru_misses_total", func() int64 { return c.stats.Misses }, l)
+	r.GaugeFunc("lru_evictions_total", func() int64 { return c.stats.Evictions }, l)
+	r.GaugeFunc("lru_inserted_total", func() int64 { return c.stats.Inserted }, l)
 }
 
 // Contains reports whether (key, version) is cached, without touching

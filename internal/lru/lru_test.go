@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/obs"
 	"repro/internal/pathkey"
 )
 
@@ -101,5 +102,33 @@ func TestQuickBudgetInvariant(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestInstrumentGauges(t *testing.T) {
+	c := New(1000)
+	reg := obs.NewRegistry()
+	c.Instrument(reg, "fig14")
+	c.Instrument(nil, "noop") // must not panic
+
+	c.Access(key(1), 0, 100) // miss + insert
+	c.Access(key(1), 0, 100) // hit
+	c.Access(key(2), 0, 950) // miss, evicts key(1)
+
+	snap := reg.Snapshot()
+	l := obs.L{K: "cache", V: "fig14"}
+	checks := map[string]int64{
+		"lru_used_bytes":      950,
+		"lru_budget_bytes":    1000,
+		"lru_entries":         1,
+		"lru_hits_total":      1,
+		"lru_misses_total":    2,
+		"lru_evictions_total": 1,
+		"lru_inserted_total":  2,
+	}
+	for name, want := range checks {
+		if got := snap.Gauge(name, l); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
 	}
 }

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 2000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Mix pre-resolved handles with per-iteration lookups and labeled
+			// series, all racing on the same names.
+			pre := r.Counter("pre_resolved_total")
+			for i := 0; i < perWorker; i++ {
+				pre.Inc()
+				r.Counter("looked_up_total").Add(2)
+				r.Counter("labeled_total", L{"worker", "shared"}).Inc()
+				r.Gauge("last_i").Set(int64(i))
+				r.Histogram("values").Observe(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := r.Snapshot()
+	if got := s.Counter("pre_resolved_total"); got != workers*perWorker {
+		t.Errorf("pre_resolved_total = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Counter("looked_up_total"); got != 2*workers*perWorker {
+		t.Errorf("looked_up_total = %d, want %d", got, 2*workers*perWorker)
+	}
+	if got := s.Counter("labeled_total", L{"worker", "shared"}); got != workers*perWorker {
+		t.Errorf("labeled_total = %d, want %d", got, workers*perWorker)
+	}
+	h := s.Histograms["values"]
+	if h.Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count, workers*perWorker)
+	}
+	wantSum := int64(workers) * int64(perWorker) * int64(perWorker-1) / 2
+	if h.Sum != wantSum {
+		t.Errorf("histogram sum = %d, want %d", h.Sum, wantSum)
+	}
+}
+
+func TestSeriesKeyCanonicalLabelOrder(t *testing.T) {
+	a := seriesKey("m", []L{{"b", "2"}, {"a", "1"}})
+	b := seriesKey("m", []L{{"a", "1"}, {"b", "2"}})
+	if a != b {
+		t.Errorf("label order changed the key: %q vs %q", a, b)
+	}
+	if a != `m{a="1",b="2"}` {
+		t.Errorf("key = %q", a)
+	}
+}
+
+func TestSnapshotAndExportersDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Add(7)
+	r.Counter("c_total", L{"k", "v"}).Add(3)
+	r.Gauge("g").Set(-5)
+	r.GaugeFunc("gf", func() int64 { return 42 })
+	r.Histogram("h").Observe(10)
+	r.Histogram("h").Observe(100)
+
+	var t1, t2 bytes.Buffer
+	if err := r.WriteText(&t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&t2); err != nil {
+		t.Fatal(err)
+	}
+	if t1.String() != t2.String() {
+		t.Errorf("text export not deterministic:\n%s\nvs\n%s", t1.String(), t2.String())
+	}
+	want := "c_total 7\n" +
+		"c_total{k=\"v\"} 3\n" +
+		"g -5\n" +
+		"gf 42\n" +
+		"h_count 2\n" +
+		"h_mean 55.0\n" +
+		"h_sum 110\n"
+	if t1.String() != want {
+		t.Errorf("text export:\n%s\nwant:\n%s", t1.String(), want)
+	}
+
+	var j1, j2 bytes.Buffer
+	if err := r.WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if j1.String() != j2.String() {
+		t.Error("JSON export not deterministic")
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(j1.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON export not parseable: %v", err)
+	}
+	if decoded.Counters["c_total"] != 7 || decoded.Gauges["gf"] != 42 {
+		t.Errorf("decoded snapshot = %+v", decoded)
+	}
+}
+
+func TestGaugeFuncEvaluatedAtSnapshot(t *testing.T) {
+	r := NewRegistry()
+	v := int64(1)
+	r.GaugeFunc("live", func() int64 { return v })
+	if got := r.Snapshot().Gauge("live"); got != 1 {
+		t.Fatalf("gauge = %d", got)
+	}
+	v = 9
+	if got := r.Snapshot().Gauge("live"); got != 9 {
+		t.Fatalf("gauge after change = %d", got)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("query")
+	root.SetInt("rows", 3)
+	scan := root.Child("scan")
+	scan.Set("table", "db.t")
+
+	// Parallel attribute writes and child creation must be safe.
+	var wg sync.WaitGroup
+	splits := make([]*Span, 4)
+	for i := range splits {
+		splits[i] = scan.Child("split") // pre-created, deterministic order
+	}
+	for i, sp := range splits {
+		wg.Add(1)
+		go func(i int, sp *Span) {
+			defer wg.Done()
+			sp.SetInt("rows", int64(i))
+			sp.Set("source", "raw")
+		}(i, sp)
+	}
+	wg.Wait()
+
+	if len(scan.Children()) != 4 {
+		t.Fatalf("children = %d", len(scan.Children()))
+	}
+	if root.FindChild("scan") != scan || root.FindChild("nope") != nil {
+		t.Error("FindChild misbehaved")
+	}
+	root.SetInt("rows", 5) // overwrite keeps position
+	out := root.Render()
+	if !strings.HasPrefix(out, "query  (rows=5)\n") {
+		t.Errorf("render head: %q", out)
+	}
+	if !strings.Contains(out, "└─ split") || !strings.Contains(out, "   ├─ split") {
+		t.Errorf("render tree guides missing:\n%s", out)
+	}
+}

@@ -1,0 +1,327 @@
+// Package obs is the observability layer: a process-wide metrics registry
+// (counters, gauges, histograms with labels), a lightweight span tree for
+// per-query tracing, and exporters. Everything is stdlib-only; the metric
+// hot path is a single atomic add on a pre-resolved handle, so metered code
+// pays no lock and no map lookup per event.
+//
+// The intended pattern mirrors production metric libraries: resolve the
+// instrument once (at construction or first use), then increment it from
+// any goroutine:
+//
+//	reg := obs.NewRegistry()
+//	c := reg.Counter("engine_bytes_read_total")
+//	...
+//	c.Add(n) // lock-free
+//
+// Snapshot() returns a deterministic point-in-time copy for tests and for
+// the JSON / expvar-style text exporters.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// L is one metric label (key=value). Labels distinguish series under the
+// same metric name, e.g. Counter("combiner_opens_total", L{"mode", "fallback"}).
+type L struct {
+	K, V string
+}
+
+// seriesKey renders name plus canonically ordered labels, the registry's
+// map key and the exporters' series name.
+func seriesKey(name string, labels []L) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]L{}, labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].K < ls[j].K })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.K)
+		sb.WriteString(`="`)
+		sb.WriteString(l.V)
+		sb.WriteString(`"`)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter. Lock-free.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value loads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (settable, not monotonic).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value. Lock-free.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value loads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the fixed bucket count: bucket i counts observations v
+// with bits.Len64(v) == i, i.e. power-of-two ranges [2^(i-1), 2^i).
+const histBuckets = 64
+
+// Histogram accumulates a value distribution in power-of-two buckets.
+// Observe is a pair of atomic adds — no locks, no allocation.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets + 1]atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// HistSnapshot is a point-in-time histogram copy. Buckets maps the
+// inclusive upper bound (2^i - 1) to the observation count in that bucket;
+// empty buckets are omitted.
+type HistSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// Mean returns sum/count (0 when empty).
+func (h HistSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+func (h *Histogram) snapshot() HistSnapshot {
+	out := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			if out.Buckets == nil {
+				out.Buckets = make(map[string]int64)
+			}
+			var le uint64
+			if i > 0 {
+				le = 1<<uint(i) - 1
+			}
+			out.Buckets[fmt.Sprintf("le_%d", le)] = n
+		}
+	}
+	return out
+}
+
+// Registry is a named collection of instruments. Get-or-create calls take a
+// short lock; the returned handles are lock-free. Safe for concurrent use.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() int64
+	hists      map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() int64),
+		hists:      make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+func (r *Registry) Counter(name string, labels ...L) *Counter {
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	c, ok := r.counters[key]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[key]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[key] = c
+	return c
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...L) *Gauge {
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	g, ok := r.gauges[key]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[key]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[key] = g
+	return g
+}
+
+// GaugeFunc registers a callback gauge: the function is evaluated at
+// snapshot/export time. Re-registering a key replaces the callback.
+func (r *Registry) GaugeFunc(name string, f func() int64, labels ...L) {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[key] = f
+}
+
+// Histogram returns the histogram for name+labels, creating it on first use.
+func (r *Registry) Histogram(name string, labels ...L) *Histogram {
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	h, ok := r.hists[key]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[key]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[key] = h
+	return h
+}
+
+// Snapshot is a deterministic point-in-time copy of every instrument.
+// Callback gauges are evaluated once, under no registry lock contention
+// with the hot path (hot-path writers never take the lock).
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Counter returns a counter's value from the snapshot (0 when absent).
+func (s Snapshot) Counter(name string, labels ...L) int64 {
+	return s.Counters[seriesKey(name, labels)]
+}
+
+// Gauge returns a gauge's value from the snapshot (0 when absent).
+func (s Snapshot) Gauge(name string, labels ...L) int64 {
+	return s.Gauges[seriesKey(name, labels)]
+}
+
+// Snapshot copies every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g
+	}
+	funcs := make(map[string]func() int64, len(r.gaugeFuncs))
+	for k, f := range r.gaugeFuncs {
+		funcs[k] = f
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	r.mu.RUnlock()
+
+	out := Snapshot{}
+	if len(counters) > 0 {
+		out.Counters = make(map[string]int64, len(counters))
+		for k, c := range counters {
+			out.Counters[k] = c.Value()
+		}
+	}
+	if len(gauges) > 0 || len(funcs) > 0 {
+		out.Gauges = make(map[string]int64, len(gauges)+len(funcs))
+		for k, g := range gauges {
+			out.Gauges[k] = g.Value()
+		}
+		for k, f := range funcs {
+			out.Gauges[k] = f()
+		}
+	}
+	if len(hists) > 0 {
+		out.Histograms = make(map[string]HistSnapshot, len(hists))
+		for k, h := range hists {
+			out.Histograms[k] = h.snapshot()
+		}
+	}
+	return out
+}
+
+// WriteJSON exports the snapshot as one JSON document (map keys are
+// marshaled in sorted order, so the output is deterministic).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteText exports the snapshot expvar-style: one "name value" line per
+// series, sorted by name. Histograms export _count, _sum, and _mean lines.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	var lines []string
+	for k, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, h := range s.Histograms {
+		lines = append(lines, fmt.Sprintf("%s_count %d", k, h.Count))
+		lines = append(lines, fmt.Sprintf("%s_sum %d", k, h.Sum))
+		lines = append(lines, fmt.Sprintf("%s_mean %.1f", k, h.Mean()))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one node of a per-query trace tree: a named operation with
+// ordered key/value attributes and child spans. Spans are safe for
+// concurrent child creation and attribute writes (scan partitions run in
+// parallel); attribute and child order is the order of creation, so
+// callers that need deterministic rendering create spans before fanning
+// out goroutines.
+type Span struct {
+	Name string
+
+	mu       sync.Mutex
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one span attribute. Values are pre-rendered strings so the tree
+// is cheap to walk and deterministic to print.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// NewSpan starts a trace rooted at a span with the given name.
+func NewSpan(name string) *Span { return &Span{Name: name} }
+
+// Child creates and appends a child span.
+func (s *Span) Child(name string) *Span {
+	c := &Span{Name: name}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Set records a string attribute. Re-setting a key overwrites in place so
+// attribute order stays stable.
+func (s *Span) Set(key, val string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Val = val
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+}
+
+// SetInt records an integer attribute.
+func (s *Span) SetInt(key string, v int64) { s.Set(key, fmt.Sprintf("%d", v)) }
+
+// SetDur records a duration attribute.
+func (s *Span) SetDur(key string, d time.Duration) { s.Set(key, d.String()) }
+
+// Attr returns an attribute's value ("" when absent).
+func (s *Span) Attr(key string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Val
+		}
+	}
+	return ""
+}
+
+// Attrs returns a copy of the attributes in recording order.
+func (s *Span) Attrs() []Attr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr{}, s.attrs...)
+}
+
+// Children returns a copy of the child list in creation order.
+func (s *Span) Children() []*Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span{}, s.children...)
+}
+
+// FindChild returns the first direct child with the given name, or nil.
+func (s *Span) FindChild(name string) *Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Render draws the span tree with box-drawing guides, one "name  (k=v, …)"
+// line per span.
+func (s *Span) Render() string {
+	var sb strings.Builder
+	s.render(&sb, "", "")
+	return sb.String()
+}
+
+func (s *Span) render(sb *strings.Builder, lead, childLead string) {
+	sb.WriteString(lead)
+	sb.WriteString(s.Name)
+	attrs := s.Attrs()
+	if len(attrs) > 0 {
+		sb.WriteString("  (")
+		for i, a := range attrs {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.Key)
+			sb.WriteByte('=')
+			sb.WriteString(a.Val)
+		}
+		sb.WriteByte(')')
+	}
+	sb.WriteByte('\n')
+	children := s.Children()
+	for i, c := range children {
+		guide, next := "├─ ", "│  "
+		if i == len(children)-1 {
+			guide, next = "└─ ", "   "
+		}
+		c.render(sb, childLead+guide, childLead+next)
+	}
+}

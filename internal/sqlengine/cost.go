@@ -1,8 +1,12 @@
 package sqlengine
 
 import (
+	"fmt"
+	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // CostModel converts metered work into deterministic simulated time. The
@@ -75,6 +79,51 @@ type Metrics struct {
 	// PlanExprNodes counts expression nodes visited during planning (for
 	// the Fig 13 plan-generation-time comparison).
 	PlanExprNodes int64
+
+	// Trace is the root span of the query's trace tree (nil when tracing is
+	// off). Span is the span covering this Metrics' scope: the executor
+	// gives each scan partition its own Metrics whose Span is that split's
+	// span, so row sources can annotate the split they serve (the Value
+	// Combiner records combined/fallback mode here) without extra plumbing.
+	Trace *obs.Span
+	Span  *obs.Span
+}
+
+// addTo merges this Metrics' counters into dst. The executor uses it to
+// fold per-partition metrics into the query totals; wall/plan fields and
+// trace pointers belong to the root Metrics and are not merged.
+func (m *Metrics) addTo(dst *Metrics) {
+	dst.BytesRead.Add(m.BytesRead.Load())
+	dst.RowsScanned.Add(m.RowsScanned.Load())
+	dst.RowGroupsRead.Add(m.RowGroupsRead.Load())
+	dst.RowGroupsSkipped.Add(m.RowGroupsSkipped.Load())
+	dst.Parse.Docs.Add(m.Parse.Docs.Load())
+	dst.Parse.Bytes.Add(m.Parse.Bytes.Load())
+	dst.Parse.Calls.Add(m.Parse.Calls.Load())
+	dst.RowOps.Add(m.RowOps.Load())
+	dst.PrefilterBytes.Add(m.PrefilterBytes.Load())
+	dst.PrefilterSkipped.Add(m.PrefilterSkipped.Load())
+	dst.CacheValuesRead.Add(m.CacheValuesRead.Load())
+	dst.CacheHits.Add(m.CacheHits.Load())
+	dst.CacheMisses.Add(m.CacheMisses.Load())
+}
+
+// String renders the counters as one human-readable line — the single
+// rendering path shared by cmd/maxson-sql and EXPLAIN ANALYZE.
+func (m *Metrics) String() string {
+	var parts []string
+	parts = append(parts, fmt.Sprintf("read %dB in %d rows (%d row-groups, %d skipped)",
+		m.BytesRead.Load(), m.RowsScanned.Load(), m.RowGroupsRead.Load(), m.RowGroupsSkipped.Load()))
+	pc := m.Parse.Snapshot()
+	parts = append(parts, fmt.Sprintf("parsed %d docs / %dB / %d calls", pc.Docs, pc.Bytes, pc.Calls))
+	parts = append(parts, fmt.Sprintf("%d row-ops", m.RowOps.Load()))
+	if n := m.CacheValuesRead.Load(); n > 0 || m.CacheMisses.Load() > 0 {
+		parts = append(parts, fmt.Sprintf("cache %d values (%d misses)", n, m.CacheMisses.Load()))
+	}
+	if n := m.PrefilterSkipped.Load(); n > 0 {
+		parts = append(parts, fmt.Sprintf("prefilter skipped %d", n))
+	}
+	return strings.Join(parts, "; ")
 }
 
 // PhaseBreakdown is the Read/Parse/Compute split of simulated time used by
@@ -87,6 +136,11 @@ type PhaseBreakdown struct {
 
 // Total returns the summed phase time.
 func (p PhaseBreakdown) Total() time.Duration { return p.Read + p.Parse + p.Compute }
+
+// String renders the split as "read R + parse P + compute C = T".
+func (p PhaseBreakdown) String() string {
+	return fmt.Sprintf("read %v + parse %v + compute %v = %v", p.Read, p.Parse, p.Compute, p.Total())
+}
 
 // Breakdown converts the metered counters into simulated phase times.
 func (m *Metrics) Breakdown(cm CostModel) PhaseBreakdown {

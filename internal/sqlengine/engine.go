@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/datum"
+	"repro/internal/obs"
 	"repro/internal/warehouse"
 )
 
@@ -22,6 +23,68 @@ type Engine struct {
 	// Maxson installs its MaxsonParser here. The returned extra node count
 	// is added to PlanExprNodes so Fig 13 sees the modification overhead.
 	PlanModifier func(plan *PhysicalPlan, stmt *SelectStmt) (extraNodes int64, err error)
+
+	// obsReg publishes engine-lifetime totals; obsC holds the pre-resolved
+	// counter handles so per-query publication is lock-free.
+	obsReg *obs.Registry
+	obsC   *engineCounters
+}
+
+// engineCounters are the engine's registry instruments, resolved once so
+// the per-query publish path never touches the registry lock.
+type engineCounters struct {
+	queries          *obs.Counter
+	bytesRead        *obs.Counter
+	rowsScanned      *obs.Counter
+	rowGroupsRead    *obs.Counter
+	rowGroupsSkipped *obs.Counter
+	parseDocs        *obs.Counter
+	parseBytes       *obs.Counter
+	parseCalls       *obs.Counter
+	rowOps           *obs.Counter
+	prefilterSkipped *obs.Counter
+	cacheValuesRead  *obs.Counter
+	cacheMisses      *obs.Counter
+	simNanos         *obs.Histogram
+}
+
+func newEngineCounters(r *obs.Registry) *engineCounters {
+	return &engineCounters{
+		queries:          r.Counter("engine_queries_total"),
+		bytesRead:        r.Counter("engine_bytes_read_total"),
+		rowsScanned:      r.Counter("engine_rows_scanned_total"),
+		rowGroupsRead:    r.Counter("engine_rowgroups_read_total"),
+		rowGroupsSkipped: r.Counter("engine_rowgroups_skipped_total"),
+		parseDocs:        r.Counter("engine_parse_docs_total"),
+		parseBytes:       r.Counter("engine_parse_bytes_total"),
+		parseCalls:       r.Counter("engine_parse_calls_total"),
+		rowOps:           r.Counter("engine_row_ops_total"),
+		prefilterSkipped: r.Counter("engine_prefilter_skipped_total"),
+		cacheValuesRead:  r.Counter("engine_cache_values_read_total"),
+		cacheMisses:      r.Counter("engine_cache_misses_total"),
+		simNanos:         r.Histogram("engine_query_sim_ns"),
+	}
+}
+
+// publish folds one finished query's metrics into the engine totals.
+func (c *engineCounters) publish(m *Metrics, cm CostModel) {
+	if c == nil {
+		return
+	}
+	c.queries.Inc()
+	c.bytesRead.Add(m.BytesRead.Load())
+	c.rowsScanned.Add(m.RowsScanned.Load())
+	c.rowGroupsRead.Add(m.RowGroupsRead.Load())
+	c.rowGroupsSkipped.Add(m.RowGroupsSkipped.Load())
+	pc := m.Parse.Snapshot()
+	c.parseDocs.Add(pc.Docs)
+	c.parseBytes.Add(pc.Bytes)
+	c.parseCalls.Add(pc.Calls)
+	c.rowOps.Add(m.RowOps.Load())
+	c.prefilterSkipped.Add(m.PrefilterSkipped.Load())
+	c.cacheValuesRead.Add(m.CacheValuesRead.Load())
+	c.cacheMisses.Add(m.CacheMisses.Load())
+	c.simNanos.Observe(int64(m.SimulatedTime(cm)))
 }
 
 // EngineOption configures an Engine.
@@ -62,6 +125,12 @@ func WithCostModel(cm CostModel) EngineOption {
 	return func(e *Engine) { e.cost = cm }
 }
 
+// WithObsRegistry attaches a metrics registry; the engine publishes its
+// lifetime totals (bytes read, parse work, row ops, cache reads, …) there.
+func WithObsRegistry(r *obs.Registry) EngineOption {
+	return func(e *Engine) { e.SetObsRegistry(r) }
+}
+
 // NewEngine builds an engine over a warehouse.
 func NewEngine(wh *warehouse.Warehouse, opts ...EngineOption) *Engine {
 	e := &Engine{
@@ -86,6 +155,19 @@ func (e *Engine) Backend() ParserBackend { return e.backend }
 // CostModel returns the engine's cost model.
 func (e *Engine) CostModel() CostModel { return e.cost }
 
+// SetObsRegistry installs (or replaces) the engine's metrics registry. It
+// is a no-op when r is nil; call before serving queries.
+func (e *Engine) SetObsRegistry(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	e.obsReg = r
+	e.obsC = newEngineCounters(r)
+}
+
+// ObsRegistry returns the attached metrics registry (nil when none).
+func (e *Engine) ObsRegistry() *obs.Registry { return e.obsReg }
+
 // nowWall reads the wall clock for WallTime metering.
 func (e *Engine) nowWall() time.Duration {
 	return time.Duration(time.Now().UnixNano())
@@ -103,17 +185,36 @@ func (e *Engine) Query(sql string) (*ResultSet, *Metrics, error) {
 
 // QueryStmt plans and executes a parsed statement.
 func (e *Engine) QueryStmt(stmt *SelectStmt) (*ResultSet, *Metrics, error) {
+	_, rs, m, err := e.queryStmt(stmt, false)
+	return rs, m, err
+}
+
+// QueryTraced executes sql recording a span tree (plan → per-split scan →
+// aggregate/sort/…) into the returned Metrics.Trace. It is the substrate
+// of EXPLAIN ANALYZE.
+func (e *Engine) QueryTraced(sql string) (*ResultSet, *Metrics, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	_, rs, m, err := e.queryStmt(stmt, true)
+	return rs, m, err
+}
+
+// queryStmt plans and executes one statement, optionally tracing, and also
+// returns the physical plan (EXPLAIN ANALYZE renders from it).
+func (e *Engine) queryStmt(stmt *SelectStmt, traced bool) (*PhysicalPlan, *ResultSet, *Metrics, error) {
 	planStart := time.Now()
 	plan, err := e.Plan(stmt)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	planNodes := countPlanNodes(stmt)
 	var extra int64
 	if e.PlanModifier != nil {
 		extra, err = e.PlanModifier(plan, stmt)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	planWall := time.Since(planStart)
@@ -124,16 +225,24 @@ func (e *Engine) QueryStmt(stmt *SelectStmt) (*ResultSet, *Metrics, error) {
 		for _, line := range strings.Split(plan.String(), "\n") {
 			rs.Rows = append(rs.Rows, []datum.Datum{datum.Str(line)})
 		}
-		return rs, m, nil
+		return plan, rs, m, nil
 	}
 
-	rs, m, err := e.Execute(plan)
+	var trace *obs.Span
+	if traced {
+		trace = obs.NewSpan("query")
+		planSpan := trace.Child("plan")
+		planSpan.SetInt("expr-nodes", planNodes+extra)
+		planSpan.SetDur("simulated",
+			time.Duration(float64(planNodes+extra)*e.cost.PlanNsPerExprNode))
+	}
+	rs, m, err := e.execute(plan, trace)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	m.PlanWall = planWall
 	m.PlanExprNodes = planNodes + extra
-	return rs, m, nil
+	return plan, rs, m, nil
 }
 
 // PlanOnly parses and plans without executing; used by the Fig 13 plan-time

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/datum"
+	"repro/internal/obs"
 	"repro/internal/orc"
 )
 
@@ -70,6 +71,9 @@ func (ts *tableSource) Open(split int, m *Metrics) (RowSource, error) {
 	if err != nil {
 		return nil, err
 	}
+	if m != nil && m.Span != nil {
+		m.Span.Set("source", "raw")
+	}
 	return &fileRowSource{cur: cur, rs: &rs, m: m}, nil
 }
 
@@ -96,15 +100,31 @@ func (s *fileRowSource) Next() ([]datum.Datum, error) {
 
 // Execute runs a physical plan and returns its results plus metrics.
 func (e *Engine) Execute(plan *PhysicalPlan) (*ResultSet, *Metrics, error) {
-	m := &Metrics{TreeParser: e.backend.Name() == "jackson"}
+	return e.execute(plan, nil)
+}
+
+// execute runs a physical plan; when trace is non-nil each operator and
+// scan partition records a span under it.
+func (e *Engine) execute(plan *PhysicalPlan, trace *obs.Span) (*ResultSet, *Metrics, error) {
+	m := &Metrics{TreeParser: e.backend.Name() == "jackson", Trace: trace, Span: trace}
 	start := e.nowWall()
 
 	// Hash-join build side (if any), materialized once.
 	var joinTable map[string][][]datum.Datum
 	var buildWidth int
 	if plan.Join != nil {
+		bm := &Metrics{}
+		if trace != nil {
+			bm.Span = trace.Child(fmt.Sprintf("join-build %s.%s", plan.Join.Build.DB, plan.Join.Build.Table))
+		}
 		var err error
-		joinTable, buildWidth, err = e.buildJoinTable(plan, m)
+		joinTable, buildWidth, err = e.buildJoinTable(plan, bm)
+		if bm.Span != nil {
+			bm.Span.SetInt("rows", bm.RowsScanned.Load())
+			bm.Span.SetInt("bytes", bm.BytesRead.Load())
+			bm.Span.SetInt("parse-docs", bm.Parse.Docs.Load())
+		}
+		bm.addTo(m)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -119,7 +139,22 @@ func (e *Engine) Execute(plan *PhysicalPlan) (*ResultSet, *Metrics, error) {
 		return nil, nil, err
 	}
 
+	// Per-partition metrics roll up into the query totals after the fan-out;
+	// split spans are pre-created in split order so the tree is
+	// deterministic even though partitions run concurrently.
 	results := make([]partResult, nSplits)
+	partMetrics := make([]*Metrics, nSplits)
+	var scanSpan *obs.Span
+	if trace != nil {
+		scanSpan = trace.Child(fmt.Sprintf("scan %s.%s", plan.Scan.DB, plan.Scan.Table))
+	}
+	for split := 0; split < nSplits; split++ {
+		pm := &Metrics{}
+		if scanSpan != nil {
+			pm.Span = scanSpan.Child(fmt.Sprintf("split %d", split))
+		}
+		partMetrics[split] = pm
+	}
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, e.parallelism)
@@ -129,10 +164,52 @@ func (e *Engine) Execute(plan *PhysicalPlan) (*ResultSet, *Metrics, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[split] = e.runPartition(plan, factory, split, joinTable, buildWidth, m)
+			results[split] = e.runPartition(plan, factory, split, joinTable, buildWidth, partMetrics[split])
 		}(split)
 	}
 	wg.Wait()
+
+	// Fold the per-split work into the query totals and annotate each
+	// split's span with what it actually did.
+	sm := &Metrics{TreeParser: m.TreeParser} // scan-level totals
+	var mapOut int64
+	for split, pm := range results {
+		p := partMetrics[split]
+		if p.Span != nil {
+			p.Span.SetInt("rows", p.RowsScanned.Load())
+			p.Span.SetInt("out", pm.rowsOut)
+			p.Span.SetInt("bytes", p.BytesRead.Load())
+			p.Span.SetInt("parse-docs", p.Parse.Docs.Load())
+			if n := p.CacheValuesRead.Load(); n > 0 {
+				p.Span.SetInt("cache-values", n)
+			}
+			if n := p.RowGroupsSkipped.Load(); n > 0 {
+				p.Span.SetInt("rowgroups-skipped", n)
+			}
+		}
+		p.addTo(sm)
+		mapOut += pm.rowsOut
+	}
+	if scanSpan != nil {
+		scanSpan.SetInt("splits", int64(nSplits))
+		scanSpan.SetInt("rows", sm.RowsScanned.Load())
+		scanSpan.SetInt("out", mapOut)
+		scanSpan.SetInt("bytes", sm.BytesRead.Load())
+		pc := sm.Parse.Snapshot()
+		scanSpan.SetInt("parse-docs", pc.Docs)
+		scanSpan.SetInt("parse-bytes", pc.Bytes)
+		scanSpan.SetInt("parse-calls", pc.Calls)
+		scanSpan.SetInt("rowgroups", sm.RowGroupsRead.Load())
+		scanSpan.SetInt("rowgroups-skipped", sm.RowGroupsSkipped.Load())
+		if n := sm.PrefilterSkipped.Load(); n > 0 {
+			scanSpan.SetInt("prefilter-skipped", n)
+		}
+		if n := sm.CacheValuesRead.Load(); n > 0 {
+			scanSpan.SetInt("cache-values", n)
+		}
+		scanSpan.Set("simulated", sm.Breakdown(e.cost).String())
+	}
+	sm.addTo(m)
 	for _, r := range results {
 		if r.err != nil {
 			return nil, nil, r.err
@@ -142,9 +219,15 @@ func (e *Engine) Execute(plan *PhysicalPlan) (*ResultSet, *Metrics, error) {
 	var out [][]datum.Datum
 	var sortKeys [][]datum.Datum
 	if plan.aggregate {
+		opsBefore := m.RowOps.Load()
 		out, err = e.finalizeAggregate(plan, results, m)
 		if err != nil {
 			return nil, nil, err
+		}
+		if trace != nil {
+			span := trace.Child("aggregate")
+			span.SetInt("groups", int64(len(out)))
+			span.SetInt("row-ops", m.RowOps.Load()-opsBefore)
 		}
 		sortKeys = nil // agg sort keys are computed from post rows below
 	} else {
@@ -155,16 +238,36 @@ func (e *Engine) Execute(plan *PhysicalPlan) (*ResultSet, *Metrics, error) {
 	}
 
 	if plan.Distinct {
+		opsBefore := m.RowOps.Load()
 		out, sortKeys = distinctRows(out, sortKeys, m)
+		if trace != nil {
+			span := trace.Child("distinct")
+			span.SetInt("out", int64(len(out)))
+			span.SetInt("row-ops", m.RowOps.Load()-opsBefore)
+		}
 	}
 	if len(plan.OrderBy) > 0 {
+		opsBefore := m.RowOps.Load()
 		sortRows(plan, out, sortKeys, m)
+		if trace != nil {
+			span := trace.Child("sort")
+			span.SetInt("rows", int64(len(out)))
+			span.SetInt("row-ops", m.RowOps.Load()-opsBefore)
+		}
 	}
 	if plan.Limit >= 0 && len(out) > plan.Limit {
 		out = out[:plan.Limit]
+		if trace != nil {
+			trace.Child("limit").SetInt("out", int64(len(out)))
+		}
+	}
+	if trace != nil {
+		trace.SetInt("rows", int64(len(out)))
+		trace.Set("simulated", m.Breakdown(e.cost).String())
 	}
 
 	m.WallTime = e.nowWall() - start
+	e.obsC.publish(m, e.cost)
 	return &ResultSet{Columns: plan.OutputSchema.Names(), Rows: out}, m, nil
 }
 
@@ -173,7 +276,11 @@ type partResult struct {
 	rows [][]datum.Datum // projected output (non-agg mode)
 	keys [][]datum.Datum // sort keys per row (non-agg with ORDER BY)
 	aggs map[string]*aggState
-	err  error
+	// rowsOut counts rows surviving the filter (rows projected, or rows
+	// folded into partial aggregates) — the split's post-filter cardinality
+	// reported in EXPLAIN ANALYZE.
+	rowsOut int64
+	err     error
 }
 
 // runPartition executes the map side of the plan over one split:
@@ -217,6 +324,7 @@ func (e *Engine) runPartition(plan *PhysicalPlan, factory ScanSourceFactory, spl
 				return
 			}
 		}
+		res.rowsOut++
 		if plan.aggregate {
 			e.accumulate(plan, row, res.aggs, ctx)
 			return

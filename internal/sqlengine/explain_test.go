@@ -1,0 +1,79 @@
+package sqlengine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestExplainAnalyzeAnnotatedTree(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := newTestEngine(t, WithObsRegistry(reg))
+	out, rs, m, err := e.ExplainAnalyze(`
+		SELECT date, get_json_object(sale_logs, '$.turnover') AS turnover
+		FROM mydb.t
+		WHERE get_json_object(sale_logs, '$.sale_count') > 3
+		ORDER BY date DESC
+		LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 5 {
+		t.Fatalf("rows = %d", len(rs.Rows))
+	}
+	for _, want := range []string{
+		"EXPLAIN ANALYZE",
+		"Limit 5",
+		"Sort date DESC",
+		"Filter",
+		"Scan mydb.t",
+		"split 0: raw",
+		"split 2: raw",
+		"splits=3",
+		"parse-docs=31",
+		"totals:",
+		"simulated: read ",
+		"plan:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	if m.Trace == nil || m.Trace.FindChild("plan") == nil {
+		t.Error("trace missing plan span")
+	}
+	// The engine registry saw the query.
+	s := reg.Snapshot()
+	if s.Counter("engine_queries_total") != 1 {
+		t.Errorf("engine_queries_total = %d", s.Counter("engine_queries_total"))
+	}
+	if s.Counter("engine_parse_docs_total") != 31 {
+		t.Errorf("engine_parse_docs_total = %d", s.Counter("engine_parse_docs_total"))
+	}
+}
+
+func TestQueryTracedMatchesUntracedResults(t *testing.T) {
+	e := newTestEngine(t)
+	rs1, m1, err := e.Query("SELECT COUNT(*) AS n FROM mydb.t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, m2, err := e.QueryTraced("SELECT COUNT(*) AS n FROM mydb.t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs1.Rows[0][0].I != rs2.Rows[0][0].I {
+		t.Errorf("traced result diverged: %v vs %v", rs1.Rows[0], rs2.Rows[0])
+	}
+	if m1.SimulatedTime(e.cost) != m2.SimulatedTime(e.cost) {
+		t.Errorf("tracing changed simulated time: %v vs %v",
+			m1.SimulatedTime(e.cost), m2.SimulatedTime(e.cost))
+	}
+	if m1.Trace != nil {
+		t.Error("untraced query grew a trace")
+	}
+	if m2.Trace == nil {
+		t.Error("traced query missing trace")
+	}
+}

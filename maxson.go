@@ -24,11 +24,13 @@
 package maxson
 
 import (
+	"log/slog"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/datum"
 	"repro/internal/dfs"
+	"repro/internal/obs"
 	"repro/internal/orc"
 	"repro/internal/simtime"
 	"repro/internal/sqlengine"
@@ -61,6 +63,8 @@ type (
 		StartTime time.Time
 		// RowGroupRows tunes the columnar layout (default 10000).
 		RowGroupRows int
+		// Logger receives structured midnight-cycle logs; nil discards.
+		Logger *slog.Logger
 	}
 
 	// ResultSet is a query result.
@@ -69,6 +73,8 @@ type (
 	Metrics = sqlengine.Metrics
 	// CycleReport summarizes one midnight caching cycle.
 	CycleReport = core.CycleReport
+	// CycleStage is one timed stage of the midnight cycle.
+	CycleStage = core.CycleStage
 	// Datum is a scalar value.
 	Datum = datum.Datum
 	// Schema describes table columns.
@@ -122,6 +128,7 @@ func NewSystem(cfg SystemConfig) *System {
 		BudgetBytes: cfg.CacheBudgetBytes,
 		Window:      cfg.Window,
 		DefaultDB:   cfg.DefaultDB,
+		Logger:      cfg.Logger,
 	})
 	return &System{m: m, wh: wh, e: e, clock: clock}
 }
@@ -142,6 +149,18 @@ func (s *System) Core() *core.Maxson { return s.m }
 func (s *System) Query(sql string) (*ResultSet, *Metrics, error) {
 	return s.m.Query(sql)
 }
+
+// Explain executes SQL with tracing and returns an EXPLAIN ANALYZE-style
+// annotated operator tree (per-operator rows, bytes, parse calls, cache
+// reads, simulated phase times) alongside the results. The query feeds the
+// collector like Query does.
+func (s *System) Explain(sql string) (string, *ResultSet, *Metrics, error) {
+	return s.m.Explain(sql)
+}
+
+// Obs returns the system-wide metrics registry: engine totals, Value
+// Combiner counters, and cache gauges, exportable via WriteJSON/WriteText.
+func (s *System) Obs() *obs.Registry { return s.m.Obs() }
 
 // RunMidnightCycle trains/refreshes the predictor, predicts tomorrow's
 // MPJPs, ranks them with the scoring function, and re-populates the cache
