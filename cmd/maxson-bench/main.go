@@ -69,8 +69,9 @@ func main() {
 		"fig15":    func() (fmt.Stringer, error) { return experiments.RunFig15(*rows, *seed) },
 		"ablation": func() (fmt.Stringer, error) { return experiments.RunAblation(*rows, *seed) },
 		"sparser":  func() (fmt.Stringer, error) { return experiments.RunSparserStudy(*rows, *seed) },
+		"exec":     func() (fmt.Stringer, error) { return experiments.RunExecBench(*rows, *seed) },
 	}
-	order := []string{"fig2", "fig3", "fig4", "table3", "table4", "fig11", "fig12", "fig13", "fig14", "fig15", "ablation", "sparser"}
+	order := []string{"fig2", "fig3", "fig4", "table3", "table4", "fig11", "fig12", "fig13", "fig14", "fig15", "ablation", "sparser", "exec"}
 
 	var selected []string
 	if *exp == "all" {

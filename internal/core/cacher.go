@@ -239,6 +239,20 @@ func (c *Cacher) populateTable(group []*PathProfile, stats *CacheStats, parseNsP
 
 	perPathBytes := make([]int64, len(paths))
 
+	// Batch read scratch: the cursor decodes row-group columns straight into
+	// these vectors, and one parser's node arena is recycled row by row
+	// (each row's outputs are strings, so the previous row's trees are dead
+	// by the time ResetValues runs).
+	const populateBatchRows = 1024
+	vecs := make([][]datum.Datum, len(readCols))
+	for i := range vecs {
+		vecs[i] = make([]datum.Datum, populateBatchRows)
+	}
+	var parser sjson.Parser
+	var docBuf []byte
+	parsedRoots := make([]*sjson.Value, len(readCols))
+	parsedSet := make([]bool, len(readCols))
+
 	// One cache file per raw file, in split order: this is the alignment
 	// invariant the Value Combiner depends on.
 	for _, file := range rawInfo.Files {
@@ -251,44 +265,53 @@ func (c *Cacher) populateTable(group []*PathProfile, stats *CacheStats, parseNsP
 			return 0, err
 		}
 		var rows [][]datum.Datum
-		// Per-document memo: parse each JSON column once per row.
 		for {
-			row, err := cur.Next()
+			n, err := cur.NextBatch(vecs, populateBatchRows)
 			if err != nil {
 				return 0, err
 			}
-			if row == nil {
+			if n == 0 {
 				break
 			}
-			parsed := map[string]*sjson.Value{}
-			out := make([]datum.Datum, len(paths))
-			for pi, p := range paths {
-				src := row[colPos[p.prof.Key.Column]]
-				if src.Null {
-					out[pi] = datum.NullOf(datum.TypeString)
-					continue
+			// Per-document memo: parse each JSON column once per row.
+			for ri := 0; ri < n; ri++ {
+				parser.ResetValues()
+				for i := range parsedSet {
+					parsedSet[i] = false
+					parsedRoots[i] = nil
 				}
-				root, ok := parsed[p.prof.Key.Column]
-				if !ok {
-					root, _ = sjson.ParseString(src.S)
-					parsed[p.prof.Key.Column] = root
-					stats.ParseNsSpent += float64(len(src.S)) * parseNsPerByte
+				out := make([]datum.Datum, len(paths))
+				for pi, p := range paths {
+					ci := colPos[p.prof.Key.Column]
+					src := vecs[ci][ri]
+					if src.Null {
+						out[pi] = datum.NullOf(datum.TypeString)
+						continue
+					}
+					if !parsedSet[ci] {
+						docBuf = append(docBuf[:0], src.S...)
+						root, _ := parser.Parse(docBuf)
+						parsedRoots[ci] = root
+						parsedSet[ci] = true
+						stats.ParseNsSpent += float64(len(src.S)) * parseNsPerByte
+					}
+					root := parsedRoots[ci]
+					if root == nil {
+						out[pi] = datum.NullOf(datum.TypeString)
+						continue
+					}
+					v := p.path.Eval(root)
+					if v.IsNull() {
+						out[pi] = datum.NullOf(datum.TypeString)
+					} else {
+						s := v.Scalar()
+						out[pi] = datum.Str(s)
+						perPathBytes[pi] += int64(len(s))
+					}
 				}
-				if root == nil {
-					out[pi] = datum.NullOf(datum.TypeString)
-					continue
-				}
-				v := p.path.Eval(root)
-				if v.IsNull() {
-					out[pi] = datum.NullOf(datum.TypeString)
-				} else {
-					s := v.Scalar()
-					out[pi] = datum.Str(s)
-					perPathBytes[pi] += int64(len(s))
-				}
+				rows = append(rows, out)
+				stats.RowsParsed++
 			}
-			rows = append(rows, out)
-			stats.RowsParsed++
 		}
 		if _, err := c.wh.AppendRows(CacheDB, cacheTable, rows); err != nil {
 			return 0, err

@@ -274,18 +274,20 @@ type fallbackRowSource struct {
 
 	lastDoc  string
 	lastRoot *sjson.Value
+	// parser is the per-source parse arena: document trees draw their nodes
+	// from it and docBuf avoids the string→[]byte copy allocation per parse.
+	parser sjson.Parser
+	docBuf []byte
+
+	// batch scratch: dst aliases the destination batch's primary vectors and
+	// extra's vectors for raw columns only the fallbacks need.
+	dst   [][]datum.Datum
+	extra [][]datum.Datum
 }
 
 func (s *fallbackRowSource) Next() ([]datum.Datum, error) {
 	row, err := s.cur.Next()
-	if s.m != nil {
-		cur := *s.stats
-		s.m.BytesRead.Add(cur.BytesRead - s.prev.BytesRead)
-		s.m.RowsScanned.Add(cur.RowsRead - s.prev.RowsRead)
-		s.m.RowGroupsRead.Add(cur.RowGroupsRead - s.prev.RowGroupsRead)
-		s.m.RowGroupsSkipped.Add(cur.RowGroupsSkipped - s.prev.RowGroupsSkipped)
-		s.prev = cur
-	}
+	s.flushStats()
 	if err != nil || row == nil {
 		return nil, err
 	}
@@ -294,22 +296,7 @@ func (s *fallbackRowSource) Next() ([]datum.Datum, error) {
 		out = append(out, row[i])
 	}
 	for _, fb := range s.f.fallbacks {
-		src := row[s.colPos[fb.RawColumn]]
-		if src.Null {
-			out = append(out, datum.NullOf(datum.TypeString))
-			continue
-		}
-		root := s.parse(src.S)
-		if root == nil {
-			out = append(out, datum.NullOf(datum.TypeString))
-			continue
-		}
-		v := fb.Path.Eval(root)
-		if v.IsNull() {
-			out = append(out, datum.NullOf(datum.TypeString))
-		} else {
-			out = append(out, datum.Str(v.Scalar()))
-		}
+		out = append(out, s.fallbackValue(row[s.colPos[fb.RawColumn]], fb))
 	}
 	if s.m != nil {
 		s.m.CacheMisses.Add(int64(len(s.f.fallbacks)))
@@ -320,12 +307,91 @@ func (s *fallbackRowSource) Next() ([]datum.Datum, error) {
 	return out, nil
 }
 
+// NextBatch implements sqlengine.BatchSource. The cursor fills the batch's
+// primary vectors directly (plus per-source scratch vectors for raw columns
+// only the fallbacks read); the cache columns are then synthesized row-major
+// so the per-row document memo behaves exactly as in the row path.
+func (s *fallbackRowSource) NextBatch(b *sqlengine.RowBatch) (int, error) {
+	nPrimary := len(s.f.primaryCols)
+	nCache := len(s.f.cacheCols)
+	if len(b.Cols) < nPrimary+nCache {
+		return 0, fmt.Errorf("core: batch has %d columns, fallback source needs %d", len(b.Cols), nPrimary+nCache)
+	}
+	max := b.Capacity()
+	nRead := len(s.colPos)
+	if cap(s.dst) < nRead {
+		s.dst = make([][]datum.Datum, nRead)
+	}
+	s.dst = s.dst[:nRead]
+	copy(s.dst, b.Cols[:nPrimary])
+	for i := nPrimary; i < nRead; i++ {
+		k := i - nPrimary
+		for len(s.extra) <= k {
+			s.extra = append(s.extra, nil)
+		}
+		if cap(s.extra[k]) < max {
+			s.extra[k] = make([]datum.Datum, max)
+		}
+		s.dst[i] = s.extra[k][:max]
+	}
+	n, err := s.cur.NextBatch(s.dst, max)
+	s.flushStats()
+	if err != nil || n == 0 {
+		return n, err
+	}
+	for i := 0; i < n; i++ {
+		for j, fb := range s.f.fallbacks {
+			b.Cols[nPrimary+j][i] = s.fallbackValue(s.dst[s.colPos[fb.RawColumn]][i], fb)
+		}
+	}
+	if s.m != nil {
+		s.m.CacheMisses.Add(int64(len(s.f.fallbacks)) * int64(n))
+	}
+	if s.obsc != nil {
+		s.obsc.fallbackValues.Add(int64(len(s.f.fallbacks)) * int64(n))
+	}
+	return n, nil
+}
+
+// fallbackValue computes one cache column's value by parsing the raw doc.
+func (s *fallbackRowSource) fallbackValue(src datum.Datum, fb FallbackSpec) datum.Datum {
+	if src.Null {
+		return datum.NullOf(datum.TypeString)
+	}
+	root := s.parse(src.S)
+	if root == nil {
+		return datum.NullOf(datum.TypeString)
+	}
+	v := fb.Path.Eval(root)
+	if v.IsNull() {
+		return datum.NullOf(datum.TypeString)
+	}
+	return datum.Str(v.Scalar())
+}
+
+// flushStats streams the cursor's stat deltas into the query Metrics.
+func (s *fallbackRowSource) flushStats() {
+	if s.m == nil {
+		return
+	}
+	cur := *s.stats
+	s.m.BytesRead.Add(cur.BytesRead - s.prev.BytesRead)
+	s.m.RowsScanned.Add(cur.RowsRead - s.prev.RowsRead)
+	s.m.RowGroupsRead.Add(cur.RowGroupsRead - s.prev.RowGroupsRead)
+	s.m.RowGroupsSkipped.Add(cur.RowGroupsSkipped - s.prev.RowGroupsSkipped)
+	s.prev = cur
+}
+
 // parse memoizes the document tree across the fallbacks of one row.
 func (s *fallbackRowSource) parse(doc string) *sjson.Value {
 	if doc == s.lastDoc && s.lastRoot != nil {
 		return s.lastRoot
 	}
-	root, err := sjson.ParseString(doc)
+	// The memoized tree being replaced is the only one still referenced, so
+	// the parser's node arena can be recycled wholesale before reparsing.
+	s.parser.ResetValues()
+	s.docBuf = append(s.docBuf[:0], doc...)
+	root, err := s.parser.Parse(s.docBuf)
 	if s.m != nil {
 		s.m.Parse.Docs.Add(1)
 		s.m.Parse.Bytes.Add(int64(len(doc)))
@@ -390,6 +456,43 @@ func (s *combinedRowSource) Next() ([]datum.Datum, error) {
 		s.obsc.rowsStitched.Inc()
 	}
 	return out, nil
+}
+
+// NextBatch implements sqlengine.BatchSource: the paired cursors write
+// straight into the batch's column vectors — raw columns into the primary
+// slots, cache columns after them — so stitching costs zero copies. Both
+// cursors honor the same row-group mask, so a mismatched batch count means
+// the §IV-C alignment invariant broke.
+func (s *combinedRowSource) NextBatch(b *sqlengine.RowBatch) (int, error) {
+	if len(b.Cols) < s.nPrimary+s.nCache {
+		return 0, fmt.Errorf("core: batch has %d columns, combined source needs %d", len(b.Cols), s.nPrimary+s.nCache)
+	}
+	max := b.Capacity()
+	n, err := s.cacheCur.NextBatch(b.Cols[s.nPrimary:s.nPrimary+s.nCache], max)
+	if err != nil {
+		return 0, err
+	}
+	if s.rawCur != nil {
+		nRaw, err := s.rawCur.NextBatch(b.Cols[:s.nPrimary], max)
+		if err != nil {
+			return 0, err
+		}
+		if nRaw != n {
+			return 0, fmt.Errorf("core: paired readers desynchronized (raw %d rows vs cache %d)", nRaw, n)
+		}
+	}
+	s.meter()
+	if n == 0 {
+		return 0, nil
+	}
+	if s.m != nil {
+		s.m.CacheValuesRead.Add(int64(s.nCache) * int64(n))
+		s.m.CacheHits.Add(int64(n)) // stitched rows served from cache
+	}
+	if s.obsc != nil {
+		s.obsc.rowsStitched.Add(int64(n))
+	}
+	return n, nil
 }
 
 func (s *combinedRowSource) meter() {

@@ -109,6 +109,29 @@ func (d Datum) AsString() string {
 	return ""
 }
 
+// AppendTo appends the datum's AsString rendering to buf without the
+// intermediate string allocation. Hot key-building paths (join keys, group
+// keys, DISTINCT keys) use this with a reusable buffer.
+func (d Datum) AppendTo(buf []byte) []byte {
+	if d.Null {
+		return append(buf, "NULL"...)
+	}
+	switch d.Typ {
+	case TypeInt64:
+		return strconv.AppendInt(buf, d.I, 10)
+	case TypeFloat64:
+		return strconv.AppendFloat(buf, d.F, 'g', -1, 64)
+	case TypeString:
+		return append(buf, d.S...)
+	case TypeBool:
+		if d.B {
+			return append(buf, "true"...)
+		}
+		return append(buf, "false"...)
+	}
+	return buf
+}
+
 // SizeBytes estimates the in-memory footprint of the datum's payload. The
 // scoring function's B_j (average value size) is computed from this.
 func (d Datum) SizeBytes() int64 {

@@ -136,13 +136,17 @@ func (r *Reader) RowGroupStats(column string) ([]ColumnStats, error) {
 	return out, nil
 }
 
-// Cursor iterates selected columns of a file row by row, skipping row
-// groups ruled out by a SARG or by an externally supplied mask.
+// Cursor iterates selected columns of a file, skipping row groups ruled
+// out by a SARG or by an externally supplied mask. It serves rows either
+// one at a time (Next) or batch-at-a-time into caller-owned column vectors
+// (NextBatch); the batch path copies decoded row-group columns directly
+// into the destination vectors with no per-row allocation.
 type Cursor struct {
-	r       *Reader
-	cols    []int // schema indexes of selected columns
-	include []bool
-	stats   *ReadStats
+	r        *Reader
+	cols     []int       // schema indexes of selected columns
+	selected map[int]int // schema index -> output index
+	include  []bool
+	stats    *ReadStats
 
 	// iteration state
 	flat      []flatGroup
@@ -150,6 +154,8 @@ type Cursor struct {
 	decoded   [][]datum.Datum // per selected column, decoded group values
 	rowInGrp  int
 	groupRows int
+	// valScratch is the reused non-null value buffer for chunk decoding.
+	valScratch []datum.Datum
 }
 
 type flatGroup struct {
@@ -160,13 +166,14 @@ type flatGroup struct {
 // NewCursor opens a cursor over the named columns. sarg may be nil. stats
 // may be nil; when non-nil the cursor adds its work to it.
 func (r *Reader) NewCursor(columns []string, sarg *SARG, stats *ReadStats) (*Cursor, error) {
-	c := &Cursor{r: r, stats: stats}
-	for _, name := range columns {
+	c := &Cursor{r: r, stats: stats, selected: make(map[int]int, len(columns))}
+	for outIdx, name := range columns {
 		ci := r.schema.ColumnIndex(name)
 		if ci < 0 {
 			return nil, fmt.Errorf("orc: no column %q", name)
 		}
 		c.cols = append(c.cols, ci)
+		c.selected[ci] = outIdx
 	}
 	for si := range r.stripes {
 		for gi := range r.stripes[si].rowGroups {
@@ -239,10 +246,57 @@ func (c *Cursor) Next() ([]datum.Datum, error) {
 	}
 }
 
+// NextBatch fills dst's column vectors with up to max rows and returns how
+// many it produced; 0 with a nil error means the cursor is exhausted. dst
+// must hold one vector per selected column, each with capacity >= max.
+// Batches cross row-group boundaries, so callers see fixed-size batches
+// regardless of group geometry. Decoded group columns are copied into dst
+// column-wise — no per-row allocation.
+func (c *Cursor) NextBatch(dst [][]datum.Datum, max int) (int, error) {
+	if len(dst) < len(c.cols) {
+		return 0, fmt.Errorf("orc: batch has %d columns, cursor selects %d", len(dst), len(c.cols))
+	}
+	total := 0
+	for total < max {
+		if c.groupIdx >= 0 && c.rowInGrp < c.groupRows {
+			take := c.groupRows - c.rowInGrp
+			if take > max-total {
+				take = max - total
+			}
+			for i := range c.cols {
+				copy(dst[i][total:total+take], c.decoded[i][c.rowInGrp:c.rowInGrp+take])
+			}
+			c.rowInGrp += take
+			total += take
+			if c.stats != nil {
+				c.stats.RowsRead += int64(take)
+			}
+			continue
+		}
+		// advance to next included group
+		c.groupIdx++
+		if c.groupIdx >= len(c.flat) {
+			break
+		}
+		if !c.include[c.groupIdx] {
+			if c.stats != nil {
+				c.stats.RowGroupsSkipped++
+			}
+			continue
+		}
+		if err := c.decodeGroup(c.groupIdx); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
 // decodeGroup decodes the selected columns of one row group. Columns are
 // stored as length-prefixed chunks, so unselected columns are skipped
 // without decoding and without charging their bytes to the read meter —
 // column pruning pays off exactly as it does on real columnar storage.
+// Decode buffers are reused across groups: callers copy values out of
+// c.decoded before the next decodeGroup call.
 func (c *Cursor) decodeGroup(flatIdx int) error {
 	fg := c.flat[flatIdx]
 	stripe := &c.r.stripes[fg.stripe]
@@ -254,13 +308,15 @@ func (c *Cursor) decodeGroup(flatIdx int) error {
 	d := decoder{buf: c.r.data[:start+rg.length], pos: int(start)}
 	n := int(rg.rows)
 
-	selected := make(map[int]int, len(c.cols)) // schema idx -> output idx
-	for outIdx, ci := range c.cols {
-		selected[ci] = outIdx
+	if c.decoded == nil {
+		c.decoded = make([][]datum.Datum, len(c.cols))
 	}
-	c.decoded = make([][]datum.Datum, len(c.cols))
 	for i := range c.decoded {
-		c.decoded[i] = make([]datum.Datum, n)
+		if cap(c.decoded[i]) >= n {
+			c.decoded[i] = c.decoded[i][:n]
+		} else {
+			c.decoded[i] = make([]datum.Datum, n)
+		}
 	}
 
 	var bytesRead int64
@@ -269,7 +325,7 @@ func (c *Cursor) decodeGroup(flatIdx int) error {
 		if d.err != nil {
 			return d.err
 		}
-		outIdx, want := selected[ci]
+		outIdx, want := c.selected[ci]
 		if !want {
 			d.take(chunkLen)
 			if d.err != nil {
@@ -282,9 +338,11 @@ func (c *Cursor) decodeGroup(flatIdx int) error {
 		if d.err != nil {
 			return d.err
 		}
-		if err := decodeChunk(chunkBytes, col.Type, n, c.decoded[outIdx]); err != nil {
+		vals, err := decodeChunk(chunkBytes, col.Type, n, c.decoded[outIdx], c.valScratch)
+		if err != nil {
 			return err
 		}
+		c.valScratch = vals
 	}
 	if c.stats != nil {
 		c.stats.RowGroupsRead++
@@ -296,17 +354,19 @@ func (c *Cursor) decodeGroup(flatIdx int) error {
 }
 
 // decodeChunk decodes one column chunk (null bitmap + encoding tag +
-// values) into out, which has length n.
-func decodeChunk(chunk []byte, t datum.Type, n int, out []datum.Datum) error {
+// values) into out, which has length n. scratch is an optional reusable
+// buffer for the non-null value stream; the (possibly grown) buffer is
+// returned so callers can keep it across chunks.
+func decodeChunk(chunk []byte, t datum.Type, n int, out, scratch []datum.Datum) ([]datum.Datum, error) {
 	d := decoder{buf: chunk}
 	bitmap := d.take((n + 7) / 8)
 	if d.err != nil {
-		return d.err
+		return scratch, d.err
 	}
 	isNull := func(i int) bool { return bitmap[i/8]&(1<<uint(i%8)) != 0 }
 	tag := d.take(1)
 	if d.err != nil {
-		return d.err
+		return scratch, d.err
 	}
 
 	// Decode the non-null value stream.
@@ -316,7 +376,10 @@ func decodeChunk(chunk []byte, t datum.Type, n int, out []datum.Datum) error {
 			nonNull++
 		}
 	}
-	vals := make([]datum.Datum, 0, nonNull)
+	vals := scratch[:0]
+	if cap(vals) < nonNull {
+		vals = make([]datum.Datum, 0, nonNull)
+	}
 	switch t {
 	case datum.TypeInt64:
 		switch tag[0] {
@@ -330,14 +393,14 @@ func decodeChunk(chunk []byte, t datum.Type, n int, out []datum.Datum) error {
 				count := int(d.uvarint())
 				v := d.i64()
 				if d.err != nil || count < 0 || len(vals)+count > nonNull {
-					return corruptf("bad RLE run")
+					return vals, corruptf("bad RLE run")
 				}
 				for k := 0; k < count; k++ {
 					vals = append(vals, datum.Int(v))
 				}
 			}
 		default:
-			return corruptf("unknown int encoding %d", tag[0])
+			return vals, corruptf("unknown int encoding %d", tag[0])
 		}
 	case datum.TypeFloat64:
 		for k := 0; k < nonNull; k++ {
@@ -352,7 +415,7 @@ func decodeChunk(chunk []byte, t datum.Type, n int, out []datum.Datum) error {
 		case encDict:
 			dictSize := int(d.uvarint())
 			if d.err != nil || dictSize < 0 || dictSize > nonNull {
-				return corruptf("bad dictionary size")
+				return vals, corruptf("bad dictionary size")
 			}
 			dict := make([]string, dictSize)
 			for k := range dict {
@@ -361,30 +424,30 @@ func decodeChunk(chunk []byte, t datum.Type, n int, out []datum.Datum) error {
 			for k := 0; k < nonNull; k++ {
 				idx := int(d.uvarint())
 				if d.err != nil || idx < 0 || idx >= dictSize {
-					return corruptf("dictionary index out of range")
+					return vals, corruptf("dictionary index out of range")
 				}
 				vals = append(vals, datum.Str(dict[idx]))
 			}
 		default:
-			return corruptf("unknown string encoding %d", tag[0])
+			return vals, corruptf("unknown string encoding %d", tag[0])
 		}
 	case datum.TypeBool:
 		if tag[0] != encBitpacked {
-			return corruptf("unknown bool encoding %d", tag[0])
+			return vals, corruptf("unknown bool encoding %d", tag[0])
 		}
 		packed := d.take((nonNull + 7) / 8)
 		if d.err != nil {
-			return d.err
+			return vals, d.err
 		}
 		for k := 0; k < nonNull; k++ {
 			vals = append(vals, datum.Bool(packed[k/8]&(1<<uint(k%8)) != 0))
 		}
 	}
 	if d.err != nil {
-		return d.err
+		return vals, d.err
 	}
 	if len(vals) != nonNull {
-		return corruptf("value stream truncated: %d of %d", len(vals), nonNull)
+		return vals, corruptf("value stream truncated: %d of %d", len(vals), nonNull)
 	}
 
 	// Scatter values over nulls.
@@ -397,7 +460,7 @@ func decodeChunk(chunk []byte, t datum.Type, n int, out []datum.Datum) error {
 		out[i] = vals[vi]
 		vi++
 	}
-	return nil
+	return vals, nil
 }
 
 // ReadColumn reads one full column (no SARG) into a slice.

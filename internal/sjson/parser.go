@@ -34,17 +34,61 @@ func (s *ParseStats) Add(other ParseStats) {
 }
 
 // Parser is a reusable recursive-descent JSON parser. A zero Parser is ready
-// to use; reusing one across documents amortizes nothing but keeps the stats
-// in one place. Parser is not safe for concurrent use.
+// to use; reusing one across documents amortizes the Value-node arena the
+// trees are built from (see ResetValues) and keeps the stats in one place.
+// Parser is not safe for concurrent use.
 type Parser struct {
 	data  []byte
 	pos   int
 	depth int
 	stats ParseStats
+
+	// slabs is the Value arena: nodes are handed out from slabs[cur][used:],
+	// each new slab doubling in size. Growth appends a slab rather than
+	// reallocating, so *Value pointers already handed out stay valid.
+	slabs [][]Value
+	cur   int
+	used  int
 }
 
 // maxDepth bounds nesting so hostile inputs cannot overflow the stack.
 const maxDepth = 512
+
+// Arena slab sizing: the first slab is small so one-off parses stay cheap;
+// slabs double up to a cap that keeps reuse effective for large documents.
+const (
+	minSlabValues = 16
+	maxSlabValues = 4096
+)
+
+// newValue hands out one zeroed node from the arena, growing it as needed.
+func (p *Parser) newValue() *Value {
+	if p.cur < len(p.slabs) && p.used >= len(p.slabs[p.cur]) {
+		p.cur++
+		p.used = 0
+	}
+	if p.cur >= len(p.slabs) {
+		size := minSlabValues << len(p.slabs)
+		if size > maxSlabValues {
+			size = maxSlabValues
+		}
+		p.slabs = append(p.slabs, make([]Value, size))
+	}
+	v := &p.slabs[p.cur][p.used]
+	p.used++
+	// Zero the reused slot but keep its member/element slice capacity: trees
+	// freed by ResetValues donate their backing arrays to the next parse.
+	*v = Value{arrVal: v.arrVal[:0], objVal: v.objVal[:0]}
+	return v
+}
+
+// ResetValues recycles the parser's node arena. Every *Value returned by
+// previous Parse calls on this parser becomes invalid; callers reset only
+// when those trees are provably dead (e.g. a per-document memo is about to
+// replace the sole retained tree).
+func (p *Parser) ResetValues() {
+	p.cur, p.used = 0, 0
+}
 
 // Parse parses a single JSON document from data. Trailing whitespace is
 // allowed; any other trailing content is an error.
@@ -111,22 +155,28 @@ func (p *Parser) parseValue() (*Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Value{kind: KindString, strVal: s}, nil
+		v := p.newValue()
+		v.kind, v.strVal = KindString, s
+		return v, nil
 	case c == 't':
 		if err := p.expect("true"); err != nil {
 			return nil, err
 		}
-		return &Value{kind: KindBool, boolVal: true}, nil
+		v := p.newValue()
+		v.kind, v.boolVal = KindBool, true
+		return v, nil
 	case c == 'f':
 		if err := p.expect("false"); err != nil {
 			return nil, err
 		}
-		return &Value{kind: KindBool}, nil
+		v := p.newValue()
+		v.kind = KindBool
+		return v, nil
 	case c == 'n':
 		if err := p.expect("null"); err != nil {
 			return nil, err
 		}
-		return &Value{kind: KindNull}, nil
+		return p.newValue(), nil
 	case c == '-' || (c >= '0' && c <= '9'):
 		return p.parseNumber()
 	default:
@@ -149,7 +199,8 @@ func (p *Parser) parseObject() (*Value, error) {
 	}
 	defer func() { p.depth-- }()
 	p.pos++ // consume '{'
-	obj := &Value{kind: KindObject}
+	obj := p.newValue()
+	obj.kind = KindObject
 	p.skipSpace()
 	if p.pos < len(p.data) && p.data[p.pos] == '}' {
 		p.pos++
@@ -201,7 +252,8 @@ func (p *Parser) parseArray() (*Value, error) {
 	}
 	defer func() { p.depth-- }()
 	p.pos++ // consume '['
-	arr := &Value{kind: KindArray}
+	arr := p.newValue()
+	arr.kind = KindArray
 	p.skipSpace()
 	if p.pos < len(p.data) && p.data[p.pos] == ']' {
 		p.pos++
@@ -380,7 +432,8 @@ func (p *Parser) parseNumber() (*Value, error) {
 	if err != nil {
 		return nil, p.errf("invalid number %q", raw)
 	}
-	v := &Value{kind: KindNumber, numVal: f}
+	v := p.newValue()
+	v.kind, v.numVal = KindNumber, f
 	if !isFloat {
 		v.numRaw = raw
 	}

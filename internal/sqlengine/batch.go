@@ -1,0 +1,201 @@
+package sqlengine
+
+import (
+	"sync"
+
+	"repro/internal/datum"
+)
+
+// DefaultBatchSize is the number of rows a scan produces per NextBatch call
+// unless WithBatchSize overrides it. 1024 rows keeps a batch of a few
+// columns inside the L2 cache while amortizing per-call overhead (cursor
+// bookkeeping, metric flushes) over a thousand rows.
+const DefaultBatchSize = 1024
+
+// RowBatch is a column-major batch of rows: Cols[c][i] is row i's value of
+// column c. Batches are recycled through a sync.Pool (GetRowBatch /
+// PutRowBatch) so steady-state scans allocate nothing per batch. The
+// executor's selection vector (Sel) marks the rows that survived the
+// prefilter stage; downstream operators iterate Sel instead of compacting
+// the vectors.
+type RowBatch struct {
+	Cols [][]datum.Datum
+	// Sel is scratch space for the executor's selection vector. It is not
+	// part of the batch contents a BatchSource fills.
+	Sel []int
+
+	// slab is the flat backing array the columns are sliced from.
+	slab []datum.Datum
+	size int
+}
+
+// NewRowBatch builds a batch of the given width (column count) and capacity
+// (rows per column). Prefer GetRowBatch for pooled reuse.
+func NewRowBatch(width, capacity int) *RowBatch {
+	b := &RowBatch{}
+	b.reshape(width, capacity)
+	return b
+}
+
+// reshape resizes the batch to width columns of capacity rows, reusing the
+// backing slab when it is large enough.
+func (b *RowBatch) reshape(width, capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	need := width * capacity
+	if cap(b.slab) < need {
+		b.slab = make([]datum.Datum, need)
+	}
+	slab := b.slab[:need]
+	if cap(b.Cols) < width {
+		b.Cols = make([][]datum.Datum, width)
+	}
+	b.Cols = b.Cols[:width]
+	for c := 0; c < width; c++ {
+		b.Cols[c] = slab[c*capacity : (c+1)*capacity : (c+1)*capacity]
+	}
+	b.size = capacity
+	if cap(b.Sel) < capacity {
+		b.Sel = make([]int, 0, capacity)
+	}
+	b.Sel = b.Sel[:0]
+}
+
+// Capacity returns the maximum rows per NextBatch call.
+func (b *RowBatch) Capacity() int { return b.size }
+
+// Width returns the column count.
+func (b *RowBatch) Width() int { return len(b.Cols) }
+
+// Gather copies row i into dst (a row-major view for expression
+// evaluation) and returns it. dst must have capacity >= Width.
+func (b *RowBatch) Gather(i int, dst []datum.Datum) []datum.Datum {
+	dst = dst[:len(b.Cols)]
+	for c := range b.Cols {
+		dst[c] = b.Cols[c][i]
+	}
+	return dst
+}
+
+// batchPool recycles RowBatch slabs across partitions and queries.
+var batchPool = sync.Pool{New: func() any { return &RowBatch{} }}
+
+// GetRowBatch returns a pooled batch reshaped to width x capacity.
+func GetRowBatch(width, capacity int) *RowBatch {
+	b := batchPool.Get().(*RowBatch)
+	b.reshape(width, capacity)
+	return b
+}
+
+// PutRowBatch returns a batch to the pool. The caller must not use it (or
+// any row gathered from it) afterwards.
+func PutRowBatch(b *RowBatch) {
+	if b != nil {
+		batchPool.Put(b)
+	}
+}
+
+// BatchSource streams rows batch-at-a-time. NextBatch fills b.Cols[c][0:n]
+// for every column and returns n; n == 0 with a nil error means the source
+// is exhausted. Values written into the batch must remain valid after the
+// next NextBatch call only if the caller copied them out.
+type BatchSource interface {
+	NextBatch(b *RowBatch) (int, error)
+}
+
+// RowSourceAdapter lifts a legacy row-at-a-time RowSource into a
+// BatchSource by buffering rows into the batch. It is the migration shim:
+// scan sources that do not (yet) implement BatchSource keep working, just
+// without the batch path's allocation savings.
+type RowSourceAdapter struct {
+	Src RowSource
+	// done latches the source's end so a partial batch is not followed by
+	// another Next call on an exhausted source.
+	done bool
+}
+
+// NextBatch implements BatchSource.
+func (a *RowSourceAdapter) NextBatch(b *RowBatch) (int, error) {
+	if a.done {
+		return 0, nil
+	}
+	n := 0
+	width := len(b.Cols)
+	for n < b.Capacity() {
+		row, err := a.Src.Next()
+		if err != nil {
+			return n, err
+		}
+		if row == nil {
+			a.done = true
+			break
+		}
+		w := len(row)
+		if w > width {
+			w = width
+		}
+		for c := 0; c < w; c++ {
+			b.Cols[c][n] = row[c]
+		}
+		for c := w; c < width; c++ {
+			b.Cols[c][n] = datum.NullOf(datum.TypeString)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// asBatchSource returns the source's native batch interface, or wraps it in
+// a RowSourceAdapter. forceAdapter pins the legacy row-at-a-time path even
+// for batch-capable sources (WithRowAtATime, equivalence tests).
+func asBatchSource(src RowSource, forceAdapter bool) BatchSource {
+	if !forceAdapter {
+		if bs, ok := src.(BatchSource); ok {
+			return bs
+		}
+	}
+	return &RowSourceAdapter{Src: src}
+}
+
+// datumArena hands out persistent row slices carved from large chunks, so
+// materializing a projected row costs one allocation per ~chunk instead of
+// one per row. Rows allocated from an arena stay valid forever (the chunk
+// is retained by the rows themselves); the arena is simply a cheaper
+// make([]datum.Datum, n).
+type datumArena struct {
+	chunk []datum.Datum
+	off   int
+	next  int
+}
+
+// Arena chunks double from minArenaChunkDatums to maxArenaChunkDatums
+// (~64KiB of datums), so partitions that emit a handful of rows pay a small
+// chunk while large scans still amortize to one allocation per ~1k datums.
+const (
+	minArenaChunkDatums = 32
+	maxArenaChunkDatums = 1024
+)
+
+func (a *datumArena) alloc(n int) []datum.Datum {
+	if n == 0 {
+		return nil
+	}
+	if a.off+n > len(a.chunk) {
+		if a.next < minArenaChunkDatums {
+			a.next = minArenaChunkDatums
+		}
+		size := a.next
+		if n > size {
+			size = n
+		}
+		if a.next < maxArenaChunkDatums {
+			a.next *= 2
+		}
+		a.chunk = make([]datum.Datum, size)
+		a.off = 0
+	}
+	s := a.chunk[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}

@@ -19,6 +19,10 @@ type Engine struct {
 	defaultDB   string
 	cost        CostModel
 	sparser     bool
+	// batchSize is the rows-per-batch of the vectorized scan pipeline;
+	// rowAtATime forces every scan through the legacy RowSourceAdapter.
+	batchSize  int
+	rowAtATime bool
 	// PlanModifier, when set, rewrites physical plans after planning —
 	// Maxson installs its MaxsonParser here. The returned extra node count
 	// is added to PlanExprNodes so Fig 13 sees the modification overhead.
@@ -120,6 +124,25 @@ func WithSparser(on bool) EngineOption {
 	return func(e *Engine) { e.sparser = on }
 }
 
+// WithBatchSize sets how many rows each scan batch carries through the
+// vectorized execution pipeline (default DefaultBatchSize). Values < 1 are
+// ignored. Small batches trade cache locality for lower latency-to-first-row;
+// the default suits analytical scans.
+func WithBatchSize(n int) EngineOption {
+	return func(e *Engine) {
+		if n > 0 {
+			e.batchSize = n
+		}
+	}
+}
+
+// WithRowAtATime forces every scan through the legacy row-at-a-time
+// RowSourceAdapter even when the source implements BatchSource — the escape
+// hatch for debugging and the substrate of the batch/row equivalence tests.
+func WithRowAtATime(on bool) EngineOption {
+	return func(e *Engine) { e.rowAtATime = on }
+}
+
 // WithCostModel overrides the calibrated cost model.
 func WithCostModel(cm CostModel) EngineOption {
 	return func(e *Engine) { e.cost = cm }
@@ -139,6 +162,7 @@ func NewEngine(wh *warehouse.Warehouse, opts ...EngineOption) *Engine {
 		parallelism: runtime.GOMAXPROCS(0),
 		defaultDB:   "default",
 		cost:        DefaultCostModel(),
+		batchSize:   DefaultBatchSize,
 	}
 	for _, o := range opts {
 		o(e)

@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -87,15 +88,30 @@ type fileRowSource struct {
 
 func (s *fileRowSource) Next() ([]datum.Datum, error) {
 	row, err := s.cur.Next()
-	if s.m != nil {
-		cur := *s.rs
-		s.m.BytesRead.Add(cur.BytesRead - s.prev.BytesRead)
-		s.m.RowsScanned.Add(cur.RowsRead - s.prev.RowsRead)
-		s.m.RowGroupsRead.Add(cur.RowGroupsRead - s.prev.RowGroupsRead)
-		s.m.RowGroupsSkipped.Add(cur.RowGroupsSkipped - s.prev.RowGroupsSkipped)
-		s.prev = cur
-	}
+	s.flushStats()
 	return row, err
+}
+
+// NextBatch implements BatchSource: the cursor copies decoded row-group
+// columns straight into the batch vectors, and read-stat deltas flush once
+// per batch instead of once per row.
+func (s *fileRowSource) NextBatch(b *RowBatch) (int, error) {
+	n, err := s.cur.NextBatch(b.Cols, b.Capacity())
+	s.flushStats()
+	return n, err
+}
+
+// flushStats streams the cursor's stat deltas into the query Metrics.
+func (s *fileRowSource) flushStats() {
+	if s.m == nil {
+		return
+	}
+	cur := *s.rs
+	s.m.BytesRead.Add(cur.BytesRead - s.prev.BytesRead)
+	s.m.RowsScanned.Add(cur.RowsRead - s.prev.RowsRead)
+	s.m.RowGroupsRead.Add(cur.RowGroupsRead - s.prev.RowGroupsRead)
+	s.m.RowGroupsSkipped.Add(cur.RowGroupsSkipped - s.prev.RowGroupsSkipped)
+	s.prev = cur
 }
 
 // Execute runs a physical plan and returns its results plus metrics.
@@ -283,10 +299,34 @@ type partResult struct {
 	err     error
 }
 
+// execScratch holds one partition's reusable buffers: the row-major gather
+// view of the current batch row, the joined-row scratch, the join/group key
+// build buffer, the rendered-value scratch, the group-key datums, and the
+// arena that persistent output rows are carved from.
+type execScratch struct {
+	row    []datum.Datum // gather view of the current batch row
+	joined []datum.Datum // probe-side joined row
+	keyBuf []byte        // join/group key build buffer
+	valBuf []byte        // one rendered value (join-key length prefixing)
+	keys   []datum.Datum // group-by key values of the current row
+	arena  datumArena
+}
+
 // runPartition executes the map side of the plan over one split:
-// scan → (join probe) → filter → project or partial aggregate.
+// scan → (join probe) → filter → project or partial aggregate. Rows move
+// through the partition batch-at-a-time: the scan fills a pooled
+// column-major RowBatch, prefilters evaluate column-wise into the batch's
+// selection vector, and the filter + projection (or partial aggregation)
+// run fused over the selected rows, so a document the filter parsed is
+// still memoized by the doc evaluator when the projection needs it. Metric
+// deltas accumulate in locals and flush once per batch.
 func (e *Engine) runPartition(plan *PhysicalPlan, factory ScanSourceFactory, split int, joinTable map[string][][]datum.Datum, buildWidth int, m *Metrics) (res partResult) {
 	src, err := factory.Open(split, m)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	schema, err := factory.Schema()
 	if err != nil {
 		res.err = err
 		return res
@@ -296,29 +336,59 @@ func (e *Engine) runPartition(plan *PhysicalPlan, factory ScanSourceFactory, spl
 		res.aggs = make(map[string]*aggState)
 	}
 	wantSortKeys := !plan.aggregate && len(plan.OrderBy) > 0
-
 	preFilters := plan.Scan.PreFilters
-	emit := func(row []datum.Datum) {
-		m.RowOps.Add(1)
-		// Sparser-style raw filters: a document lacking the needle cannot
-		// satisfy its equality conjunct — skip it before any parsing.
+
+	width := len(schema.Cols)
+	batch := GetRowBatch(width, e.batchSize)
+	defer PutRowBatch(batch)
+	bs := asBatchSource(src, e.rowAtATime)
+	sc := &execScratch{row: make([]datum.Datum, width, width+buildWidth)}
+
+	// Per-batch local counters, flushed in one atomic add each.
+	var rowOps, prefSkipped, prefBytes int64
+	flush := func() {
+		if rowOps != 0 {
+			m.RowOps.Add(rowOps)
+			rowOps = 0
+		}
+		if prefSkipped != 0 {
+			m.PrefilterSkipped.Add(prefSkipped)
+			prefSkipped = 0
+		}
+		if prefBytes != 0 {
+			m.PrefilterBytes.Add(prefBytes)
+			prefBytes = 0
+		}
+	}
+	defer flush()
+
+	// prefilterRow applies the Sparser-style raw filters to one materialized
+	// (joined) row: a document lacking the needle cannot satisfy its equality
+	// conjunct — skip it before any parsing. Escape-encoded documents (any
+	// backslash) may hide the value's text, so they are never skipped — only
+	// parsed and verified.
+	prefilterRow := func(row []datum.Datum) bool {
 		for _, pf := range preFilters {
 			if pf.colIdx < 0 || pf.colIdx >= len(row) {
 				continue
 			}
 			doc := row[pf.colIdx]
 			if doc.Null {
-				m.PrefilterSkipped.Add(1)
-				return
+				prefSkipped++
+				return false
 			}
-			m.PrefilterBytes.Add(int64(len(doc.S)))
-			// Escape-encoded documents (any backslash) may hide the value's
-			// text, so they are never skipped — only parsed and verified.
+			prefBytes += int64(len(doc.S))
 			if !strings.Contains(doc.S, pf.Needle) && !strings.ContainsRune(doc.S, '\\') {
-				m.PrefilterSkipped.Add(1)
-				return
+				prefSkipped++
+				return false
 			}
 		}
+		return true
+	}
+
+	// emit runs the fused filter → project / partial-aggregate tail for one
+	// row that survived the prefilters.
+	emit := func(row []datum.Datum) {
 		if plan.Filter != nil {
 			if !Truthy(Eval(plan.Filter, row, ctx)) {
 				return
@@ -326,16 +396,16 @@ func (e *Engine) runPartition(plan *PhysicalPlan, factory ScanSourceFactory, spl
 		}
 		res.rowsOut++
 		if plan.aggregate {
-			e.accumulate(plan, row, res.aggs, ctx)
+			e.accumulate(plan, row, res.aggs, ctx, sc)
 			return
 		}
-		outRow := make([]datum.Datum, len(plan.Items))
+		outRow := sc.arena.alloc(len(plan.Items))
 		for i, it := range plan.Items {
 			outRow[i] = Eval(it.Expr, row, ctx)
 		}
 		res.rows = append(res.rows, outRow)
 		if wantSortKeys {
-			keys := make([]datum.Datum, len(plan.OrderBy))
+			keys := sc.arena.alloc(len(plan.OrderBy))
 			for i, o := range plan.OrderBy {
 				keys[i] = Eval(o.Expr, row, ctx)
 			}
@@ -344,29 +414,71 @@ func (e *Engine) runPartition(plan *PhysicalPlan, factory ScanSourceFactory, spl
 	}
 
 	for {
-		row, err := src.Next()
+		n, err := bs.NextBatch(batch)
 		if err != nil {
 			res.err = err
 			return res
 		}
-		if row == nil {
+		if n == 0 {
 			return res
 		}
-		if plan.Join == nil {
-			emit(row)
+
+		if plan.Join != nil {
+			// Probe the hash table; inner join emits one row per match.
+			for i := 0; i < n; i++ {
+				row := batch.Gather(i, sc.row)
+				key, ok := appendJoinKey(sc.keyBuf[:0], plan.Join.LeftKeys, row, ctx, sc)
+				sc.keyBuf = key
+				if !ok {
+					continue // NULL keys never join
+				}
+				for _, buildRow := range joinTable[string(key)] {
+					joined := append(append(sc.joined[:0], row...), buildRow...)
+					sc.joined = joined
+					rowOps++
+					if prefilterRow(joined) {
+						emit(joined)
+					}
+				}
+			}
+			flush()
 			continue
 		}
-		// Probe the hash table; inner join emits one row per match.
-		key := joinKey(plan.Join.LeftKeys, row, ctx)
-		if key == "" {
-			continue // NULL keys never join
+
+		rowOps += int64(n)
+		// Column-wise prefilter into the selection vector; the fused tail
+		// only gathers rows that survived.
+		sel := batch.Sel[:0]
+		if len(preFilters) > 0 {
+		rows:
+			for i := 0; i < n; i++ {
+				for _, pf := range preFilters {
+					if pf.colIdx < 0 || pf.colIdx >= width {
+						continue
+					}
+					doc := batch.Cols[pf.colIdx][i]
+					if doc.Null {
+						prefSkipped++
+						continue rows
+					}
+					prefBytes += int64(len(doc.S))
+					if !strings.Contains(doc.S, pf.Needle) && !strings.ContainsRune(doc.S, '\\') {
+						prefSkipped++
+						continue rows
+					}
+				}
+				sel = append(sel, i)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				sel = append(sel, i)
+			}
 		}
-		for _, buildRow := range joinTable[key] {
-			joined := make([]datum.Datum, 0, len(row)+buildWidth)
-			joined = append(joined, row...)
-			joined = append(joined, buildRow...)
-			emit(joined)
+		batch.Sel = sel
+		for _, i := range sel {
+			emit(batch.Gather(i, sc.row))
 		}
+		flush()
 	}
 }
 
@@ -384,44 +496,60 @@ func (e *Engine) buildJoinTable(plan *PhysicalPlan, m *Metrics) (map[string][][]
 	ctx := &EvalContext{Doc: e.backend.NewDocEvaluator(&m.Parse), Metrics: m}
 	table := make(map[string][][]datum.Datum)
 	width := len(build.schema.Cols)
+	batch := GetRowBatch(width, e.batchSize)
+	defer PutRowBatch(batch)
+	sc := &execScratch{row: make([]datum.Datum, width)}
 	for split := 0; split < nSplits; split++ {
 		src, err := factory.Open(split, m)
 		if err != nil {
 			return nil, 0, err
 		}
+		bs := asBatchSource(src, e.rowAtATime)
 		for {
-			row, err := src.Next()
+			n, err := bs.NextBatch(batch)
 			if err != nil {
 				return nil, 0, err
 			}
-			if row == nil {
+			if n == 0 {
 				break
 			}
-			m.RowOps.Add(1)
-			key := joinKey(plan.Join.RightKeys, row, ctx)
-			if key == "" {
-				continue
+			m.RowOps.Add(int64(n))
+			for i := 0; i < n; i++ {
+				row := batch.Gather(i, sc.row)
+				key, ok := appendJoinKey(sc.keyBuf[:0], plan.Join.RightKeys, row, ctx, sc)
+				sc.keyBuf = key
+				if !ok {
+					continue
+				}
+				cp := sc.arena.alloc(len(row))
+				copy(cp, row)
+				table[string(key)] = append(table[string(key)], cp)
 			}
-			cp := make([]datum.Datum, len(row))
-			copy(cp, row)
-			table[key] = append(table[key], cp)
 		}
 	}
 	return table, width, nil
 }
 
-// joinKey renders the key tuple; "" means a NULL key (never matches).
-func joinKey(keys []Expr, row []datum.Datum, ctx *EvalContext) string {
-	var sb strings.Builder
+// appendJoinKey encodes the key tuple into buf as length-prefixed binary
+// fields (uvarint byte length, then the rendered value). Length prefixes
+// remove both the per-row string allocation the old concatenation paid and
+// its field-boundary collisions (("ab","c") vs ("a","bc") once a value
+// contains the separator byte). ok=false means a NULL key, which never
+// matches; an empty key tuple keeps the legacy never-matches behavior.
+func appendJoinKey(buf []byte, keys []Expr, row []datum.Datum, ctx *EvalContext, sc *execScratch) ([]byte, bool) {
+	if len(keys) == 0 {
+		return buf, false
+	}
 	for _, k := range keys {
 		v := Eval(k, row, ctx)
 		if v.Null {
-			return ""
+			return buf[:0], false
 		}
-		sb.WriteString(v.AsString())
-		sb.WriteByte(0)
+		sc.valBuf = v.AppendTo(sc.valBuf[:0])
+		buf = binary.AppendUvarint(buf, uint64(len(sc.valBuf)))
+		buf = append(buf, sc.valBuf...)
 	}
-	return sb.String()
+	return buf, true
 }
 
 // ---- aggregation ----
@@ -447,22 +575,30 @@ func newAggState(nAggs int, keys []datum.Datum) *aggState {
 	}
 }
 
-// accumulate folds one input row into the partial aggregation map.
-func (e *Engine) accumulate(plan *PhysicalPlan, row []datum.Datum, aggs map[string]*aggState, ctx *EvalContext) {
-	keys := make([]datum.Datum, len(plan.GroupBy))
-	var kb strings.Builder
-	for i, g := range plan.GroupBy {
-		keys[i] = Eval(g, row, ctx)
-		kb.WriteString(keys[i].AsString())
-		kb.WriteByte(0)
-		if keys[i].Null {
-			kb.WriteByte(1) // distinguish NULL from "NULL"
+// accumulate folds one input row into the partial aggregation map. The
+// group key renders into sc.keyBuf with the same NUL-separated encoding the
+// old string build produced (finalizeAggregate sorts key strings, so the
+// bytes fix the group output order) and probes the map without allocating;
+// only a new group copies the key bytes and datums out of the scratch.
+func (e *Engine) accumulate(plan *PhysicalPlan, row []datum.Datum, aggs map[string]*aggState, ctx *EvalContext, sc *execScratch) {
+	kb := sc.keyBuf[:0]
+	ks := sc.keys[:0]
+	for _, g := range plan.GroupBy {
+		v := Eval(g, row, ctx)
+		ks = append(ks, v)
+		kb = v.AppendTo(kb)
+		kb = append(kb, 0)
+		if v.Null {
+			kb = append(kb, 1) // distinguish NULL from "NULL"
 		}
 	}
-	state, ok := aggs[kb.String()]
+	sc.keyBuf, sc.keys = kb, ks
+	state, ok := aggs[string(kb)]
 	if !ok {
+		keys := sc.arena.alloc(len(ks))
+		copy(keys, ks)
 		state = newAggState(len(plan.Aggs), keys)
-		aggs[kb.String()] = state
+		aggs[string(kb)] = state
 	}
 	for i, a := range plan.Aggs {
 		var v datum.Datum
@@ -597,17 +733,18 @@ func distinctRows(rows, keys [][]datum.Datum, m *Metrics) ([][]datum.Datum, [][]
 	seen := make(map[string]bool, len(rows))
 	outRows := rows[:0:0]
 	var outKeys [][]datum.Datum
+	var kb []byte
 	for i, row := range rows {
-		var sb strings.Builder
+		kb = kb[:0]
 		for _, d := range row {
-			sb.WriteString(d.AsString())
-			sb.WriteByte(0)
+			kb = d.AppendTo(kb)
+			kb = append(kb, 0)
 		}
 		m.RowOps.Add(1)
-		if seen[sb.String()] {
+		if seen[string(kb)] {
 			continue
 		}
-		seen[sb.String()] = true
+		seen[string(kb)] = true
 		outRows = append(outRows, row)
 		if keys != nil {
 			outKeys = append(outKeys, keys[i])
