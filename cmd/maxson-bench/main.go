@@ -70,8 +70,9 @@ func main() {
 		"ablation": func() (fmt.Stringer, error) { return experiments.RunAblation(*rows, *seed) },
 		"sparser":  func() (fmt.Stringer, error) { return experiments.RunSparserStudy(*rows, *seed) },
 		"exec":     func() (fmt.Stringer, error) { return experiments.RunExecBench(*rows, *seed) },
+		"extract":  func() (fmt.Stringer, error) { return experiments.RunExtractBench(*rows, *seed) },
 	}
-	order := []string{"fig2", "fig3", "fig4", "table3", "table4", "fig11", "fig12", "fig13", "fig14", "fig15", "ablation", "sparser", "exec"}
+	order := []string{"fig2", "fig3", "fig4", "table3", "table4", "fig11", "fig12", "fig13", "fig14", "fig15", "ablation", "sparser", "exec", "extract"}
 
 	var selected []string
 	if *exp == "all" {

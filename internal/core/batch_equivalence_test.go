@@ -52,6 +52,11 @@ func runBatchRowRound(t *testing.T, seed int64) {
 		inner := sjson.Object()
 		inner.Set("x", sjson.Int(int64(rng.Intn(100))))
 		obj.Set("nested", inner)
+		arr := sjson.Array()
+		for i := rng.Intn(4); i > 0; i-- {
+			arr.Append(sjson.Int(int64(rng.Intn(30))))
+		}
+		obj.Set("arr", arr)
 		return sjson.Serialize(obj)
 	}
 
@@ -93,11 +98,19 @@ func runBatchRowRound(t *testing.T, seed int64) {
 			}
 			clock.Advance(time.Hour)
 		}
+		// Odd seeds run the streaming on-demand backend, so the mixed
+		// trie-extractor / tree-escape evaluator is covered in both exec
+		// modes; even seeds keep the tree-parse default.
+		backend := sqlengine.ParserBackend(sqlengine.JacksonBackend{})
+		if seed%2 == 1 {
+			backend = sqlengine.StreamBackend{}
+		}
 		opts := []sqlengine.EngineOption{
 			sqlengine.WithDefaultDB("db"),
 			sqlengine.WithParallelism(2),
 			sqlengine.WithSparser(true),
 			sqlengine.WithBatchSize(batchSize),
+			sqlengine.WithBackend(backend),
 		}
 		if rowAtATime {
 			opts = append(opts, sqlengine.WithRowAtATime(true))
@@ -112,7 +125,7 @@ func runBatchRowRound(t *testing.T, seed int64) {
 	// scans are exercised every round) plus a random tail of other paths.
 	cached := []string{"$.a", "$.nested.x"}
 	rng = rand.New(rand.NewSource(seed*7 + 13))
-	for _, p := range []string{"$.b", "$.c", "$.d", "$.nested"} {
+	for _, p := range []string{"$.b", "$.c", "$.d", "$.nested", "$.arr[*]"} {
 		if rng.Intn(2) == 0 {
 			cached = append(cached, p)
 		}
@@ -145,6 +158,11 @@ func runBatchRowRound(t *testing.T, seed int64) {
 		 FROM db.t GROUP BY tag ORDER BY tag`,
 		`SELECT DISTINCT tag, get_json_object(doc, '$.a') a FROM db.t`,
 		`SELECT get_json_object(doc, '$.nested') o FROM db.t ORDER BY id LIMIT 7`,
+		// Mixed trie-eligible + wildcard paths in one query: the evaluator
+		// must stream $.a / $.nested.x and tree-parse $.arr[*] per doc.
+		`SELECT get_json_object(doc, '$.a') a, get_json_object(doc, '$.arr[*]') w,
+		        get_json_object(doc, '$.nested.x') nx
+		 FROM db.t ORDER BY id`,
 		`SELECT COUNT(*) n FROM db.t a JOIN db.t b ON a.tag = b.tag
 		 WHERE get_json_object(a.doc, '$.nested.x') >= 0`,
 	}
@@ -211,6 +229,7 @@ func metricsDiff(a, b *sqlengine.Metrics) string {
 		{"RowGroupsSkipped", a.RowGroupsSkipped.Load(), b.RowGroupsSkipped.Load()},
 		{"ParseDocs", pa.Docs, pb.Docs},
 		{"ParseBytes", pa.Bytes, pb.Bytes},
+		{"ParseSkipped", pa.Skipped, pb.Skipped},
 		{"ParseCalls", pa.Calls, pb.Calls},
 		{"RowOps", a.RowOps.Load(), b.RowOps.Load()},
 		{"PrefilterBytes", a.PrefilterBytes.Load(), b.PrefilterBytes.Load()},

@@ -8,8 +8,10 @@ import (
 
 	"repro/internal/datum"
 	"repro/internal/jsonpath"
+	"repro/internal/obs"
 	"repro/internal/orc"
 	"repro/internal/sjson"
+	"repro/internal/sqlengine"
 	"repro/internal/warehouse"
 )
 
@@ -40,6 +42,12 @@ type Cacher struct {
 	// skip-arrays line up row-for-row.
 	RowGroupRows int
 
+	// StreamExtract selects the single-pass streaming extractor for columns
+	// whose cached paths are all trie-eligible (the default). Cleared, every
+	// column tree-parses — the ablation baseline maxson-bench -exp extract
+	// measures against.
+	StreamExtract bool
+
 	// generation numbers each population cycle; cache tables carry it in
 	// their name so generations never collide.
 	generation int
@@ -49,6 +57,12 @@ type Cacher struct {
 	pendingDrop [][2]string // (db, table)
 	// stats
 	lastStats CacheStats
+
+	// obs counters (nil until SetObs): population cycles publish totals here
+	// so malformed documents are visible operationally, not silently NULLed.
+	parseErrorsC  *obs.Counter
+	bytesScannedC *obs.Counter
+	bytesSkippedC *obs.Counter
 }
 
 // CacheStats summarizes one population cycle.
@@ -56,6 +70,9 @@ type CacheStats struct {
 	PathsCached   int
 	RowsParsed    int64
 	BytesWritten  int64
+	BytesScanned  int64   // raw JSON bytes the population scan actually read
+	BytesSkipped  int64   // raw JSON bytes the streaming extractor skipped
+	ParseErrors   int64   // malformed documents encountered (values cached as NULL)
 	ParseNsSpent  float64 // simulated pre-parsing cost (off-peak work)
 	TablesWritten int
 	Dropped       int // invalid cache tables deleted
@@ -63,14 +80,33 @@ type CacheStats struct {
 
 // NewCacher builds a cacher writing through the warehouse.
 func NewCacher(wh *warehouse.Warehouse, registry *Registry) *Cacher {
-	return &Cacher{wh: wh, registry: registry, RowGroupRows: wh.WriterOptions().RowGroupRows}
+	return &Cacher{
+		wh:            wh,
+		registry:      registry,
+		RowGroupRows:  wh.WriterOptions().RowGroupRows,
+		StreamExtract: true,
+	}
+}
+
+// SetObs resolves the cacher's counters against a metrics registry. Parse
+// errors and scan volumes publish there after every population cycle.
+func (c *Cacher) SetObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	c.parseErrorsC = r.Counter("cacher_parse_errors_total")
+	c.bytesScannedC = r.Counter("cacher_parse_bytes_scanned_total")
+	c.bytesSkippedC = r.Counter("cacher_parse_bytes_skipped_total")
 }
 
 // Populate runs one caching cycle: it drops invalid cache tables left from
 // previous cycles, empties the cache, and re-populates it with the selected
 // profiles in order (the paper empties and re-populates every midnight).
-// The cost model rates are used to account the off-peak parsing work.
-func (c *Cacher) Populate(selected []*PathProfile, parseNsPerByte float64) (CacheStats, error) {
+// The cost model rates account the off-peak parsing work: columns whose
+// cached paths are all trie-eligible are extracted in a single streaming
+// pass charged at the stream rate for the bytes actually scanned, the rest
+// fall back to a full tree parse at the tree rate.
+func (c *Cacher) Populate(selected []*PathProfile, cm sqlengine.CostModel) (CacheStats, error) {
 	var stats CacheStats
 
 	// Delete the generation retired during the PREVIOUS cycle: no live
@@ -133,7 +169,7 @@ func (c *Cacher) Populate(selected []*PathProfile, parseNsPerByte float64) (Cach
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			var local CacheStats
-			n, err := c.populateTable(byTable[id], &local, parseNsPerByte)
+			n, err := c.populateTable(byTable[id], &local, cm)
 			results[i] = tableResult{stats: local, paths: n, err: err}
 		}(i, id)
 	}
@@ -145,8 +181,16 @@ func (c *Cacher) Populate(selected []*PathProfile, parseNsPerByte float64) (Cach
 		stats.PathsCached += r.paths
 		stats.RowsParsed += r.stats.RowsParsed
 		stats.BytesWritten += r.stats.BytesWritten
+		stats.BytesScanned += r.stats.BytesScanned
+		stats.BytesSkipped += r.stats.BytesSkipped
+		stats.ParseErrors += r.stats.ParseErrors
 		stats.ParseNsSpent += r.stats.ParseNsSpent
 		stats.TablesWritten++
+	}
+	if c.parseErrorsC != nil {
+		c.parseErrorsC.Add(stats.ParseErrors)
+		c.bytesScannedC.Add(stats.BytesScanned)
+		c.bytesSkippedC.Add(stats.BytesSkipped)
 	}
 	c.lastStats = stats
 	return stats, nil
@@ -184,7 +228,7 @@ func maxInt(a, b int) int {
 }
 
 // populateTable caches one raw table's selected paths.
-func (c *Cacher) populateTable(group []*PathProfile, stats *CacheStats, parseNsPerByte float64) (int, error) {
+func (c *Cacher) populateTable(group []*PathProfile, stats *CacheStats, cm sqlengine.CostModel) (int, error) {
 	key0 := group[0].Key
 	rawInfo, err := c.wh.Table(key0.DB, key0.Table)
 	if err != nil {
@@ -237,6 +281,49 @@ func (c *Cacher) populateTable(group []*PathProfile, stats *CacheStats, parseNsP
 		colPos[name] = i
 	}
 
+	// Group paths per raw column. When every path of a column is
+	// trie-eligible (and streaming is enabled) the whole group extracts in
+	// one forward pass over the document; otherwise the column keeps the
+	// tree-parse escape hatch, whose single parse still serves all of its
+	// paths.
+	type colPlan struct {
+		pos      int   // index into readCols / vecs
+		pathIdxs []int // indexes into paths, in path order
+		set      *jsonpath.PathSet
+		vals     []*sjson.Value // streaming extraction outputs, len(pathIdxs)
+	}
+	plans := make([]*colPlan, len(readCols))
+	for pi, p := range paths {
+		ci := colPos[p.prof.Key.Column]
+		if plans[ci] == nil {
+			plans[ci] = &colPlan{pos: ci}
+		}
+		plans[ci].pathIdxs = append(plans[ci].pathIdxs, pi)
+	}
+	for _, cp := range plans {
+		if !c.StreamExtract {
+			continue
+		}
+		compiled := make([]*jsonpath.Path, len(cp.pathIdxs))
+		eligible := true
+		for k, pi := range cp.pathIdxs {
+			if !jsonpath.TrieEligible(paths[pi].path) {
+				eligible = false
+				break
+			}
+			compiled[k] = paths[pi].path
+		}
+		if !eligible {
+			continue
+		}
+		set, err := jsonpath.NewPathSet(compiled...)
+		if err != nil {
+			continue
+		}
+		cp.set = set
+		cp.vals = make([]*sjson.Value, len(cp.pathIdxs))
+	}
+
 	perPathBytes := make([]int64, len(paths))
 
 	// Batch read scratch: the cursor decodes row-group columns straight into
@@ -250,8 +337,6 @@ func (c *Cacher) populateTable(group []*PathProfile, stats *CacheStats, parseNsP
 	}
 	var parser sjson.Parser
 	var docBuf []byte
-	parsedRoots := make([]*sjson.Value, len(readCols))
-	parsedSet := make([]bool, len(readCols))
 
 	// One cache file per raw file, in split order: this is the alignment
 	// invariant the Value Combiner depends on.
@@ -273,40 +358,68 @@ func (c *Cacher) populateTable(group []*PathProfile, stats *CacheStats, parseNsP
 			if n == 0 {
 				break
 			}
-			// Per-document memo: parse each JSON column once per row.
+			// Each JSON column is read once per row: streaming columns in a
+			// single trie-guided pass, tree columns by one parse serving all
+			// of their paths.
 			for ri := 0; ri < n; ri++ {
 				parser.ResetValues()
-				for i := range parsedSet {
-					parsedSet[i] = false
-					parsedRoots[i] = nil
-				}
 				out := make([]datum.Datum, len(paths))
-				for pi, p := range paths {
-					ci := colPos[p.prof.Key.Column]
-					src := vecs[ci][ri]
+				for _, cp := range plans {
+					if cp == nil {
+						continue
+					}
+					src := vecs[cp.pos][ri]
 					if src.Null {
-						out[pi] = datum.NullOf(datum.TypeString)
+						for _, pi := range cp.pathIdxs {
+							out[pi] = datum.NullOf(datum.TypeString)
+						}
 						continue
 					}
-					if !parsedSet[ci] {
-						docBuf = append(docBuf[:0], src.S...)
-						root, _ := parser.Parse(docBuf)
-						parsedRoots[ci] = root
-						parsedSet[ci] = true
-						stats.ParseNsSpent += float64(len(src.S)) * parseNsPerByte
-					}
-					root := parsedRoots[ci]
-					if root == nil {
-						out[pi] = datum.NullOf(datum.TypeString)
+					docBuf = append(docBuf[:0], src.S...)
+					if cp.set != nil {
+						scanned, err := cp.set.Extract(&parser, docBuf, cp.vals)
+						stats.BytesScanned += int64(scanned)
+						stats.BytesSkipped += int64(len(src.S) - scanned)
+						stats.ParseNsSpent += float64(scanned) * cm.ParseNsPerByteStream
+						if err != nil {
+							stats.ParseErrors++
+							for _, pi := range cp.pathIdxs {
+								out[pi] = datum.NullOf(datum.TypeString)
+							}
+							continue
+						}
+						for k, pi := range cp.pathIdxs {
+							v := cp.vals[k]
+							if v.IsNull() {
+								out[pi] = datum.NullOf(datum.TypeString)
+							} else {
+								s := v.Scalar()
+								out[pi] = datum.Str(s)
+								perPathBytes[pi] += int64(len(s))
+							}
+						}
 						continue
 					}
-					v := p.path.Eval(root)
-					if v.IsNull() {
-						out[pi] = datum.NullOf(datum.TypeString)
-					} else {
-						s := v.Scalar()
-						out[pi] = datum.Str(s)
-						perPathBytes[pi] += int64(len(s))
+					root, err := parser.Parse(docBuf)
+					stats.BytesScanned += int64(len(src.S))
+					stats.ParseNsSpent += float64(len(src.S)) * cm.ParseNsPerByteTree
+					if err != nil {
+						stats.ParseErrors++
+						root = nil
+					}
+					for _, pi := range cp.pathIdxs {
+						if root == nil {
+							out[pi] = datum.NullOf(datum.TypeString)
+							continue
+						}
+						v := paths[pi].path.Eval(root)
+						if v.IsNull() {
+							out[pi] = datum.NullOf(datum.TypeString)
+						} else {
+							s := v.Scalar()
+							out[pi] = datum.Str(s)
+							perPathBytes[pi] += int64(len(s))
+						}
 					}
 				}
 				rows = append(rows, out)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/datum"
 	"repro/internal/jsonpath"
@@ -65,6 +66,12 @@ type CombinedScanFactory struct {
 	// primary reader.
 	pushdown bool
 
+	// StreamExtract (default true) serves trie-eligible fallback paths with
+	// the single-pass streaming extractor, one forward scan per raw column
+	// per row. Cleared, every fallback tree-parses — the extract benchmark's
+	// baseline lane.
+	StreamExtract bool
+
 	schema sqlengine.RowSchema
 
 	// obsc publishes open-mode and hit/miss counters (nil = unobserved).
@@ -95,9 +102,10 @@ func NewCombinedScanFactory(
 		rawDB: rawDB, rawTable: rawTable,
 		primaryCols: primaryCols, primarySARG: primarySARG,
 		cacheTable: cacheTable, cacheCols: cacheCols, cacheSARG: cacheSARG,
-		fallbacks: fallbacks,
-		pushdown:  pushdown,
-		schema:    schema,
+		fallbacks:     fallbacks,
+		pushdown:      pushdown,
+		StreamExtract: true,
+		schema:        schema,
 	}
 }
 
@@ -256,13 +264,17 @@ func (f *CombinedScanFactory) openFallback(file string, m *sqlengine.Metrics, mo
 	if err != nil {
 		return nil, err
 	}
-	return &fallbackRowSource{
+	src := &fallbackRowSource{
 		f: f, cur: cur, stats: &stats, m: m, colPos: colPos, obsc: f.obsc,
-	}, nil
+	}
+	src.buildGroups()
+	return src, nil
 }
 
 // fallbackRowSource parses cache-column values out of raw JSON for splits
-// the cache does not cover.
+// the cache does not cover. Trie-eligible fallback paths of one raw column
+// share a fbGroup and resolve in a single streaming pass; wildcard/root
+// paths keep the tree-parse memo.
 type fallbackRowSource struct {
 	f      *CombinedScanFactory
 	cur    *orc.Cursor
@@ -271,6 +283,13 @@ type fallbackRowSource struct {
 	m      *sqlengine.Metrics
 	colPos map[string]int
 	obsc   *combinerObs
+
+	// Streaming lane: one group per raw column whose specs are all eligible.
+	groups    []*fbGroup
+	treeSpecs []int // fallback indexes served by the tree memo
+	// streamParser owns the extraction arena, separate from the tree parser
+	// so a streaming reset never invalidates the memoized tree.
+	streamParser sjson.Parser
 
 	lastDoc  string
 	lastRoot *sjson.Value
@@ -285,19 +304,122 @@ type fallbackRowSource struct {
 	extra [][]datum.Datum
 }
 
+// fbGroup is one raw column's trie-compiled fallback specs plus the last
+// document's memoized outputs (stored as datums, so the memo survives the
+// extraction arena being recycled).
+type fbGroup struct {
+	rawCol   string
+	specIdx  []int // indexes into f.fallbacks
+	set      *jsonpath.PathSet
+	vals     []*sjson.Value
+	lastDoc  string
+	haveMemo bool
+	memo     []datum.Datum
+}
+
+// buildGroups partitions the fallback specs into streaming groups and tree
+// stragglers. Called once at open.
+func (s *fallbackRowSource) buildGroups() {
+	if !s.f.StreamExtract {
+		for j := range s.f.fallbacks {
+			s.treeSpecs = append(s.treeSpecs, j)
+		}
+		return
+	}
+	byCol := map[string]*fbGroup{}
+	for j, fb := range s.f.fallbacks {
+		if !jsonpath.TrieEligible(fb.Path) {
+			s.treeSpecs = append(s.treeSpecs, j)
+			continue
+		}
+		g := byCol[fb.RawColumn]
+		if g == nil {
+			g = &fbGroup{rawCol: fb.RawColumn}
+			byCol[fb.RawColumn] = g
+			s.groups = append(s.groups, g)
+		}
+		g.specIdx = append(g.specIdx, j)
+	}
+	kept := s.groups[:0]
+	for _, g := range s.groups {
+		paths := make([]*jsonpath.Path, len(g.specIdx))
+		for k, j := range g.specIdx {
+			paths[k] = s.f.fallbacks[j].Path
+		}
+		set, err := jsonpath.NewPathSet(paths...)
+		if err != nil {
+			s.treeSpecs = append(s.treeSpecs, g.specIdx...)
+			continue
+		}
+		g.set = set
+		g.vals = make([]*sjson.Value, len(g.specIdx))
+		g.memo = make([]datum.Datum, len(g.specIdx))
+		kept = append(kept, g)
+	}
+	s.groups = kept
+	sort.Ints(s.treeSpecs)
+}
+
+// fillFallbacks computes every fallback spec's datum for one row: streaming
+// groups first (one forward pass per raw column), then tree stragglers.
+func (s *fallbackRowSource) fillFallbacks(get func(string) datum.Datum, put func(int, datum.Datum)) {
+	for _, g := range s.groups {
+		src := get(g.rawCol)
+		if src.Null {
+			for _, j := range g.specIdx {
+				put(j, datum.NullOf(datum.TypeString))
+			}
+			continue
+		}
+		if !g.haveMemo || src.S != g.lastDoc {
+			s.extractGroup(g, src.S)
+		}
+		for k, j := range g.specIdx {
+			put(j, g.memo[k])
+		}
+	}
+	for _, j := range s.treeSpecs {
+		fb := s.f.fallbacks[j]
+		put(j, s.fallbackValue(get(fb.RawColumn), fb))
+	}
+}
+
+// extractGroup runs one streaming pass over doc and memoizes the group's
+// outputs. Malformed documents memoize as NULLs, matching the tree lane.
+func (s *fallbackRowSource) extractGroup(g *fbGroup, doc string) {
+	s.streamParser.ResetValues()
+	s.docBuf = append(s.docBuf[:0], doc...)
+	scanned, err := g.set.Extract(&s.streamParser, s.docBuf, g.vals)
+	if s.m != nil {
+		s.m.Parse.Docs.Add(1)
+		s.m.Parse.Bytes.Add(int64(scanned))
+		s.m.Parse.Skipped.Add(int64(len(doc) - scanned))
+		s.m.Parse.Calls.Add(int64(len(g.specIdx)))
+	}
+	g.lastDoc = doc
+	g.haveMemo = true
+	for k := range g.specIdx {
+		if err != nil || g.vals[k].IsNull() {
+			g.memo[k] = datum.NullOf(datum.TypeString)
+		} else {
+			g.memo[k] = datum.Str(g.vals[k].Scalar())
+		}
+	}
+}
+
 func (s *fallbackRowSource) Next() ([]datum.Datum, error) {
 	row, err := s.cur.Next()
 	s.flushStats()
 	if err != nil || row == nil {
 		return nil, err
 	}
-	out := make([]datum.Datum, 0, len(s.f.primaryCols)+len(s.f.cacheCols))
-	for i := range s.f.primaryCols {
-		out = append(out, row[i])
-	}
-	for _, fb := range s.f.fallbacks {
-		out = append(out, s.fallbackValue(row[s.colPos[fb.RawColumn]], fb))
-	}
+	nPrimary := len(s.f.primaryCols)
+	out := make([]datum.Datum, nPrimary+len(s.f.fallbacks))
+	copy(out, row[:nPrimary])
+	s.fillFallbacks(
+		func(col string) datum.Datum { return row[s.colPos[col]] },
+		func(j int, d datum.Datum) { out[nPrimary+j] = d },
+	)
 	if s.m != nil {
 		s.m.CacheMisses.Add(int64(len(s.f.fallbacks)))
 	}
@@ -339,10 +461,11 @@ func (s *fallbackRowSource) NextBatch(b *sqlengine.RowBatch) (int, error) {
 	if err != nil || n == 0 {
 		return n, err
 	}
-	for i := 0; i < n; i++ {
-		for j, fb := range s.f.fallbacks {
-			b.Cols[nPrimary+j][i] = s.fallbackValue(s.dst[s.colPos[fb.RawColumn]][i], fb)
-		}
+	var ri int
+	get := func(col string) datum.Datum { return s.dst[s.colPos[col]][ri] }
+	put := func(j int, d datum.Datum) { b.Cols[nPrimary+j][ri] = d }
+	for ri = 0; ri < n; ri++ {
+		s.fillFallbacks(get, put)
 	}
 	if s.m != nil {
 		s.m.CacheMisses.Add(int64(len(s.f.fallbacks)) * int64(n))
@@ -395,7 +518,7 @@ func (s *fallbackRowSource) parse(doc string) *sjson.Value {
 	if s.m != nil {
 		s.m.Parse.Docs.Add(1)
 		s.m.Parse.Bytes.Add(int64(len(doc)))
-		s.m.Parse.Calls.Add(int64(len(s.f.fallbacks)))
+		s.m.Parse.Calls.Add(int64(len(s.treeSpecs)))
 	}
 	s.lastDoc = doc
 	if err != nil {

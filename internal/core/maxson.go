@@ -109,6 +109,7 @@ func New(e *sqlengine.Engine, cfg Config) *Maxson {
 		e.SetObsRegistry(m.obs)
 	}
 	m.Planner.Obs = m.obs
+	m.Cacher.SetObs(m.obs)
 	m.registerGauges()
 
 	m.Planner.Install(e)
@@ -276,7 +277,7 @@ func (m *Maxson) RunMidnightCycle() (*CycleReport, error) {
 	if len(candidates) == 0 {
 		// Nothing predicted; clear the cache (it is rebuilt nightly).
 		stage("score", 0)
-		stats, _ := m.Cacher.Populate(nil, m.Engine.CostModel().ParseNsPerByteTree)
+		stats, _ := m.Cacher.Populate(nil, m.Engine.CostModel())
 		report.Cache = stats
 		stage("populate", 0)
 		finish()
@@ -297,7 +298,7 @@ func (m *Maxson) RunMidnightCycle() (*CycleReport, error) {
 	stage("score", len(profiles))
 
 	// Stage 5: empty and re-populate the cache under the budget.
-	stats, err := m.Cacher.Populate(selected, m.Engine.CostModel().ParseNsPerByteTree)
+	stats, err := m.Cacher.Populate(selected, m.Engine.CostModel())
 	report.Cache = stats
 	stage("populate", stats.PathsCached)
 	finish()
@@ -311,7 +312,7 @@ func (m *Maxson) RunMidnightCycle() (*CycleReport, error) {
 // the mode the budget/selection experiments (Fig 11, Table V, Fig 15) use
 // so the caching layer can be studied with a controlled MPJP set.
 func (m *Maxson) CacheSelected(profiles []*PathProfile) (CacheStats, error) {
-	return m.Cacher.Populate(profiles, m.Engine.CostModel().ParseNsPerByteTree)
+	return m.Cacher.Populate(profiles, m.Engine.CostModel())
 }
 
 // AdvanceToMidnight moves a simulated clock to the next midnight, the

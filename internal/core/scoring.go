@@ -20,6 +20,12 @@ type PathProfile struct {
 	// AvgParseNs is P_j: the mean time to parse the value out of its
 	// document with the engine's parsing algorithm (simulated cost).
 	AvgParseNs float64
+	// AvgScanNs is the mean time to extract the value with the streaming
+	// single-pass extractor (charged only for bytes actually scanned; equal
+	// to AvgParseNs for wildcard/root paths, which keep the tree parse).
+	// Scoring still uses AvgParseNs — caching saves the tree parse the
+	// engine would otherwise do — but query-time miss costs use this.
+	AvgScanNs float64
 	// TotalValueBytes estimates the full cache footprint of the path (B_j
 	// times the table's row count), the unit the budget is spent in.
 	TotalValueBytes int64
@@ -116,8 +122,15 @@ func (s *Scorer) measure(prof *PathProfile) {
 	if err != nil {
 		return
 	}
-	var valueBytes, docBytes int64
+	var valueBytes, docBytes, scanBytes int64
 	var sampled int64
+	var set *jsonpath.PathSet
+	if jsonpath.TrieEligible(path) {
+		set, _ = jsonpath.NewPathSet(path)
+	}
+	var parser sjson.Parser
+	var scanOut [1]*sjson.Value
+	var scanBuf []byte
 	for _, file := range info.Files {
 		r, err := s.wh.OpenFile(file)
 		if err != nil {
@@ -138,6 +151,17 @@ func (s *Scorer) measure(prof *PathProfile) {
 			doc := row[0].S
 			docBytes += int64(len(doc))
 			sampled++
+			if set != nil {
+				parser.ResetValues()
+				scanBuf = append(scanBuf[:0], doc...)
+				if scanned, err := set.Extract(&parser, scanBuf, scanOut[:]); err == nil {
+					scanBytes += int64(scanned)
+				} else {
+					scanBytes += int64(len(doc))
+				}
+			} else {
+				scanBytes += int64(len(doc))
+			}
 			root, err := sjson.ParseString(doc)
 			if err != nil {
 				continue
@@ -157,6 +181,12 @@ func (s *Scorer) measure(prof *PathProfile) {
 	// the calibrated model (per-byte rate plus per-call overhead).
 	avgDoc := float64(docBytes) / float64(sampled)
 	prof.AvgParseNs = avgDoc*s.cm.ParseNsPerByteTree + s.cm.ParseNsPerCall
+	if set != nil {
+		avgScan := float64(scanBytes) / float64(sampled)
+		prof.AvgScanNs = avgScan*s.cm.ParseNsPerByteStream + s.cm.ParseNsPerCall
+	} else {
+		prof.AvgScanNs = prof.AvgParseNs
+	}
 	prof.TotalValueBytes = int64(prof.AvgValueBytes * float64(info.NumRows))
 	if prof.TotalValueBytes < 1 {
 		prof.TotalValueBytes = 1

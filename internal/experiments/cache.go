@@ -365,6 +365,7 @@ type Fig15Row struct {
 	SparkJackson time.Duration
 	SparkMison   time.Duration
 	Maxson       time.Duration
+	MaxsonStream time.Duration // Maxson with the streaming on-demand fallback lane
 	MaxsonMison  time.Duration
 	Cached       int // cached path count at the 300GB-equivalent budget
 }
@@ -373,8 +374,9 @@ type Fig15Row struct {
 type Fig15Result struct{ Rows []Fig15Row }
 
 // RunFig15 regenerates Fig 15: per-query time under Spark+Jackson,
-// Spark+Mison, Maxson (+Jackson for uncached paths), and Maxson+Mison, at
-// the 300GB-equivalent cache budget.
+// Spark+Mison, Maxson (+Jackson for uncached paths), Maxson with the
+// streaming on-demand extractor serving the uncached fallback lane, and
+// Maxson+Mison, at the 300GB-equivalent cache budget.
 func RunFig15(rows int, seed int64) (*Fig15Result, error) {
 	times := map[string]map[string]time.Duration{}
 	cached := map[string]int{}
@@ -410,6 +412,7 @@ func RunFig15(rows int, seed int64) (*Fig15Result, error) {
 		backend sqlengine.ParserBackend
 	}{
 		{"maxson", sqlengine.JacksonBackend{}},
+		{"maxson+stream", sqlengine.StreamBackend{}},
 		{"maxson+mison", sqlengine.MisonBackend{}},
 	} {
 		w := BuildWorkload(rows, seed)
@@ -450,6 +453,7 @@ func RunFig15(rows int, seed int64) (*Fig15Result, error) {
 			SparkJackson: t["spark+jackson"],
 			SparkMison:   t["spark+mison"],
 			Maxson:       t["maxson"],
+			MaxsonStream: t["maxson+stream"],
 			MaxsonMison:  t["maxson+mison"],
 			Cached:       cached[spec.Name],
 		})
@@ -461,10 +465,13 @@ func RunFig15(rows int, seed int64) (*Fig15Result, error) {
 func (r *Fig15Result) String() string {
 	var sb strings.Builder
 	sb.WriteString("Fig 15: per-query time by system (simulated), 300GB-equivalent cache\n")
-	sb.WriteString("  query  spark+jackson  spark+mison   maxson        maxson+mison  cached-paths\n")
+	sb.WriteString("  maxson+stream serves uncached paths with the single-pass streaming\n")
+	sb.WriteString("  extractor (parse charged per byte scanned, early exit skips the rest);\n")
+	sb.WriteString("  maxson and maxson+mison fall back to the tree and index parsers.\n")
+	sb.WriteString("  query  spark+jackson  spark+mison   maxson        maxson+stream maxson+mison  cached-paths\n")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&sb, "  %-6s %-14v %-13v %-13v %-13v %d\n",
-			row.Query, row.SparkJackson, row.SparkMison, row.Maxson, row.MaxsonMison, row.Cached)
+		fmt.Fprintf(&sb, "  %-6s %-14v %-13v %-13v %-13v %-13v %d\n",
+			row.Query, row.SparkJackson, row.SparkMison, row.Maxson, row.MaxsonStream, row.MaxsonMison, row.Cached)
 	}
 	return sb.String()
 }

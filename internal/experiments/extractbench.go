@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datum"
+	"repro/internal/jsonpath"
+	"repro/internal/pathkey"
+	"repro/internal/sjson"
+	"repro/internal/sqlengine"
+)
+
+// ExtractBenchRow is one (lane, mode) cell of the single-pass extraction
+// study: wall time and allocator pressure per operation plus the simulated
+// parse accounting (bytes charged vs bytes the early exit skipped).
+type ExtractBenchRow struct {
+	Lane        string // "kernel" | "populate" | "fallback"
+	Mode        string // "stream" | "tree"
+	NsPerOp     int64
+	AllocsPerOp int64
+	BytesPerOp  int64
+	// ParseBytes is the simulated parse volume one operation is charged for
+	// (bytes scanned); SkippedBytes is what the trie descent + early exit
+	// never tokenized. Tree rows always skip zero.
+	ParseBytes   int64
+	SkippedBytes int64
+}
+
+// ExtractBenchResult compares the streaming multi-path extractor against the
+// full-tree parse baseline on the three consumers the tentpole rewired: the
+// raw kernel, Cacher.Populate, and the combiner's uncovered-split fallback.
+type ExtractBenchResult struct {
+	Rows []ExtractBenchRow
+}
+
+func (r *ExtractBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-8s %12s %12s %12s %14s %14s\n",
+		"lane", "mode", "ns/op", "allocs/op", "B/op", "parse-bytes", "skipped-bytes")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %-8s %12d %12d %12d %14d %14d\n",
+			row.Lane, row.Mode, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp,
+			row.ParseBytes, row.SkippedBytes)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// benchOp runs testing.Benchmark around op and fills the measured cells.
+func benchOp(lane, mode string, parseBytes, skipped int64, op func() error) (ExtractBenchRow, error) {
+	var opErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := op(); err != nil {
+				opErr = fmt.Errorf("%s/%s: %w", lane, mode, err)
+				b.FailNow()
+			}
+		}
+	})
+	if opErr != nil {
+		return ExtractBenchRow{}, opErr
+	}
+	return ExtractBenchRow{
+		Lane: lane, Mode: mode,
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		ParseBytes:  parseBytes, SkippedBytes: skipped,
+	}, nil
+}
+
+// kernelDoc builds the microbenchmark document: 30 fields, two of which the
+// query wants — the Nobench-style access pattern from the issue.
+func kernelDoc() string {
+	var sb strings.Builder
+	sb.WriteString("{")
+	for i := 0; i < 30; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, `"field%02d": {"inner": "%s", "n": %d}`,
+			i, strings.Repeat("y", 40), i*7)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// RunExtractBench measures stream-vs-tree extraction across the three lanes.
+// Feeds BENCH_extract.json via maxson-bench -exp extract.
+func RunExtractBench(rows int, seed int64) (*ExtractBenchResult, error) {
+	out := &ExtractBenchResult{}
+
+	// --- kernel lane: 2 paths out of a 30-field document ---
+	doc := []byte(kernelDoc())
+	set, err := jsonpath.NewPathSet(
+		jsonpath.MustCompile("$.field03.inner"),
+		jsonpath.MustCompile("$.field07.n"),
+	)
+	if err != nil {
+		return nil, err
+	}
+	var parser sjson.Parser
+	vals := make([]*sjson.Value, 2)
+	scanned, err := set.Extract(&parser, doc, vals)
+	if err != nil {
+		return nil, err
+	}
+	row, err := benchOp("kernel", "stream", int64(scanned), int64(len(doc)-scanned), func() error {
+		parser.ResetValues()
+		_, err := set.Extract(&parser, doc, vals)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, row)
+	p3, p7 := jsonpath.MustCompile("$.field03.inner"), jsonpath.MustCompile("$.field07.n")
+	row, err = benchOp("kernel", "tree", int64(len(doc)), 0, func() error {
+		parser.ResetValues()
+		root, err := parser.Parse(doc)
+		if err != nil {
+			return err
+		}
+		if p3.Eval(root).IsNull() || p7.Eval(root).IsNull() {
+			return fmt.Errorf("kernel paths missing")
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, row)
+
+	// --- populate lane: one full caching cycle over the Table II workload ---
+	w := BuildWorkload(rows, seed)
+	env := newMaxsonEnv(w, sqlengine.JacksonBackend{})
+	profiles := env.profiles()
+	for _, mode := range []string{"stream", "tree"} {
+		env.maxson.Cacher.StreamExtract = mode == "stream"
+		stats, err := env.maxson.CacheSelected(profiles)
+		if err != nil {
+			return nil, err
+		}
+		row, err := benchOp("populate", mode, stats.BytesScanned, stats.BytesSkipped, func() error {
+			_, err := env.maxson.CacheSelected(profiles)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+
+	// --- fallback lane: uncovered-split scan synthesizing Q3's paths ---
+	// A factory pointed at a cache table that no longer exists serves every
+	// split through the fallback source, the post-midnight-append code path.
+	q3 := w.Paths["Q3"]
+	var fallbacks []core.FallbackSpec
+	var cacheCols []string
+	schema := sqlengine.RowSchema{Cols: []sqlengine.RowCol{{Name: "id", Type: datum.TypeInt64}}}
+	for _, p := range q3 {
+		fallbacks = append(fallbacks, core.FallbackSpec{
+			RawColumn: "payload", Path: jsonpath.MustCompile(p),
+		})
+		col := pathkey.Key{DB: w.DB, Table: "t03", Column: "payload", Path: p}.Sanitized()
+		cacheCols = append(cacheCols, col)
+		schema.Cols = append(schema.Cols, sqlengine.RowCol{Name: col, Type: datum.TypeString})
+	}
+	for _, mode := range []string{"stream", "tree"} {
+		factory := core.NewCombinedScanFactory(w.WH, w.DB, "t03",
+			[]string{"id"}, nil, "retired_generation", cacheCols, nil,
+			fallbacks, false, schema)
+		factory.StreamExtract = mode == "stream"
+		drain := func(m *sqlengine.Metrics) error {
+			nSplits, err := factory.NumSplits()
+			if err != nil {
+				return err
+			}
+			batch := sqlengine.NewRowBatch(1+len(cacheCols), 256)
+			for split := 0; split < nSplits; split++ {
+				src, err := factory.Open(split, m)
+				if err != nil {
+					return err
+				}
+				bs, ok := src.(sqlengine.BatchSource)
+				if !ok {
+					return fmt.Errorf("fallback source is not batch-capable")
+				}
+				for {
+					n, err := bs.NextBatch(batch)
+					if err != nil {
+						return err
+					}
+					if n == 0 {
+						break
+					}
+				}
+			}
+			return nil
+		}
+		var m sqlengine.Metrics
+		if err := drain(&m); err != nil {
+			return nil, err
+		}
+		row, err := benchOp("fallback", mode, m.Parse.Bytes.Load(), m.Parse.Skipped.Load(), func() error {
+			return drain(nil)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

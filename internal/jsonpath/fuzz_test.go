@@ -1,0 +1,103 @@
+package jsonpath
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sjson"
+)
+
+// FuzzExtractEquivalence is the streaming extractor's differential oracle:
+// for arbitrary documents and arbitrary compiled path sets, a single
+// streaming pass must return exactly what tree-parse-then-Eval returns for
+// every path — same values, same NULL-vs-missing distinction. Documents the
+// tree parser rejects only assert that the extractor neither panics nor
+// desyncs; the extractor is allowed to succeed there (early exit stops
+// validating once every path is resolved).
+//
+// pathSpec is a ';'-separated list of JSONPath expressions; entries that do
+// not compile or are not trie-eligible are dropped.
+func FuzzExtractEquivalence(f *testing.F) {
+	f.Add(`{"a": 1, "b": {"c": [1, {"d": null}]}}`, "$.a;$.b.c[1].d;$.b.c[0];$.missing")
+	f.Add(`{"a": 1, "a": 2, "x": "dup"}`, "$.a;$['a'];$.x")
+	f.Add(`{"outer": {"inner": {"leaf": "v"}}, "tail": [1,2,3]}`, "$.outer;$.outer.inner.leaf")
+	f.Add(`[{"k": 1}, {"k": 2}]`, "$[0].k;$[1].k;$[7].k")
+	f.Add(`{"n": 1e300, "m": -0.5, "big": 12345678901234567890}`, "$.n;$.m;$.big")
+	f.Add(`{"u": "é😀", "t": true}`, "$.u;$.t")
+	f.Add(`{"": {"": 0}}`, "$[''];$[''][''];$.a")
+	f.Add(`null`, "$.a")
+	f.Add(`{"a": {`, "$.a.b")
+	f.Add(`{"a": 1} trailing`, "$.a;$.z")
+
+	f.Fuzz(func(t *testing.T, doc string, pathSpec string) {
+		var paths []*Path
+		for _, expr := range strings.Split(pathSpec, ";") {
+			p, err := Compile(expr)
+			if err != nil || !TrieEligible(p) {
+				continue
+			}
+			paths = append(paths, p)
+			if len(paths) == 8 {
+				break
+			}
+		}
+		if len(paths) == 0 {
+			return
+		}
+		set, err := NewPathSet(paths...)
+		if err != nil {
+			t.Fatalf("NewPathSet on eligible paths: %v", err)
+		}
+
+		var parser sjson.Parser
+		out := make([]*sjson.Value, len(paths))
+		scanned, extractErr := set.Extract(&parser, []byte(doc), out)
+		if scanned < 0 || scanned > len(doc) {
+			t.Fatalf("scanned %d out of range [0, %d]", scanned, len(doc))
+		}
+		st := parser.Stats()
+		if st.BytesScanned+st.BytesSkipped != int64(len(doc)) {
+			t.Fatalf("scanned(%d)+skipped(%d) != len(doc)=%d",
+				st.BytesScanned, st.BytesSkipped, len(doc))
+		}
+
+		root, parseErr := sjson.ParseString(doc)
+		if parseErr != nil {
+			// The tree parser rejects the document. The extractor may reject
+			// it too, or may have resolved everything before reaching the
+			// malformed region — either way there is nothing to compare.
+			return
+		}
+		if extractErr != nil {
+			t.Fatalf("tree parse accepted doc but Extract failed: %v\ndoc: %q", extractErr, doc)
+		}
+		for i, p := range paths {
+			want := p.Eval(root)
+			got := out[i]
+			if (want == nil) != (got == nil) {
+				t.Fatalf("path %s: missing/null mismatch: eval=%v extract=%v\ndoc: %q",
+					p, want, got, doc)
+			}
+			if !sjson.Equal(want, got) {
+				t.Fatalf("path %s: value mismatch: eval=%q extract=%q\ndoc: %q",
+					p, want.Scalar(), got.Scalar(), doc)
+			}
+			// Scalar rendering feeds query results directly; hold it to
+			// byte equality, not just structural equality.
+			if ws, gs := want.Scalar(), got.Scalar(); ws != gs {
+				t.Fatalf("path %s: scalar mismatch: eval=%q extract=%q\ndoc: %q", p, ws, gs, doc)
+			}
+
+			// EvalString must agree with tree evaluation too (single-path
+			// streaming reuses the same kernel).
+			wantStr, wantOK := "", false
+			if !want.IsNull() {
+				wantStr, wantOK = want.Scalar(), true
+			}
+			if gotStr, gotOK := p.EvalString(doc); gotStr != wantStr || gotOK != wantOK {
+				t.Fatalf("path %s: EvalString=(%q,%v) want (%q,%v)\ndoc: %q",
+					p, gotStr, gotOK, wantStr, wantOK, doc)
+			}
+		}
+	})
+}

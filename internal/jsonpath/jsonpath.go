@@ -41,6 +41,10 @@ type Step struct {
 type Path struct {
 	text  string
 	steps []Step
+	// set is the path's one-element PathSet, compiled eagerly for
+	// trie-eligible paths so EvalString streams instead of tree-parsing;
+	// nil for wildcard and root paths.
+	set *PathSet
 }
 
 // ParseError reports a malformed JSONPath.
@@ -127,6 +131,13 @@ func Compile(expr string) (*Path, error) {
 		default:
 			return nil, &ParseError{Path: expr, Offset: i, Msg: "expected '.' or '['"}
 		}
+	}
+	if TrieEligible(p) {
+		set, err := NewPathSet(p)
+		if err != nil {
+			return nil, err
+		}
+		p.set = set
 	}
 	return p, nil
 }
@@ -216,11 +227,18 @@ func (p *Path) HasWildcard() bool {
 	return false
 }
 
-// EvalString parses doc and evaluates the path, returning the scalar
+// EvalString evaluates the path against a raw document, returning the scalar
 // rendering used by get_json_object ("" for null/missing). The boolean
 // reports whether the value was present. A JSON syntax error also reports
 // absent, matching the UDF's permissive NULL-on-bad-input behaviour.
+//
+// Trie-eligible paths stream through the single-path extractor — one forward
+// pass that stops as soon as the value resolves — rather than re-parsing the
+// whole document per call. Wildcard and root paths keep the tree parse.
 func (p *Path) EvalString(doc string) (string, bool) {
+	if p.set != nil {
+		return p.set.evalStringStreaming(doc)
+	}
 	root, err := sjson.ParseString(doc)
 	if err != nil {
 		return "", false

@@ -1,0 +1,143 @@
+package jsonpath
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sjson"
+)
+
+// PathSet compiles a set of trie-eligible JSONPaths into one shared prefix
+// trie so a streaming extractor can pull every path's value out of a raw
+// document in a single pass (sjson.Parser.Extract): shared prefixes are
+// descended once, unrequested subtrees are skipped at tokenizer speed, and
+// the scan stops as soon as all paths resolve.
+//
+// Paths are deduplicated by Canonical form — $.a and $['a'] share one slot —
+// while Extract still reports one output per input path, in input order. A
+// PathSet is immutable after construction and safe for concurrent use; each
+// extraction uses the caller's parser for its value arena.
+type PathSet struct {
+	paths   []*Path
+	slots   []int // input ordinal → trie slot (aliases collapse)
+	nSlots  int
+	aliased bool
+	root    *sjson.ExtractNode
+}
+
+// TrieEligible reports whether the streaming extractor can serve p directly:
+// wildcard steps fan out over unknown-width arrays and root paths project
+// the whole document, so both stay on the tree-parse escape hatch.
+func TrieEligible(p *Path) bool {
+	return p != nil && !p.IsRoot() && !p.HasWildcard()
+}
+
+// NewPathSet compiles paths into a shared trie. Every path must be
+// TrieEligible; callers with mixed sets split off wildcard/root paths first.
+func NewPathSet(paths ...*Path) (*PathSet, error) {
+	s := &PathSet{
+		paths: append([]*Path(nil), paths...),
+		slots: make([]int, 0, len(paths)),
+		root:  sjson.NewExtractNode(),
+	}
+	byCanon := make(map[string]int, len(paths))
+	for _, p := range paths {
+		if !TrieEligible(p) {
+			text := "<nil>"
+			if p != nil {
+				text = p.String()
+			}
+			return nil, fmt.Errorf("jsonpath: path %s is not trie-eligible (wildcard or root)", text)
+		}
+		canon := p.Canonical()
+		if slot, ok := byCanon[canon]; ok {
+			s.slots = append(s.slots, slot)
+			s.aliased = true
+			continue
+		}
+		n := s.root
+		for _, st := range p.steps {
+			switch st.Kind {
+			case StepMember:
+				n = n.Member(st.Name)
+			case StepIndex:
+				n = n.Elem(st.Index)
+			}
+		}
+		slot := s.nSlots
+		n.MarkTerminal(slot)
+		byCanon[canon] = slot
+		s.slots = append(s.slots, slot)
+		s.nSlots++
+	}
+	s.root.Finalize()
+	return s, nil
+}
+
+// MustPathSet is NewPathSet that panics on error, for statically known sets.
+func MustPathSet(paths ...*Path) *PathSet {
+	s, err := NewPathSet(paths...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of input paths (before dedup).
+func (s *PathSet) Len() int { return len(s.paths) }
+
+// Paths returns the input paths in order. Callers must not modify the slice.
+func (s *PathSet) Paths() []*Path { return s.paths }
+
+// Extract scans doc once and writes each input path's value to the matching
+// out entry: nil for a missing path, a non-nil null Value for an explicit
+// JSON null — exactly what tree-parse + Eval yields for these paths. It
+// returns the number of bytes actually scanned (early exit leaves the tail
+// untouched; the parser's ParseStats meter the skipped bytes). On a syntax
+// error in the scanned region every out entry is nil.
+func (s *PathSet) Extract(p *sjson.Parser, doc []byte, out []*sjson.Value) (scanned int, err error) {
+	if len(out) < len(s.paths) {
+		return 0, fmt.Errorf("jsonpath: Extract out has %d slots, need %d", len(out), len(s.paths))
+	}
+	if !s.aliased {
+		scanned, err = p.Extract(doc, s.root, out[:s.nSlots])
+	} else {
+		tmp := make([]*sjson.Value, s.nSlots)
+		scanned, err = p.Extract(doc, s.root, tmp)
+		for i, slot := range s.slots {
+			out[i] = tmp[slot]
+		}
+	}
+	if err != nil {
+		for i := range out[:len(s.paths)] {
+			out[i] = nil
+		}
+	}
+	return scanned, err
+}
+
+// singleExtractor pools the parser + doc buffer EvalString streams through,
+// so per-call extraction reuses the value arena and byte buffer.
+type singleExtractor struct {
+	parser sjson.Parser
+	buf    []byte
+	out    [1]*sjson.Value
+}
+
+var singlePool = sync.Pool{New: func() any { return new(singleExtractor) }}
+
+// evalStringStreaming serves EvalString for trie-eligible paths: one
+// streaming pass with early exit instead of materializing the whole tree.
+func (s *PathSet) evalStringStreaming(doc string) (string, bool) {
+	e := singlePool.Get().(*singleExtractor)
+	e.buf = append(e.buf[:0], doc...)
+	e.parser.ResetValues()
+	_, err := s.Extract(&e.parser, e.buf, e.out[:])
+	res, ok := "", false
+	if err == nil && !e.out[0].IsNull() {
+		res, ok = e.out[0].Scalar(), true
+	}
+	e.out[0] = nil
+	singlePool.Put(e)
+	return res, ok
+}

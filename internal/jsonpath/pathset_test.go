@@ -1,0 +1,161 @@
+package jsonpath
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sjson"
+)
+
+func TestPathSetExtractMatchesEval(t *testing.T) {
+	doc := `{
+		"a": 1,
+		"b": {"c": "hi", "d": [10, {"e": null}, 30]},
+		"dup": "first", "dup": "second",
+		"nul": null,
+		"tail": "unused"
+	}`
+	exprs := []string{
+		"$.a", "$.b.c", "$.b.d[1].e", "$.b.d[2]", "$.b.d[9]",
+		"$.missing", "$.nul", "$.dup", "$['a']", "$.b",
+	}
+	var paths []*Path
+	for _, e := range exprs {
+		paths = append(paths, MustCompile(e))
+	}
+	set, err := NewPathSet(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parser sjson.Parser
+	out := make([]*sjson.Value, len(paths))
+	if _, err := set.Extract(&parser, []byte(doc), out); err != nil {
+		t.Fatal(err)
+	}
+	root, err := sjson.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range paths {
+		want := p.Eval(root)
+		got := out[i]
+		if (want == nil) != (got == nil) {
+			t.Errorf("%s: nil-ness differs: eval=%v extract=%v", p, want, got)
+			continue
+		}
+		if !sjson.Equal(want, got) {
+			t.Errorf("%s: eval=%s extract=%s", p, want.Scalar(), got.Scalar())
+		}
+	}
+}
+
+func TestPathSetRejectsIneligible(t *testing.T) {
+	if _, err := NewPathSet(MustCompile("$.a[*].b")); err == nil {
+		t.Error("wildcard path should be rejected")
+	}
+	if _, err := NewPathSet(MustCompile("$")); err == nil {
+		t.Error("root path should be rejected")
+	}
+	if _, err := NewPathSet(nil); err == nil {
+		t.Error("nil path should be rejected")
+	}
+}
+
+func TestTrieEligible(t *testing.T) {
+	for expr, want := range map[string]bool{
+		"$.a":        true,
+		"$.a.b[3].c": true,
+		"$['x y']":   true,
+		"$":          false,
+		"$.a[*]":     false,
+		"$[*].b":     false,
+	} {
+		if got := TrieEligible(MustCompile(expr)); got != want {
+			t.Errorf("TrieEligible(%s) = %v, want %v", expr, got, want)
+		}
+	}
+	if TrieEligible(nil) {
+		t.Error("TrieEligible(nil) should be false")
+	}
+}
+
+func TestPathSetAliases(t *testing.T) {
+	// $.a spelled two ways plus a distinct path: aliases share a slot but
+	// every input position is filled.
+	set := MustPathSet(MustCompile("$.a"), MustCompile("$['a']"), MustCompile("$.b"))
+	var parser sjson.Parser
+	out := make([]*sjson.Value, 3)
+	if _, err := set.Extract(&parser, []byte(`{"a": 7, "b": 8}`), out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Scalar() != "7" || out[1].Scalar() != "7" || out[2].Scalar() != "8" {
+		t.Errorf("got %v %v %v", out[0], out[1], out[2])
+	}
+}
+
+func TestPathSetErrorNilsOutputs(t *testing.T) {
+	set := MustPathSet(MustCompile("$.z"), MustCompile("$.a"))
+	var parser sjson.Parser
+	out := make([]*sjson.Value, 2)
+	if _, err := set.Extract(&parser, []byte(`{"a": 1, "z": {{`), out); err == nil {
+		t.Fatal("expected syntax error")
+	}
+	if out[0] != nil || out[1] != nil {
+		t.Errorf("outputs should be nil after error, got %v %v", out[0], out[1])
+	}
+}
+
+func TestEvalStringStreaming(t *testing.T) {
+	doc := `{"a": 1, "s": "x", "nested": {"deep": [1, 2, {"k": true}]}, "nul": null}`
+	for _, tc := range []struct {
+		expr string
+		want string
+		ok   bool
+	}{
+		{"$.a", "1", true},
+		{"$.s", "x", true},
+		{"$.nested.deep[2].k", "true", true},
+		{"$.nested", `{"deep":[1,2,{"k":true}]}`, true},
+		{"$.nul", "", false},
+		{"$.missing", "", false},
+	} {
+		got, ok := MustCompile(tc.expr).EvalString(doc)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("EvalString(%s) = (%q, %v), want (%q, %v)", tc.expr, got, ok, tc.want, tc.ok)
+		}
+	}
+	// Wildcard paths keep tree semantics.
+	got, ok := MustCompile("$.nested.deep[*].k").EvalString(doc)
+	if got != "true" || !ok {
+		t.Errorf("wildcard EvalString = (%q, %v)", got, ok)
+	}
+	// Invalid input stays NULL.
+	if got, ok := MustCompile("$.missing.x").EvalString(`{"broken`); got != "" || ok {
+		t.Errorf("malformed doc: got (%q, %v)", got, ok)
+	}
+}
+
+func TestEvalStringConcurrent(t *testing.T) {
+	p := MustCompile("$.k")
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			for i := 0; i < 500; i++ {
+				doc := fmt.Sprintf(`{"pad": "%s", "k": %d}`, strings.Repeat("x", g*10), g*1000+i)
+				got, ok := p.EvalString(doc)
+				if !ok || got != fmt.Sprint(g*1000+i) {
+					done <- fmt.Errorf("goroutine %d iter %d: got (%q, %v)", g, i, got, ok)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package lru
+
+import (
+	"repro/internal/jsonpath"
+	"repro/internal/pathkey"
+	"repro/internal/sjson"
+)
+
+// FillStats counts the parsing work the online cache's fill path performed.
+type FillStats struct {
+	Fills        int64 // documents the fill path had to read
+	BytesScanned int64 // bytes the extractor actually consumed
+	BytesSkipped int64 // bytes skipped by trie descent / early exit
+	ParseErrors  int64 // malformed documents (filled as empty values)
+}
+
+// Filler is the online cache's fill path: a miss extracts the missed path's
+// value from the raw document before inserting it. Trie-eligible paths run
+// the single-pass streaming extractor (skipped bytes are never tokenized
+// into values); wildcard and root paths keep the tree-parse escape hatch.
+// A Filler owns its parse arena and is not goroutine-safe, like the Cache.
+type Filler struct {
+	C *Cache
+
+	stats  FillStats
+	parser sjson.Parser
+	buf    []byte
+	out    [1]*sjson.Value
+	sets   map[string]*jsonpath.PathSet // compiled tries, keyed by canonical path
+}
+
+// NewFiller wraps an existing cache with the streaming fill path.
+func NewFiller(c *Cache) *Filler { return &Filler{C: c} }
+
+// FillStats returns a copy of the fill counters.
+func (f *Filler) FillStats() FillStats { return f.stats }
+
+// Access looks up (key, version); a hit refreshes recency and returns the
+// cached value. A miss extracts the value from doc, inserts it sized by the
+// rendered scalar (plus the null marker byte, matching the scorer's B_j
+// accounting), and returns it with hit=false.
+func (f *Filler) Access(key pathkey.Key, version int64, path *jsonpath.Path, doc string) (value string, hit bool) {
+	ek := entryKey{key, version}
+	if el, ok := f.C.items[ek]; ok {
+		f.C.ll.MoveToFront(el)
+		f.C.stats.Hits++
+		return el.Value.(*entry).val, true
+	}
+	value = f.extract(path, doc)
+	f.C.stats.Misses++
+	size := int64(len(value)) + 1
+	if size > f.C.budget {
+		return value, false
+	}
+	for f.C.used+size > f.C.budget {
+		f.C.evictOldest()
+	}
+	el := f.C.ll.PushFront(&entry{k: ek, size: size, val: value})
+	f.C.items[ek] = el
+	f.C.used += size
+	f.C.stats.Inserted++
+	return value, false
+}
+
+// extract reads one value out of doc, streaming when the path allows it.
+func (f *Filler) extract(path *jsonpath.Path, doc string) string {
+	f.buf = append(f.buf[:0], doc...)
+	f.stats.Fills++
+	f.parser.ResetValues()
+	if jsonpath.TrieEligible(path) {
+		canon := path.Canonical()
+		set := f.sets[canon]
+		if set == nil {
+			if f.sets == nil {
+				f.sets = map[string]*jsonpath.PathSet{}
+			}
+			set, _ = jsonpath.NewPathSet(path)
+			f.sets[canon] = set
+		}
+		scanned, err := set.Extract(&f.parser, f.buf, f.out[:])
+		f.stats.BytesScanned += int64(scanned)
+		f.stats.BytesSkipped += int64(len(doc) - scanned)
+		if err != nil {
+			f.stats.ParseErrors++
+			return ""
+		}
+		return f.out[0].Scalar()
+	}
+	root, err := f.parser.Parse(f.buf)
+	f.stats.BytesScanned += int64(len(doc))
+	if err != nil {
+		f.stats.ParseErrors++
+		return ""
+	}
+	return path.Eval(root).Scalar()
+}

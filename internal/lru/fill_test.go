@@ -1,0 +1,73 @@
+package lru
+
+import (
+	"testing"
+
+	"repro/internal/jsonpath"
+	"repro/internal/pathkey"
+)
+
+func TestFillerStreamingFill(t *testing.T) {
+	c := New(1000)
+	f := NewFiller(c)
+	path := jsonpath.MustCompile("$.a.b")
+	doc := `{"a": {"b": 42, "pad": "xxxxxxxxxxxxxxxx"}, "tail": [1,2,3,4,5,6,7,8]}`
+	k := pathkey.Key{DB: "db", Table: "t", Column: "c", Path: "$.a.b"}
+
+	v, hit := f.Access(k, 0, path, doc)
+	if hit || v != "42" {
+		t.Fatalf("first access = (%q, %v), want (42, miss)", v, hit)
+	}
+	v, hit = f.Access(k, 0, path, doc)
+	if !hit || v != "42" {
+		t.Fatalf("second access = (%q, %v), want (42, hit)", v, hit)
+	}
+	st := f.FillStats()
+	if st.Fills != 1 {
+		t.Errorf("Fills = %d, want 1 (hit must not re-extract)", st.Fills)
+	}
+	if st.BytesSkipped <= 0 {
+		t.Errorf("BytesSkipped = %d, want > 0 (early exit skips the tail)", st.BytesSkipped)
+	}
+	if st.BytesScanned+st.BytesSkipped != int64(len(doc)) {
+		t.Errorf("scanned %d + skipped %d != doc %d", st.BytesScanned, st.BytesSkipped, len(doc))
+	}
+	if cs := c.Stats(); cs.Hits != 1 || cs.Misses != 1 || cs.Inserted != 1 {
+		t.Errorf("cache stats = %+v", cs)
+	}
+}
+
+func TestFillerWildcardEscapeHatch(t *testing.T) {
+	c := New(1000)
+	f := NewFiller(c)
+	path := jsonpath.MustCompile("$.xs[*]")
+	doc := `{"xs": [1, 2, 3]}`
+	k := pathkey.Key{DB: "db", Table: "t", Column: "c", Path: "$.xs[*]"}
+
+	v, hit := f.Access(k, 0, path, doc)
+	if hit {
+		t.Fatal("first access should miss")
+	}
+	want, _ := path.EvalString(doc)
+	if v != want {
+		t.Errorf("wildcard fill = %q, want %q", v, want)
+	}
+	st := f.FillStats()
+	if st.BytesScanned != int64(len(doc)) || st.BytesSkipped != 0 {
+		t.Errorf("tree escape stats = %+v, want full scan", st)
+	}
+}
+
+func TestFillerMalformedDoc(t *testing.T) {
+	c := New(1000)
+	f := NewFiller(c)
+	path := jsonpath.MustCompile("$.a")
+	k := pathkey.Key{DB: "db", Table: "t", Column: "c", Path: "$.a"}
+	v, hit := f.Access(k, 0, path, `{"a": nope}`)
+	if hit || v != "" {
+		t.Fatalf("malformed doc = (%q, %v), want empty miss", v, hit)
+	}
+	if f.FillStats().ParseErrors != 1 {
+		t.Errorf("ParseErrors = %d, want 1", f.FillStats().ParseErrors)
+	}
+}

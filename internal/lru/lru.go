@@ -48,6 +48,9 @@ type entryKey struct {
 type entry struct {
 	k    entryKey
 	size int64
+	// val is the rendered scalar, stored only by the Filler fill path
+	// (size-only Access leaves it empty).
+	val string
 }
 
 // New builds a cache with the given byte budget.

@@ -1,0 +1,546 @@
+package sjson
+
+// Streaming multi-path extraction: walk the raw token stream once, descend
+// only into the object members / array indexes a compiled trie asks for, skip
+// everything else at tokenizer speed (no Value nodes allocated for skipped
+// subtrees), and stop scanning the moment every requested path is resolved.
+//
+// This is the repository's stand-in for Keiser & Lemire's On-Demand JSON
+// design: the caller compiles the paths it needs into an ExtractNode trie
+// (see jsonpath.PathSet) and the extractor materializes exactly the subtrees
+// sitting under terminal trie nodes, nothing else. It composes with, rather
+// than replaces, the full tree parser: wildcard paths and root projections
+// still go through Parse.
+
+// ExtractNode is one node of a compiled extraction trie. Member edges select
+// object keys, element edges select array indexes, and a terminal marks a
+// requested path ending at this node (its subtree value is materialized).
+// Build a trie with NewExtractNode/Member/Elem/MarkTerminal, then call
+// Finalize exactly once before handing it to Parser.Extract. A finalized trie
+// is immutable and safe for concurrent use by many parsers.
+type ExtractNode struct {
+	members   []extractMember
+	memberIdx map[string]int // key → members ordinal, built past smallObjectThreshold
+	elems     []extractElem  // ascending by index
+	maxElem   int            // largest requested element index; -1 when none
+	terminal  int            // output slot for the path ending here; -1 when interior
+
+	// Terminal counts let the extractor resolve "everything under here is
+	// missing" in O(1) when a subtree is absent or has the wrong kind, which
+	// is what makes early exit exact rather than heuristic.
+	nTerms      int // terminals in this subtree, including the node itself
+	memberTerms int // terminals under member edges
+	elemTerms   int // terminals under element edges
+}
+
+type extractMember struct {
+	name  string
+	child *ExtractNode
+}
+
+type extractElem struct {
+	idx   int
+	child *ExtractNode
+}
+
+// NewExtractNode returns an empty trie root.
+func NewExtractNode() *ExtractNode {
+	return &ExtractNode{terminal: -1, maxElem: -1}
+}
+
+// Member returns the child for an object key, creating it if absent.
+func (n *ExtractNode) Member(name string) *ExtractNode {
+	for _, m := range n.members {
+		if m.name == name {
+			return m.child
+		}
+	}
+	c := NewExtractNode()
+	n.members = append(n.members, extractMember{name: name, child: c})
+	return c
+}
+
+// Elem returns the child for an array index, creating it if absent.
+func (n *ExtractNode) Elem(i int) *ExtractNode {
+	for _, e := range n.elems {
+		if e.idx == i {
+			return e.child
+		}
+	}
+	c := NewExtractNode()
+	// Keep elems sorted so the array walker can early-out past maxElem.
+	pos := len(n.elems)
+	for pos > 0 && n.elems[pos-1].idx > i {
+		pos--
+	}
+	n.elems = append(n.elems, extractElem{})
+	copy(n.elems[pos+1:], n.elems[pos:])
+	n.elems[pos] = extractElem{idx: i, child: c}
+	if i > n.maxElem {
+		n.maxElem = i
+	}
+	return c
+}
+
+// MarkTerminal records that a requested path ends at this node, writing its
+// value into out[slot] during extraction.
+func (n *ExtractNode) MarkTerminal(slot int) { n.terminal = slot }
+
+// Terminal returns the node's output slot, or -1 for interior nodes.
+func (n *ExtractNode) Terminal() int { return n.terminal }
+
+// Finalize computes subtree terminal counts and lookup indexes. It must be
+// called on the root after the trie is fully built and before Extract; it
+// returns the number of terminals in the subtree.
+func (n *ExtractNode) Finalize() int {
+	n.memberTerms, n.elemTerms = 0, 0
+	for _, m := range n.members {
+		n.memberTerms += m.child.Finalize()
+	}
+	for _, e := range n.elems {
+		n.elemTerms += e.child.Finalize()
+	}
+	n.nTerms = n.memberTerms + n.elemTerms
+	if n.terminal >= 0 {
+		n.nTerms++
+	}
+	if len(n.members) > smallObjectThreshold {
+		n.memberIdx = make(map[string]int, len(n.members))
+		for i, m := range n.members {
+			if _, dup := n.memberIdx[m.name]; !dup {
+				n.memberIdx[m.name] = i
+			}
+		}
+	} else {
+		n.memberIdx = nil
+	}
+	return n.nTerms
+}
+
+// NumTerminals returns the finalized terminal count of the subtree.
+func (n *ExtractNode) NumTerminals() int { return n.nTerms }
+
+// lookupMember resolves an object key to its trie ordinal and child without
+// allocating. The returned ordinal indexes the per-object seen set that gives
+// duplicate keys first-occurrence-wins semantics, matching Value.Get.
+func (n *ExtractNode) lookupMember(key []byte) (int, *ExtractNode) {
+	if n.memberIdx != nil {
+		if i, ok := n.memberIdx[string(key)]; ok {
+			return i, n.members[i].child
+		}
+		return -1, nil
+	}
+	for i := range n.members {
+		if n.members[i].name == string(key) {
+			return i, n.members[i].child
+		}
+	}
+	return -1, nil
+}
+
+func (n *ExtractNode) elemChild(i int) *ExtractNode {
+	for _, e := range n.elems {
+		if e.idx == i {
+			return e.child
+		}
+		if e.idx > i {
+			break
+		}
+	}
+	return nil
+}
+
+// Extract scans one document and materializes exactly the subtrees under the
+// trie's terminals. out must have at least trie.NumTerminals() entries; slot i
+// receives the value of the terminal marked with slot i, nil when the path is
+// missing from the document (an explicit JSON null yields a non-nil null
+// Value, preserving the NULL-vs-missing distinction Eval makes). Returned is
+// the number of input bytes actually scanned: when every requested path
+// resolves before the end of the document the extractor stops immediately,
+// and skipped suffix bytes are metered as ParseStats.BytesSkipped rather than
+// BytesScanned.
+//
+// Skipped subtrees are validated structurally (balanced brackets, terminated
+// strings, bounded depth) but not grammatically — a malformed region the
+// extractor never needs to descend into may go undetected where Parse would
+// report an error. Materialized subtrees get the full parser, so extracted
+// values are byte-for-byte what Parse would have produced.
+func (p *Parser) Extract(data []byte, trie *ExtractNode, out []*Value) (scanned int, err error) {
+	for i := range out {
+		out[i] = nil
+	}
+	p.data = data
+	p.pos = 0
+	p.depth = 0
+	if trie == nil || trie.nTerms == 0 {
+		p.stats.BytesSkipped += int64(len(data))
+		p.stats.Documents++
+		return 0, nil
+	}
+	r := extractRun{p: p, out: out, remaining: trie.nTerms}
+	p.skipSpace()
+	err = r.value(trie)
+	if err == nil && !r.truncated {
+		// The root value was scanned to completion: hold the document to the
+		// same trailing-garbage standard as Parse. After a mid-scan early
+		// exit the tail is by design never validated.
+		p.skipSpace()
+		if p.pos != len(p.data) {
+			err = p.errf("unexpected trailing data")
+		}
+	}
+	scanned = p.pos
+	if scanned > len(data) {
+		scanned = len(data)
+	}
+	p.stats.BytesScanned += int64(scanned)
+	p.stats.BytesSkipped += int64(len(data) - scanned)
+	p.stats.Documents++
+	return scanned, err
+}
+
+// extractRun is the per-document state of one Extract call.
+type extractRun struct {
+	p         *Parser
+	out       []*Value
+	remaining int  // unresolved terminals; 0 triggers early exit
+	done      bool // all terminals settled: unwind without scanning further
+	truncated bool // the unwind skipped input (vs. resolving at a natural end)
+}
+
+// resolve marks k terminals as settled (missing or filled) and flips done
+// when none remain.
+func (r *extractRun) resolve(k int) {
+	if k == 0 {
+		return
+	}
+	r.remaining -= k
+	if r.remaining <= 0 {
+		r.done = true
+	}
+}
+
+// exit records an early unwind that leaves input unscanned.
+func (r *extractRun) exit() {
+	r.truncated = true
+}
+
+// value consumes the JSON value at p.pos under trie node n. p.pos must be on
+// the first byte of the value (whitespace already skipped).
+func (r *extractRun) value(n *ExtractNode) error {
+	p := r.p
+	if p.pos >= len(p.data) {
+		return p.errf("unexpected end of input")
+	}
+	if n.terminal >= 0 {
+		// A requested path ends here: materialize the whole subtree with the
+		// real parser, then settle any deeper terminals (covering sets like
+		// {$.a, $.a.b}) by walking the parsed value.
+		v, err := p.parseValue()
+		if err != nil {
+			return err
+		}
+		r.out[n.terminal] = v
+		r.resolve(1)
+		r.fill(v, n)
+		return nil
+	}
+	switch c := p.data[p.pos]; c {
+	case '{':
+		r.resolve(n.elemTerms) // element edges cannot match an object
+		if r.done {
+			r.exit() // object left unscanned
+			return nil
+		}
+		return r.object(n)
+	case '[':
+		r.resolve(n.memberTerms) // member edges cannot match an array
+		if r.done {
+			r.exit() // array left unscanned
+			return nil
+		}
+		return r.array(n)
+	default:
+		// Scalar under an interior node: every deeper path is missing.
+		r.resolve(n.nTerms)
+		if r.done {
+			r.exit() // scalar left unscanned
+			return nil
+		}
+		return p.skipValue()
+	}
+}
+
+// fill settles the descendants of a terminal node against its materialized
+// value: present descendants are written to their slots, absent ones are
+// resolved as missing. Value.Get/Index on nil or mismatched kinds return nil,
+// which is exactly the missing semantics Eval uses.
+func (r *extractRun) fill(v *Value, n *ExtractNode) {
+	for _, m := range n.members {
+		r.fillChild(v.Get(m.name), m.child)
+	}
+	for _, e := range n.elems {
+		r.fillChild(v.Index(e.idx), e.child)
+	}
+}
+
+func (r *extractRun) fillChild(v *Value, n *ExtractNode) {
+	if n.terminal >= 0 {
+		if v != nil {
+			r.out[n.terminal] = v
+		}
+		r.resolve(1)
+	}
+	r.fill(v, n)
+}
+
+func (r *extractRun) object(n *ExtractNode) error {
+	p := r.p
+	p.depth++
+	if p.depth > maxDepth {
+		return p.errf("nesting exceeds %d levels", maxDepth)
+	}
+	defer func() { p.depth-- }()
+	p.pos++ // consume '{'
+
+	// First-occurrence-wins for duplicate keys, matching Value.Get: a member
+	// ordinal already seen is skipped, not re-extracted.
+	var seen uint64
+	var seenBig []bool
+	if len(n.members) > 64 {
+		seenBig = make([]bool, len(n.members))
+	}
+	wasSeen := func(ord int) bool {
+		if seenBig != nil {
+			return seenBig[ord]
+		}
+		return seen&(1<<uint(ord)) != 0
+	}
+	markSeen := func(ord int) {
+		if seenBig != nil {
+			seenBig[ord] = true
+		} else {
+			seen |= 1 << uint(ord)
+		}
+	}
+
+	p.skipSpace()
+	if p.pos < len(p.data) && p.data[p.pos] == '}' {
+		p.pos++
+	} else {
+	memberLoop:
+		for {
+			p.skipSpace()
+			if p.pos >= len(p.data) || p.data[p.pos] != '"' {
+				return p.errf("expected object key string")
+			}
+			key, err := p.scanKey()
+			if err != nil {
+				return err
+			}
+			ord, child := n.lookupMember(key)
+			p.skipSpace()
+			if p.pos >= len(p.data) || p.data[p.pos] != ':' {
+				return p.errf("expected ':' after object key")
+			}
+			p.pos++
+			p.skipSpace()
+			if child != nil && !wasSeen(ord) {
+				markSeen(ord)
+				if err := r.value(child); err != nil {
+					return err
+				}
+				if r.done {
+					r.exit() // rest of the object left unscanned
+					return nil
+				}
+			} else if err := p.skipValue(); err != nil {
+				return err
+			}
+			p.skipSpace()
+			if p.pos >= len(p.data) {
+				return p.errf("unterminated object")
+			}
+			switch p.data[p.pos] {
+			case ',':
+				p.pos++
+			case '}':
+				p.pos++
+				break memberLoop
+			default:
+				return p.errf("expected ',' or '}' in object")
+			}
+		}
+	}
+	// Requested keys that never appeared: their whole subtrees are missing.
+	for i := range n.members {
+		if !wasSeen(i) {
+			r.resolve(n.members[i].child.nTerms)
+		}
+	}
+	return nil
+}
+
+func (r *extractRun) array(n *ExtractNode) error {
+	p := r.p
+	p.depth++
+	if p.depth > maxDepth {
+		return p.errf("nesting exceeds %d levels", maxDepth)
+	}
+	defer func() { p.depth-- }()
+	p.pos++ // consume '['
+
+	idx := 0
+	p.skipSpace()
+	if p.pos < len(p.data) && p.data[p.pos] == ']' {
+		p.pos++
+	} else {
+	elemLoop:
+		for {
+			p.skipSpace()
+			if child := n.elemChild(idx); child != nil {
+				if err := r.value(child); err != nil {
+					return err
+				}
+				if r.done {
+					r.exit() // rest of the array left unscanned
+					return nil
+				}
+			} else if err := p.skipValue(); err != nil {
+				return err
+			}
+			idx++
+			p.skipSpace()
+			if p.pos >= len(p.data) {
+				return p.errf("unterminated array")
+			}
+			switch p.data[p.pos] {
+			case ',':
+				p.pos++
+			case ']':
+				p.pos++
+				break elemLoop
+			default:
+				return p.errf("expected ',' or ']' in array")
+			}
+		}
+	}
+	// Requested indexes past the array's actual length are missing.
+	for _, e := range n.elems {
+		if e.idx >= idx {
+			r.resolve(e.child.nTerms)
+		}
+	}
+	return nil
+}
+
+// scanKey consumes the object key string at p.pos (opening quote included)
+// and returns its bytes. Keys without escapes are returned as a window into
+// the input with zero allocation; escaped keys fall back to the full string
+// parser.
+func (p *Parser) scanKey() ([]byte, error) {
+	start := p.pos + 1
+	for i := start; i < len(p.data); i++ {
+		c := p.data[i]
+		if c == '"' {
+			p.pos = i + 1
+			return p.data[start:i], nil
+		}
+		if c == '\\' || c < 0x20 {
+			break
+		}
+	}
+	s, err := p.parseStringLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return []byte(s), nil
+}
+
+// skipValue advances past one JSON value without materializing anything.
+// Strings and bracket nesting are validated (so the scan cannot desync), but
+// the interior grammar of skipped composites — comma/colon placement, number
+// syntax — is not: the extractor only vouches for the bytes it extracts.
+func (p *Parser) skipValue() error {
+	if p.pos >= len(p.data) {
+		return p.errf("unexpected end of input")
+	}
+	switch c := p.data[p.pos]; {
+	case c == '"':
+		return p.skipString()
+	case c == '{' || c == '[':
+		return p.skipComposite()
+	case c == 't':
+		return p.expect("true")
+	case c == 'f':
+		return p.expect("false")
+	case c == 'n':
+		return p.expect("null")
+	case c == '-' || (c >= '0' && c <= '9'):
+		p.skipNumber()
+		return nil
+	default:
+		return p.errf("unexpected character %q", c)
+	}
+}
+
+func (p *Parser) skipString() error {
+	p.pos++ // consume opening quote
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case '"':
+			p.pos++
+			return nil
+		case '\\':
+			p.pos += 2
+		default:
+			p.pos++
+		}
+	}
+	return p.errf("unterminated string")
+}
+
+// skipComposite skips a balanced {...} or [...] region iteratively, reusing
+// a bracket stack owned by the parser so nested skips allocate nothing.
+func (p *Parser) skipComposite() error {
+	stack := p.skipStack[:0]
+	defer func() { p.skipStack = stack }()
+	for p.pos < len(p.data) {
+		switch c := p.data[p.pos]; c {
+		case '{', '[':
+			stack = append(stack, c)
+			if p.depth+len(stack) > maxDepth {
+				return p.errf("nesting exceeds %d levels", maxDepth)
+			}
+			p.pos++
+		case '}', ']':
+			open := stack[len(stack)-1]
+			if (c == '}') != (open == '{') {
+				return p.errf("mismatched %q", c)
+			}
+			stack = stack[:len(stack)-1]
+			p.pos++
+			if len(stack) == 0 {
+				return nil
+			}
+		case '"':
+			if err := p.skipString(); err != nil {
+				return err
+			}
+		default:
+			p.pos++
+		}
+	}
+	return p.errf("unterminated %q", rune(stack[0]))
+}
+
+func (p *Parser) skipNumber() {
+	for p.pos < len(p.data) {
+		switch c := p.data[p.pos]; {
+		case c >= '0' && c <= '9', c == '-', c == '+', c == '.', c == 'e', c == 'E':
+			p.pos++
+		default:
+			return
+		}
+	}
+}

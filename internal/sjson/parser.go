@@ -22,6 +22,7 @@ func (e *SyntaxError) Error() string {
 // since the struct was zeroed.
 type ParseStats struct {
 	BytesScanned int64 // input bytes consumed by the tokenizer
+	BytesSkipped int64 // input bytes never scanned (streaming early exit)
 	ValuesBuilt  int64 // JSON values materialized (tree nodes)
 	Documents    int64 // top-level documents parsed
 }
@@ -29,6 +30,7 @@ type ParseStats struct {
 // Add merges other into s.
 func (s *ParseStats) Add(other ParseStats) {
 	s.BytesScanned += other.BytesScanned
+	s.BytesSkipped += other.BytesSkipped
 	s.ValuesBuilt += other.ValuesBuilt
 	s.Documents += other.Documents
 }
@@ -49,6 +51,10 @@ type Parser struct {
 	slabs [][]Value
 	cur   int
 	used  int
+
+	// skipStack is the bracket stack skipComposite reuses across skips so
+	// streaming extraction never allocates for skipped subtrees.
+	skipStack []byte
 }
 
 // maxDepth bounds nesting so hostile inputs cannot overflow the stack.

@@ -11,19 +11,25 @@ import (
 // ParseMeter accumulates JSON-parsing work across a query execution. It is
 // updated atomically because scan partitions run in parallel.
 type ParseMeter struct {
-	Docs  atomic.Int64 // documents parsed / indexed
-	Bytes atomic.Int64 // bytes scanned by the JSON parser
-	Calls atomic.Int64 // get_json_object evaluations
+	Docs    atomic.Int64 // documents parsed / indexed
+	Bytes   atomic.Int64 // bytes actually scanned by the JSON parser
+	Skipped atomic.Int64 // bytes never scanned (streaming early exit)
+	Calls   atomic.Int64 // get_json_object evaluations
 }
 
 // Snapshot returns a plain-struct copy.
 func (m *ParseMeter) Snapshot() ParseCounts {
-	return ParseCounts{Docs: m.Docs.Load(), Bytes: m.Bytes.Load(), Calls: m.Calls.Load()}
+	return ParseCounts{
+		Docs:    m.Docs.Load(),
+		Bytes:   m.Bytes.Load(),
+		Skipped: m.Skipped.Load(),
+		Calls:   m.Calls.Load(),
+	}
 }
 
 // ParseCounts is a point-in-time copy of a ParseMeter.
 type ParseCounts struct {
-	Docs, Bytes, Calls int64
+	Docs, Bytes, Skipped, Calls int64
 }
 
 // ParserBackend evaluates get_json_object against raw JSON text. Engine
@@ -151,4 +157,86 @@ func (m *misonEval) Extract(doc string, path *jsonpath.Path) (string, bool) {
 	}
 	res := m.lastRes[idx]
 	return res.Scalar, res.Present
+}
+
+// ---- On-demand backend: single-pass streaming trie extraction ----
+
+// StreamBackend evaluates get_json_object with the streaming multi-path
+// extractor (sjson.Parser.Extract): the query's trie-eligible paths compile
+// into one jsonpath.PathSet, each document is scanned exactly once with
+// unrequested subtrees skipped at tokenizer speed, and the scan early-exits
+// when every path has resolved. Wildcard paths and root projections fall
+// back to the tree parser, the same escape hatch MisonBackend uses.
+type StreamBackend struct{}
+
+// Name implements ParserBackend.
+func (StreamBackend) Name() string { return "ondemand" }
+
+// NewDocEvaluator implements ParserBackend.
+func (StreamBackend) NewDocEvaluator(meter *ParseMeter) DocEvaluator {
+	return &streamEval{meter: meter, pathIdx: make(map[string]int)}
+}
+
+// streamEval grows its path set as the first row encounters each
+// get_json_object call (like misonEval); later rows resolve every path in a
+// single streaming pass, memoized per document.
+type streamEval struct {
+	meter   *ParseMeter
+	paths   []*jsonpath.Path
+	pathIdx map[string]int
+	set     *jsonpath.PathSet
+	parser  sjson.Parser
+	docBuf  []byte
+	vals    []*sjson.Value
+	lastDoc string
+	valid   bool // vals corresponds to lastDoc under the current path set
+	lastErr bool
+	// tree serves wildcard paths and root projections the trie cannot.
+	tree *jacksonEval
+}
+
+func (s *streamEval) Extract(doc string, path *jsonpath.Path) (string, bool) {
+	s.meter.Calls.Add(1)
+	if !jsonpath.TrieEligible(path) {
+		if s.tree == nil {
+			s.tree = &jacksonEval{meter: s.meter}
+		}
+		s.meter.Calls.Add(-1) // the tree evaluator counts the call itself
+		return s.tree.Extract(doc, path)
+	}
+	key := path.Canonical()
+	idx, known := s.pathIdx[key]
+	if !known {
+		s.paths = append(s.paths, path)
+		idx = len(s.paths) - 1
+		s.pathIdx[key] = idx
+		set, err := jsonpath.NewPathSet(s.paths...)
+		if err != nil {
+			// Unreachable: every registered path passed TrieEligible.
+			panic(err)
+		}
+		s.set = set
+		s.vals = make([]*sjson.Value, len(s.paths))
+		s.valid = false // force re-extraction with the grown path set
+	}
+	if doc != s.lastDoc || !s.valid {
+		// The previous document's values die here, so the arena can recycle.
+		s.parser.ResetValues()
+		s.docBuf = append(s.docBuf[:0], doc...)
+		scanned, err := s.set.Extract(&s.parser, s.docBuf, s.vals)
+		s.meter.Docs.Add(1)
+		s.meter.Bytes.Add(int64(scanned))
+		s.meter.Skipped.Add(int64(len(doc) - scanned))
+		s.lastDoc = doc
+		s.valid = true
+		s.lastErr = err != nil
+	}
+	if s.lastErr {
+		return "", false
+	}
+	v := s.vals[idx]
+	if v.IsNull() {
+		return "", false
+	}
+	return v.Scalar(), true
 }

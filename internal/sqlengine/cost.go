@@ -19,11 +19,17 @@ import (
 //   - columnar read decodes ~1 GB/s        → ~1 ns/byte
 //   - tree JSON parsing runs ~150 MB/s     → ~6.7 ns/byte
 //   - structural-index projection ~600 MB/s→ ~1.7 ns/byte
+//   - streaming trie extraction ~500 MB/s  → ~2.0 ns/byte scanned
 //   - row compute (expr eval, hashing)     → ~120 ns/row-op
+//
+// Streaming extraction is charged per byte *scanned*: early exit means the
+// tail of a document costs nothing, and the skipped bytes surface separately
+// as the parse_bytes_skipped counter rather than as parse cost.
 type CostModel struct {
 	ReadNsPerByte       float64
 	ParseNsPerByteTree  float64 // Jackson-style full parse
 	ParseNsPerByteIndex float64 // Mison-style structural index
+	ParseNsPerByteStream float64 // streaming trie extraction (per byte scanned)
 	ParseNsPerCall      float64 // fixed per-get_json_object overhead
 	ComputeNsPerRowOp   float64
 	PlanNsPerExprNode   float64
@@ -35,13 +41,14 @@ type CostModel struct {
 // DefaultCostModel returns the calibrated defaults.
 func DefaultCostModel() CostModel {
 	return CostModel{
-		ReadNsPerByte:       1.0,
-		ParseNsPerByteTree:  6.7,
-		ParseNsPerByteIndex: 1.7,
-		ParseNsPerCall:      80,
-		ComputeNsPerRowOp:   120,
-		PlanNsPerExprNode:   15000,
-		PrefilterNsPerByte:  0.2,
+		ReadNsPerByte:        1.0,
+		ParseNsPerByteTree:   6.7,
+		ParseNsPerByteIndex:  1.7,
+		ParseNsPerByteStream: 2.0,
+		ParseNsPerCall:       80,
+		ComputeNsPerRowOp:    120,
+		PlanNsPerExprNode:    15000,
+		PrefilterNsPerByte:   0.2,
 	}
 }
 
@@ -57,8 +64,10 @@ type Metrics struct {
 	// Parse phase.
 	Parse ParseMeter
 	// TreeParser records whether parse bytes were tree-parsed (Jackson) or
-	// index-projected (Mison) for costing.
-	TreeParser bool
+	// index-projected (Mison) for costing; StreamParser marks bytes scanned
+	// by the streaming trie extractor (charged per byte scanned).
+	TreeParser   bool
+	StreamParser bool
 
 	// Compute phase: one row-op is one operator processing one row.
 	RowOps atomic.Int64
@@ -99,6 +108,7 @@ func (m *Metrics) addTo(dst *Metrics) {
 	dst.RowGroupsSkipped.Add(m.RowGroupsSkipped.Load())
 	dst.Parse.Docs.Add(m.Parse.Docs.Load())
 	dst.Parse.Bytes.Add(m.Parse.Bytes.Load())
+	dst.Parse.Skipped.Add(m.Parse.Skipped.Load())
 	dst.Parse.Calls.Add(m.Parse.Calls.Load())
 	dst.RowOps.Add(m.RowOps.Load())
 	dst.PrefilterBytes.Add(m.PrefilterBytes.Load())
@@ -115,7 +125,12 @@ func (m *Metrics) String() string {
 	parts = append(parts, fmt.Sprintf("read %dB in %d rows (%d row-groups, %d skipped)",
 		m.BytesRead.Load(), m.RowsScanned.Load(), m.RowGroupsRead.Load(), m.RowGroupsSkipped.Load()))
 	pc := m.Parse.Snapshot()
-	parts = append(parts, fmt.Sprintf("parsed %d docs / %dB / %d calls", pc.Docs, pc.Bytes, pc.Calls))
+	if pc.Skipped > 0 {
+		parts = append(parts, fmt.Sprintf("parsed %d docs / %dB / %d calls (%dB skipped)",
+			pc.Docs, pc.Bytes, pc.Calls, pc.Skipped))
+	} else {
+		parts = append(parts, fmt.Sprintf("parsed %d docs / %dB / %d calls", pc.Docs, pc.Bytes, pc.Calls))
+	}
 	parts = append(parts, fmt.Sprintf("%d row-ops", m.RowOps.Load()))
 	if n := m.CacheValuesRead.Load(); n > 0 || m.CacheMisses.Load() > 0 {
 		parts = append(parts, fmt.Sprintf("cache %d values (%d misses)", n, m.CacheMisses.Load()))
@@ -142,11 +157,16 @@ func (p PhaseBreakdown) String() string {
 	return fmt.Sprintf("read %v + parse %v + compute %v = %v", p.Read, p.Parse, p.Compute, p.Total())
 }
 
-// Breakdown converts the metered counters into simulated phase times.
+// Breakdown converts the metered counters into simulated phase times. Parse
+// cost is charged per byte the chosen backend actually scanned — for the
+// streaming extractor the early-exited tail (Parse.Skipped) is free.
 func (m *Metrics) Breakdown(cm CostModel) PhaseBreakdown {
 	perByte := cm.ParseNsPerByteIndex
-	if m.TreeParser {
+	switch {
+	case m.TreeParser:
 		perByte = cm.ParseNsPerByteTree
+	case m.StreamParser:
+		perByte = cm.ParseNsPerByteStream
 	}
 	pc := m.Parse.Snapshot()
 	return PhaseBreakdown{

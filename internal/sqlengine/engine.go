@@ -44,6 +44,7 @@ type engineCounters struct {
 	rowGroupsSkipped *obs.Counter
 	parseDocs        *obs.Counter
 	parseBytes       *obs.Counter
+	parseSkipped     *obs.Counter
 	parseCalls       *obs.Counter
 	rowOps           *obs.Counter
 	prefilterSkipped *obs.Counter
@@ -61,6 +62,7 @@ func newEngineCounters(r *obs.Registry) *engineCounters {
 		rowGroupsSkipped: r.Counter("engine_rowgroups_skipped_total"),
 		parseDocs:        r.Counter("engine_parse_docs_total"),
 		parseBytes:       r.Counter("engine_parse_bytes_total"),
+		parseSkipped:     r.Counter("engine_parse_bytes_skipped_total"),
 		parseCalls:       r.Counter("engine_parse_calls_total"),
 		rowOps:           r.Counter("engine_row_ops_total"),
 		prefilterSkipped: r.Counter("engine_prefilter_skipped_total"),
@@ -83,6 +85,7 @@ func (c *engineCounters) publish(m *Metrics, cm CostModel) {
 	pc := m.Parse.Snapshot()
 	c.parseDocs.Add(pc.Docs)
 	c.parseBytes.Add(pc.Bytes)
+	c.parseSkipped.Add(pc.Skipped)
 	c.parseCalls.Add(pc.Calls)
 	c.rowOps.Add(m.RowOps.Load())
 	c.prefilterSkipped.Add(m.PrefilterSkipped.Load())

@@ -457,7 +457,7 @@ func TestWildcardPathsInQueries(t *testing.T) {
 	if _, err := wh.AppendRows("db", "t", rows); err != nil {
 		t.Fatal(err)
 	}
-	for _, backend := range []ParserBackend{JacksonBackend{}, MisonBackend{}} {
+	for _, backend := range []ParserBackend{JacksonBackend{}, MisonBackend{}, StreamBackend{}} {
 		e := NewEngine(wh, WithDefaultDB("db"), WithBackend(backend))
 		rs, _, err := e.Query(`SELECT get_json_object(doc, '$.items[*].qty') q FROM db.t`)
 		if err != nil {

@@ -122,7 +122,12 @@ func (e *Engine) Execute(plan *PhysicalPlan) (*ResultSet, *Metrics, error) {
 // execute runs a physical plan; when trace is non-nil each operator and
 // scan partition records a span under it.
 func (e *Engine) execute(plan *PhysicalPlan, trace *obs.Span) (*ResultSet, *Metrics, error) {
-	m := &Metrics{TreeParser: e.backend.Name() == "jackson", Trace: trace, Span: trace}
+	m := &Metrics{
+		TreeParser:   e.backend.Name() == "jackson",
+		StreamParser: e.backend.Name() == "ondemand",
+		Trace:        trace,
+		Span:         trace,
+	}
 	start := e.nowWall()
 
 	// Hash-join build side (if any), materialized once.
@@ -187,7 +192,7 @@ func (e *Engine) execute(plan *PhysicalPlan, trace *obs.Span) (*ResultSet, *Metr
 
 	// Fold the per-split work into the query totals and annotate each
 	// split's span with what it actually did.
-	sm := &Metrics{TreeParser: m.TreeParser} // scan-level totals
+	sm := &Metrics{TreeParser: m.TreeParser, StreamParser: m.StreamParser} // scan-level totals
 	var mapOut int64
 	for split, pm := range results {
 		p := partMetrics[split]
@@ -214,6 +219,9 @@ func (e *Engine) execute(plan *PhysicalPlan, trace *obs.Span) (*ResultSet, *Metr
 		pc := sm.Parse.Snapshot()
 		scanSpan.SetInt("parse-docs", pc.Docs)
 		scanSpan.SetInt("parse-bytes", pc.Bytes)
+		if pc.Skipped > 0 {
+			scanSpan.SetInt("parse-bytes-skipped", pc.Skipped)
+		}
 		scanSpan.SetInt("parse-calls", pc.Calls)
 		scanSpan.SetInt("rowgroups", sm.RowGroupsRead.Load())
 		scanSpan.SetInt("rowgroups-skipped", sm.RowGroupsSkipped.Load())

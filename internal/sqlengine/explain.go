@@ -141,7 +141,7 @@ func RenderExplainAnalyze(plan *PhysicalPlan, m *Metrics, cm CostModel) string {
 		scanOp += "]"
 	}
 	add(scanOp, attr(scanSpan,
-		"splits", "rows", "bytes", "parse-docs", "parse-calls",
+		"splits", "rows", "bytes", "parse-docs", "parse-calls", "parse-bytes-skipped",
 		"rowgroups", "rowgroups-skipped", "cache-values"))
 
 	// Split detail lines nest under the scan.

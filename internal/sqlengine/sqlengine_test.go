@@ -366,6 +366,52 @@ func TestMisonBackendMatchesJackson(t *testing.T) {
 	}
 }
 
+func TestStreamBackendMatchesJackson(t *testing.T) {
+	// Mixed query: two trie-eligible paths plus a wildcard that exercises
+	// the tree-parse escape hatch inside the same evaluator.
+	sql := `
+		SELECT get_json_object(sale_logs, '$.item_name') n,
+		       get_json_object(sale_logs, '$.nested.deep.v') v,
+		       get_json_object(sale_logs, '$.basket[*].sku') s
+		FROM mydb.t
+		WHERE get_json_object(sale_logs, '$.turnover') > 100
+		ORDER BY n`
+	ej := newTestEngine(t)
+	es := newTestEngine(t, WithBackend(StreamBackend{}))
+	rj := mustQuery(t, ej, sql)
+	rs := mustQuery(t, es, sql)
+	if rj.String() != rs.String() {
+		t.Fatalf("results differ:\njackson:\n%s\nondemand:\n%s", rj.String(), rs.String())
+	}
+}
+
+func TestStreamBackendMetersSkippedBytes(t *testing.T) {
+	e := newTestEngine(t, WithBackend(StreamBackend{}))
+	_, m, err := e.Query(`
+		SELECT get_json_object(sale_logs, '$.item_id') a FROM mydb.t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.StreamParser {
+		t.Error("StreamParser flag not set for ondemand backend")
+	}
+	pc := m.Parse.Snapshot()
+	if pc.Skipped <= 0 {
+		t.Errorf("Parse.Skipped = %d, want > 0 (early exit should skip bytes)", pc.Skipped)
+	}
+	if pc.Bytes <= 0 {
+		t.Errorf("Parse.Bytes = %d, want > 0", pc.Bytes)
+	}
+	// Streaming parse cost must be charged on scanned bytes at the stream
+	// rate: strictly cheaper than tree-parsing every byte.
+	cm := DefaultCostModel()
+	treeCost := float64(pc.Bytes+pc.Skipped) * cm.ParseNsPerByteTree
+	streamCost := float64(pc.Bytes) * cm.ParseNsPerByteStream
+	if streamCost >= treeCost {
+		t.Errorf("stream parse cost %.0f >= tree cost %.0f", streamCost, treeCost)
+	}
+}
+
 func TestJSONPathsCollection(t *testing.T) {
 	stmt, err := Parse(`
 		SELECT get_json_object(a, '$.x') FROM db.t
