@@ -1,0 +1,86 @@
+// Command maxson-vet runs the repository's project-invariant analyzers
+// (internal/lint) over Go packages: pooled RowBatch lifecycle, arena
+// escape discipline, metric naming, error handling on parse surfaces, and
+// lock-held call hygiene.
+//
+// Usage:
+//
+//	maxson-vet [-json] [-run poolbalance,metricname] [-C dir] [patterns...]
+//
+// Patterns default to ./... relative to the module root. Exit status: 0
+// when clean, 1 when any diagnostic is reported, 2 when loading or
+// type-checking fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("maxson-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	sel := fs.String("run", "", "comma-separated analyzer names (default: all)")
+	dir := fs.String("C", ".", "module root directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All()
+	if *sel != "" {
+		var err error
+		analyzers, err = lint.ByName(strings.Split(*sel, ","))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(*dir, patterns, nil)
+	if err != nil {
+		fmt.Fprintln(stderr, "maxson-vet:", err)
+		return 2
+	}
+	result := lint.Run(pkgs, analyzers)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(result); err != nil {
+			fmt.Fprintln(stderr, "maxson-vet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range result.Diagnostics {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if result.Count > 0 {
+		return 1
+	}
+	return 0
+}

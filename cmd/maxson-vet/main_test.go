@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module for driver tests. files maps
+// module-relative paths to contents; a go.mod is added automatically.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.24\n"
+	for rel, content := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// errSource is a stand-in for the repository's parse surface: the analyzers
+// match packages by import-path suffix, so tmpmod/internal/sjson counts as
+// an error source without importing the real module.
+const errSource = `package sjson
+
+import "errors"
+
+func Parse(s string) error {
+	if s == "" {
+		return errors.New("empty")
+	}
+	return nil
+}
+`
+
+func TestDriverCleanTree(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/sjson/sjson.go": errSource,
+		"ok/ok.go": `package ok
+
+import "tmpmod/internal/sjson"
+
+func Use(s string) error { return sjson.Parse(s) }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", root, "-json", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	var res struct {
+		Diagnostics []map[string]any `json:"diagnostics"`
+		Count       int              `json:"count"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &res); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if res.Count != 0 || res.Diagnostics == nil || len(res.Diagnostics) != 0 {
+		t.Fatalf("clean tree reported %d diagnostics: %s", res.Count, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), `"diagnostics": [`) {
+		t.Fatalf("diagnostics must serialize as an array, not null: %s", stdout.String())
+	}
+}
+
+func TestDriverFindings(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/sjson/sjson.go": errSource,
+		"bad/bad.go": `package bad
+
+import "tmpmod/internal/sjson"
+
+func Leak() {
+	sjson.Parse("x")
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", root, "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var res struct {
+		Diagnostics []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &res); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if res.Count != 1 || len(res.Diagnostics) != 1 {
+		t.Fatalf("want exactly one finding, got %d: %s", res.Count, stdout.String())
+	}
+	d := res.Diagnostics[0]
+	if d.Analyzer != "errdiscard" || !strings.HasSuffix(d.File, "bad.go") ||
+		d.Line != 6 || d.Col == 0 || !strings.Contains(d.Message, "bare call") {
+		t.Fatalf("unexpected diagnostic shape: %+v", d)
+	}
+}
+
+func TestDriverLoadError(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"broken/broken.go": `package broken
+
+func f() { undefinedIdent() }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", root, "./..."}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stdout: %s", code, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "maxson-vet:") {
+		t.Fatalf("load error not reported on stderr: %q", stderr.String())
+	}
+}
+
+func TestDriverTextOutputAndRunSelection(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/sjson/sjson.go": errSource,
+		"bad/bad.go": `package bad
+
+import "tmpmod/internal/sjson"
+
+func Leak() {
+	sjson.Parse("x")
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", root, "-run", "errdiscard", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	line := strings.TrimSpace(stdout.String())
+	if !strings.Contains(line, "bad.go:6:") || !strings.HasSuffix(line, "(errdiscard)") {
+		t.Fatalf("unexpected text rendering: %q", line)
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-C", root, "-run", "metricname", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-run metricname exit = %d, want 0 (errdiscard finding filtered out)", code)
+	}
+
+	stderr.Reset()
+	if code := run([]string{"-run", "nosuch", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-run nosuch exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Fatalf("unknown analyzer not reported: %q", stderr.String())
+	}
+}
+
+func TestDriverList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, name := range []string{"arenaescape", "errdiscard", "lockheld", "metricname", "poolbalance"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Fatalf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}

@@ -377,6 +377,7 @@ func (c *Cacher) populateTable(group []*PathProfile, stats *CacheStats, cm sqlen
 					}
 					docBuf = append(docBuf[:0], src.S...)
 					if cp.set != nil {
+						//lint:ignore arenaescape cp.vals is drained into datums in this iteration, before the next row's ResetValues recycles the arena
 						scanned, err := cp.set.Extract(&parser, docBuf, cp.vals)
 						stats.BytesScanned += int64(scanned)
 						stats.BytesSkipped += int64(len(src.S) - scanned)

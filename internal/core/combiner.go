@@ -389,6 +389,7 @@ func (s *fallbackRowSource) fillFallbacks(get func(string) datum.Datum, put func
 func (s *fallbackRowSource) extractGroup(g *fbGroup, doc string) {
 	s.streamParser.ResetValues()
 	s.docBuf = append(s.docBuf[:0], doc...)
+	//lint:ignore arenaescape g.vals is memoized into g.memo datums immediately below, before any later ResetValues recycles the arena
 	scanned, err := g.set.Extract(&s.streamParser, s.docBuf, g.vals)
 	if s.m != nil {
 		s.m.Parse.Docs.Add(1)
@@ -445,7 +446,16 @@ func (s *fallbackRowSource) NextBatch(b *sqlengine.RowBatch) (int, error) {
 		s.dst = make([][]datum.Datum, nRead)
 	}
 	s.dst = s.dst[:nRead]
+	//lint:ignore arenaescape the batch aliases are wiped by the deferred loop below before NextBatch returns, so s.dst never outlives the caller's batch
 	copy(s.dst, b.Cols[:nPrimary])
+	defer func() {
+		// Drop the aliases into the caller's pooled batch: b may be recycled
+		// by PutRowBatch the moment we return, and a source field must not
+		// keep pointing into pool memory another scan now owns.
+		for i := 0; i < nPrimary; i++ {
+			s.dst[i] = nil
+		}
+	}()
 	for i := nPrimary; i < nRead; i++ {
 		k := i - nPrimary
 		for len(s.extra) <= k {
@@ -524,6 +534,7 @@ func (s *fallbackRowSource) parse(doc string) *sjson.Value {
 	if err != nil {
 		s.lastRoot = nil
 	} else {
+		//lint:ignore arenaescape lastRoot is the per-row memo; the lastDoc check above re-validates it and ResetValues only runs right before the replacing parse
 		s.lastRoot = root
 	}
 	return s.lastRoot

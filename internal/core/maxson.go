@@ -124,7 +124,7 @@ func (m *Maxson) Obs() *obs.Registry { return m.obs }
 // deferred deletion. GaugeFuncs are read at snapshot time, so exports always
 // reflect the current cycle.
 func (m *Maxson) registerGauges() {
-	m.obs.GaugeFunc("cache_registry_paths", func() int64 {
+	m.obs.GaugeFunc("cache_registry_path_count", func() int64 {
 		return int64(m.Registry.Len())
 	})
 	m.obs.GaugeFunc("cache_registry_bytes", func() int64 {
@@ -133,10 +133,10 @@ func (m *Maxson) registerGauges() {
 	m.obs.GaugeFunc("cache_budget_bytes", func() int64 {
 		return m.BudgetBytes
 	})
-	m.obs.GaugeFunc("cache_generation", func() int64 {
+	m.obs.GaugeFunc("cache_generation_count", func() int64 {
 		return int64(m.Cacher.Generation())
 	})
-	m.obs.GaugeFunc("cache_pending_drop_tables", func() int64 {
+	m.obs.GaugeFunc("cache_pending_drop_table_count", func() int64 {
 		return int64(m.Cacher.PendingDrops())
 	})
 }
@@ -277,10 +277,13 @@ func (m *Maxson) RunMidnightCycle() (*CycleReport, error) {
 	if len(candidates) == 0 {
 		// Nothing predicted; clear the cache (it is rebuilt nightly).
 		stage("score", 0)
-		stats, _ := m.Cacher.Populate(nil, m.Engine.CostModel())
+		stats, err := m.Cacher.Populate(nil, m.Engine.CostModel())
 		report.Cache = stats
 		stage("populate", 0)
 		finish()
+		if err != nil {
+			return report, fmt.Errorf("core: cache clear failed: %w", err)
+		}
 		return report, nil
 	}
 

@@ -126,7 +126,11 @@ func (s *Scorer) measure(prof *PathProfile) {
 	var sampled int64
 	var set *jsonpath.PathSet
 	if jsonpath.TrieEligible(path) {
-		set, _ = jsonpath.NewPathSet(path)
+		if ps, err := jsonpath.NewPathSet(path); err == nil {
+			set = ps
+		}
+		// On error set stays nil and the loop below falls back to costing
+		// the full document as scanned, the same as a non-eligible path.
 	}
 	var parser sjson.Parser
 	var scanOut [1]*sjson.Value

@@ -132,6 +132,7 @@ func (s *PathSet) evalStringStreaming(doc string) (string, bool) {
 	e := singlePool.Get().(*singleExtractor)
 	e.buf = append(e.buf[:0], doc...)
 	e.parser.ResetValues()
+	//lint:ignore arenaescape e.out belongs to the pooled extractor whose arena was just reset; the scalar is copied out and e.out[0] nilled before the pool put
 	_, err := s.Extract(&e.parser, e.buf, e.out[:])
 	res, ok := "", false
 	if err == nil && !e.out[0].IsNull() {

@@ -1,0 +1,497 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ArenaEscape tracks values whose backing memory is recycled out from
+// under them: *sjson.Value trees live in a parser's slab arena that
+// ResetValues reclaims wholesale, and RowBatch column slices alias a
+// pooled slab that PutRowBatch hands to the next scan. A value derived
+// from either source must not outlive the recycle point. The analyzer
+// flags, within one function:
+//
+//   - arena-derived values stored into struct fields or package-level
+//     variables (retention the next ResetValues/PutRowBatch silently
+//     invalidates),
+//   - extraction out-buffers that are themselves fields (the extractor
+//     writes arena pointers into long-lived storage),
+//   - uses or returns of a derived value after its arena was recycled in
+//     the same function.
+//
+// The sjson package itself is exempt: the arena's implementation
+// necessarily manufactures and hands out its own values.
+//
+// The walk is lexical and intraprocedural. Code that retains an arena
+// value next to its owning parser deliberately — memo fields that are
+// re-validated before every read — documents itself with a
+// //lint:ignore arenaescape directive explaining why the retention is
+// safe.
+var ArenaEscape = &Analyzer{
+	Name: "arenaescape",
+	Doc:  "parser-arena values and RowBatch column slices must not outlive ResetValues/PutRowBatch",
+	Run:  runArenaEscape,
+}
+
+// aeTaint records where a tracked value came from.
+type aeTaint struct {
+	origin string // rendered source expression: the parser or batch variable
+	kind   string // "arena" or "batch"
+}
+
+type aeWalker struct {
+	pass    *Pass
+	tainted map[types.Object]aeTaint
+	dead    map[string]token.Pos // origin → recycle position
+}
+
+func runArenaEscape(pass *Pass) {
+	if pkgPathIs(pass.Pkg, "internal/sjson") {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, fb := range functionBodies(f) {
+			w := &aeWalker{
+				pass:    pass,
+				tainted: map[types.Object]aeTaint{},
+				dead:    map[string]token.Pos{},
+			}
+			w.stmts(fb.body.List)
+		}
+	}
+}
+
+// valueType reports whether t can carry arena or batch-slab memory:
+// *sjson.Value, slices of it, or datum column vectors.
+func arenaCarrierType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if namedTypeIs(t, "internal/sjson", "Value") {
+		return true
+	}
+	if sl, ok := t.Underlying().(*types.Slice); ok {
+		return arenaCarrierType(sl.Elem())
+	}
+	return false
+}
+
+// taintOf classifies an expression as arena/batch-derived.
+func (w *aeWalker) taintOf(e ast.Expr) (aeTaint, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := w.pass.Info.Uses[x]
+		if obj == nil {
+			return aeTaint{}, false
+		}
+		t, ok := w.tainted[obj]
+		return t, ok
+	case *ast.SelectorExpr:
+		// b.Cols where b is a *sqlengine.RowBatch: the column vectors are
+		// windows into the pooled slab.
+		if x.Sel.Name == "Cols" {
+			if tv, ok := w.pass.Info.Types[x.X]; ok && namedTypeIs(tv.Type, "internal/sqlengine", "RowBatch") {
+				return aeTaint{origin: types.ExprString(x.X), kind: "batch"}, true
+			}
+		}
+		return aeTaint{}, false
+	case *ast.IndexExpr:
+		if t, ok := w.taintOf(x.X); ok && arenaCarrierOrDatum(w.exprType(e)) {
+			return t, true
+		}
+		return aeTaint{}, false
+	case *ast.SliceExpr:
+		if t, ok := w.taintOf(x.X); ok && arenaCarrierOrDatum(w.exprType(e)) {
+			return t, true
+		}
+		return aeTaint{}, false
+	case *ast.UnaryExpr:
+		return w.taintOf(x.X)
+	case *ast.CallExpr:
+		return w.taintOfCall(x)
+	}
+	return aeTaint{}, false
+}
+
+// arenaCarrierOrDatum extends arenaCarrierType with datum vectors, which
+// only stay tainted while they are slices (indexing one yields a plain
+// value copy).
+func arenaCarrierOrDatum(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if arenaCarrierType(t) {
+		return true
+	}
+	if sl, ok := types.Unalias(t).Underlying().(*types.Slice); ok {
+		elem := sl.Elem()
+		if namedTypeIs(elem, "internal/datum", "Datum") {
+			return true
+		}
+		if inner, ok := types.Unalias(elem).Underlying().(*types.Slice); ok {
+			return namedTypeIs(inner.Elem(), "internal/datum", "Datum")
+		}
+	}
+	return false
+}
+
+func (w *aeWalker) exprType(e ast.Expr) types.Type {
+	if tv, ok := w.pass.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// taintOfCall propagates taint through calls: Parse mints arena values;
+// *sjson.Value navigation (Get, Index, Eval, ...) on a tainted receiver
+// or argument stays inside the same tree.
+func (w *aeWalker) taintOfCall(call *ast.CallExpr) (aeTaint, bool) {
+	fn := calleeFunc(w.pass.Info, call)
+	if fn == nil {
+		return aeTaint{}, false
+	}
+	if isMethodOf(fn, "internal/sjson", "Parser", "Parse") {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			// A fresh parse revives the arena: values minted from here on
+			// are valid until the next ResetValues.
+			origin := types.ExprString(sel.X)
+			delete(w.dead, origin)
+			return aeTaint{origin: origin, kind: "arena"}, true
+		}
+	}
+	// A call returning arena-capable values with a tainted receiver or
+	// argument keeps the taint (Value.Get, Path.Eval(root), ...). String
+	// and scalar results copy and wash the taint out.
+	results := fn.Type().(*types.Signature).Results()
+	carrier := false
+	for i := 0; i < results.Len(); i++ {
+		if arenaCarrierType(results.At(i).Type()) {
+			carrier = true
+			break
+		}
+	}
+	if !carrier {
+		return aeTaint{}, false
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if t, tainted := w.taintOf(sel.X); tainted {
+			return t, true
+		}
+	}
+	for _, arg := range call.Args {
+		if t, tainted := w.taintOf(arg); tainted {
+			return t, true
+		}
+	}
+	return aeTaint{}, false
+}
+
+// stmts walks statements in lexical order, updating taint and recycle
+// state and reporting sinks.
+func (w *aeWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *aeWalker) stmt(stmt ast.Stmt) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.checkExpr(s.Cond)
+		w.stmt(s.Body)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.checkExpr(s.Cond)
+		w.stmt(s.Body)
+		if s.Post != nil {
+			w.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		w.checkExpr(s.X)
+		w.stmt(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.checkExpr(s.Tag)
+		w.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Body)
+	case *ast.SelectStmt:
+		w.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.checkExpr(e)
+		}
+		w.stmts(s.Body)
+	case *ast.CommClause:
+		if s.Comm != nil {
+			w.stmt(s.Comm)
+		}
+		w.stmts(s.Body)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						if i >= len(vs.Values) {
+							continue
+						}
+						w.checkExpr(vs.Values[i])
+						if t, tainted := w.taintOf(vs.Values[i]); tainted {
+							if obj := w.pass.Info.Defs[name]; obj != nil {
+								w.tainted[obj] = t
+							}
+						}
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		w.checkExpr(s.X)
+	case *ast.DeferStmt:
+		w.checkExpr(s.Call)
+	case *ast.GoStmt:
+		w.checkExpr(s.Call)
+	case *ast.SendStmt:
+		w.checkExpr(s.Chan)
+		w.checkExpr(s.Value)
+		if t, tainted := w.taintOf(s.Value); tainted {
+			w.pass.Reportf(s.Arrow, "value derived from %s %s sent on a channel: the receiver outlives the arena", t.kind, t.origin)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkExpr(r)
+			if t, tainted := w.taintOf(r); tainted {
+				if pos, isDead := w.dead[t.origin]; isDead {
+					line := w.pass.Fset.Position(pos).Line
+					w.pass.Reportf(r.Pos(), "returns value derived from %s %s, which was recycled at line %d", t.kind, t.origin, line)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X)
+	}
+}
+
+// assign propagates taint into locals and reports stores that let arena
+// memory escape the function.
+func (w *aeWalker) assign(s *ast.AssignStmt) {
+	for _, rhs := range s.Rhs {
+		w.checkExpr(rhs)
+	}
+	n := len(s.Lhs)
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		if len(s.Rhs) == n {
+			rhs = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0]
+		}
+		if rhs == nil {
+			continue
+		}
+		t, tainted := w.taintOf(rhs)
+		// Multi-value rhs (root, err := p.Parse(doc)): the call's taint
+		// lands only on the result positions whose type can carry arena
+		// memory; err and friends wash clean.
+		if len(s.Rhs) == 1 && n > 1 && !w.resultCarrier(rhs, i) {
+			tainted = false
+		}
+		switch target := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if target.Name == "_" {
+				continue
+			}
+			obj := w.pass.Info.Defs[target]
+			if obj == nil {
+				obj = w.pass.Info.Uses[target]
+			}
+			if obj == nil {
+				continue
+			}
+			if w.isGlobal(obj) {
+				if tainted {
+					w.pass.Reportf(s.Pos(), "value derived from %s %s stored in package-level %s: retained past the arena's next recycle", t.kind, t.origin, target.Name)
+				}
+				continue
+			}
+			if tainted {
+				w.tainted[obj] = t
+			} else {
+				delete(w.tainted, obj)
+			}
+		default:
+			// Field, index-of-field, or dereference store. Reorganizing an
+			// object's own slab (b.Cols = b.Cols[:w] inside a RowBatch
+			// method) is exempt: the store cannot outlive its source.
+			if tainted && w.isFieldStore(lhs) && !sameOwner(lhs, t.origin) {
+				w.pass.Reportf(s.Pos(), "value derived from %s %s stored into %s: a field outlives the arena the value points into", t.kind, t.origin, types.ExprString(lhs))
+			}
+		}
+	}
+}
+
+// resultCarrier reports whether result position i of the multi-value
+// expression e has an arena-capable type.
+func (w *aeWalker) resultCarrier(e ast.Expr, i int) bool {
+	tv, ok := w.pass.Info.Types[ast.Unparen(e)]
+	if !ok {
+		return false
+	}
+	tup, ok := tv.Type.(*types.Tuple)
+	if !ok {
+		return false
+	}
+	return i < tup.Len() && arenaCarrierOrDatum(tup.At(i).Type())
+}
+
+// sameOwner reports whether the store target is rooted at the very
+// variable the taint originated from (self-referential reorganization,
+// not an escape).
+func sameOwner(lhs ast.Expr, origin string) bool {
+	id := rootIdent(lhs)
+	return id != nil && id.Name == origin
+}
+
+// isGlobal reports whether obj is a package-level variable.
+func (w *aeWalker) isGlobal(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Parent() == w.pass.Pkg.Scope()
+}
+
+// isFieldStore reports whether the assignment target reaches through a
+// selector (struct field) or a dereference — storage that survives the
+// function.
+func (w *aeWalker) isFieldStore(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			return true
+		case *ast.StarExpr:
+			return true
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := w.pass.Info.Uses[x]
+			return obj != nil && w.isGlobal(obj)
+		default:
+			return false
+		}
+	}
+}
+
+// checkExpr scans an expression for recycle events, extraction
+// out-buffer escapes, copies into fields, and uses of values whose arena
+// is already recycled. Function literals are analyzed separately.
+func (w *aeWalker) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			w.call(x)
+		case *ast.Ident:
+			obj := w.pass.Info.Uses[x]
+			if obj == nil {
+				return true
+			}
+			if t, tainted := w.tainted[obj]; tainted {
+				if pos, isDead := w.dead[t.origin]; isDead {
+					line := w.pass.Fset.Position(pos).Line
+					w.pass.Reportf(x.Pos(), "%s is derived from %s %s, recycled at line %d: the memory it points into has been reused", x.Name, t.kind, t.origin, line)
+					delete(w.tainted, obj) // report once per variable
+				}
+			}
+		}
+		return true
+	})
+}
+
+// call handles recycle events and extraction out-buffers.
+func (w *aeWalker) call(call *ast.CallExpr) {
+	// copy(dst, src) with a tainted source and a field destination aliases
+	// arena memory into long-lived storage.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "copy" && len(call.Args) == 2 {
+		if _, isBuiltin := w.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			if t, tainted := w.taintOf(call.Args[1]); tainted &&
+				w.isFieldStore(call.Args[0]) && !sameOwner(call.Args[0], t.origin) {
+				w.pass.Reportf(call.Pos(), "copy retains values derived from %s %s in %s: a field outlives the arena", t.kind, t.origin, types.ExprString(call.Args[0]))
+			}
+			return
+		}
+	}
+	fn := calleeFunc(w.pass.Info, call)
+	if fn == nil {
+		return
+	}
+	sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+
+	// Recycle events.
+	if isMethodOf(fn, "internal/sjson", "Parser", "ResetValues") && sel != nil {
+		w.dead[types.ExprString(sel.X)] = call.Pos()
+		return
+	}
+	if isPkgFunc(fn, "internal/sqlengine", "PutRowBatch") && len(call.Args) == 1 {
+		w.dead[types.ExprString(call.Args[0])] = call.Pos()
+		return
+	}
+	if isMethodOf(fn, "sync", "Pool", "Put") && len(call.Args) == 1 {
+		if tv, ok := w.pass.Info.Types[call.Args[0]]; ok && namedTypeIs(tv.Type, "internal/sqlengine", "RowBatch") {
+			w.dead[types.ExprString(call.Args[0])] = call.Pos()
+		}
+		return
+	}
+
+	// Extraction out-buffers: Parser.Extract(data, trie, out) and
+	// PathSet.Extract(parser, doc, out) write arena pointers into out.
+	var out ast.Expr
+	var origin string
+	if isMethodOf(fn, "internal/sjson", "Parser", "Extract") && len(call.Args) == 3 && sel != nil {
+		out, origin = call.Args[2], types.ExprString(sel.X)
+	} else if isMethodOf(fn, "internal/jsonpath", "PathSet", "Extract") && len(call.Args) == 3 {
+		out, origin = call.Args[2], types.ExprString(call.Args[0])
+	}
+	if out == nil {
+		return
+	}
+	// Like Parse, an extraction mints fresh arena values: the origin is
+	// live again until its next reset.
+	delete(w.dead, origin)
+	if w.isFieldStore(out) {
+		w.pass.Reportf(out.Pos(), "extraction out-buffer %s is a field: extracted values are arena pointers retained past %s's next ResetValues", types.ExprString(out), origin)
+		return
+	}
+	if id := rootIdent(out); id != nil {
+		obj := w.pass.Info.Uses[id]
+		if obj == nil {
+			obj = w.pass.Info.Defs[id]
+		}
+		if obj != nil && !w.isGlobal(obj) {
+			w.tainted[obj] = aeTaint{origin: origin, kind: "arena"}
+		}
+	}
+}

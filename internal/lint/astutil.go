@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves a call expression to its statically known callee, or
+// nil for calls through function values, built-ins, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// pkgPathIs reports whether pkg is the module package whose import path
+// ends in suffix (e.g. "internal/obs"). Matching by suffix keeps the
+// analyzers independent of the module name.
+func pkgPathIs(pkg *types.Package, suffix string) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// isPkgFunc reports whether fn is the package-level function name of the
+// package with import-path suffix pkgSuffix.
+func isPkgFunc(fn *types.Func, pkgSuffix, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return pkgPathIs(fn.Pkg(), pkgSuffix)
+}
+
+// recvTypeName returns the receiver's named-type package and name for a
+// method, unwrapping pointers; ok is false for non-methods.
+func recvTypeName(fn *types.Func) (pkg *types.Package, name string, ok bool) {
+	if fn == nil {
+		return nil, "", false
+	}
+	sig, sigOK := fn.Type().(*types.Signature)
+	if !sigOK || sig.Recv() == nil {
+		return nil, "", false
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return nil, "", false
+	}
+	obj := named.Obj()
+	return obj.Pkg(), obj.Name(), true
+}
+
+// isMethodOf reports whether fn is the method name on the named type
+// typeName of the package with import-path suffix pkgSuffix.
+func isMethodOf(fn *types.Func, pkgSuffix, typeName, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	pkg, tn, ok := recvTypeName(fn)
+	return ok && tn == typeName && pkgPathIs(pkg, pkgSuffix)
+}
+
+// namedTypeIs reports whether t (after unwrapping pointers and aliases) is
+// the named type typeName of the package with import-path suffix pkgSuffix.
+func namedTypeIs(t types.Type, pkgSuffix, typeName string) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && pkgPathIs(obj.Pkg(), pkgSuffix)
+}
+
+// funcBody is one function-shaped body to analyze: a declaration or a
+// literal.
+type funcBody struct {
+	decl *ast.FuncDecl // nil for literals
+	body *ast.BlockStmt
+}
+
+// functionBodies collects every function and method body in the file,
+// including function literals, outermost first.
+func functionBodies(f *ast.File) []funcBody {
+	var out []funcBody
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, funcBody{decl: fn, body: fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcBody{body: fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+// rootIdent returns the leftmost identifier of a selector/index chain
+// (x in x.f.g[i]), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// usesObject reports whether expr mentions the object anywhere.
+func usesObject(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

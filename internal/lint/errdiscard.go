@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDiscard forbids discarding errors returned by this repository's parse
+// and extraction surfaces. PR 3's history is the motivation: a parse error
+// on the cache-population path was silently dropped for two PRs before a
+// counter made it visible. Any error produced by the sjson, jsonpath, orc,
+// or core packages must be bound to a non-blank variable — assigning it to
+// _ or invoking the call as a bare statement is a finding. Deferred Close
+// calls are exempt (the conventional defer r.Close() teardown).
+var ErrDiscard = &Analyzer{
+	Name: "errdiscard",
+	Doc:  "errors from sjson/jsonpath/orc/core APIs must not be discarded with _ or a bare call",
+	Run:  runErrDiscard,
+}
+
+// errSourcePkgs are the package import-path suffixes whose errors must be
+// handled.
+var errSourcePkgs = []string{
+	"internal/sjson",
+	"internal/jsonpath",
+	"internal/orc",
+	"internal/core",
+}
+
+func runErrDiscard(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					if fn, idx := errSourceCall(pass.Info, call); fn != nil && len(idx) > 0 {
+						pass.Reportf(call.Pos(),
+							"error returned by %s.%s is discarded by a bare call", pkgShort(fn), fn.Name())
+					}
+				}
+			case *ast.DeferStmt:
+				// Conventional defer r.Close() teardown is allowed; anything
+				// else deferred still may not discard its error.
+				if fn, idx := errSourceCall(pass.Info, stmt.Call); fn != nil && len(idx) > 0 && fn.Name() != "Close" {
+					pass.Reportf(stmt.Call.Pos(),
+						"error returned by deferred %s.%s is discarded", pkgShort(fn), fn.Name())
+				}
+			case *ast.GoStmt:
+				if fn, idx := errSourceCall(pass.Info, stmt.Call); fn != nil && len(idx) > 0 {
+					pass.Reportf(stmt.Call.Pos(),
+						"error returned by %s.%s is discarded by go statement", pkgShort(fn), fn.Name())
+				}
+			case *ast.AssignStmt:
+				checkAssignDiscard(pass, stmt)
+			}
+			return true
+		})
+	}
+}
+
+// checkAssignDiscard flags x, _ := pkg.Call() where the blank slot holds
+// the error result.
+func checkAssignDiscard(pass *Pass, stmt *ast.AssignStmt) {
+	if len(stmt.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, errIdx := errSourceCall(pass.Info, call)
+	if fn == nil || len(errIdx) == 0 {
+		return
+	}
+	for _, i := range errIdx {
+		if i >= len(stmt.Lhs) {
+			continue
+		}
+		if id, isIdent := stmt.Lhs[i].(*ast.Ident); isIdent && id.Name == "_" {
+			pass.Reportf(id.Pos(),
+				"error returned by %s.%s is discarded with _", pkgShort(fn), fn.Name())
+		}
+	}
+}
+
+// errSourceCall resolves call to a statically known function of one of the
+// errSourcePkgs and returns the result indexes typed error.
+func errSourceCall(info *types.Info, call *ast.CallExpr) (*types.Func, []int) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil, nil
+	}
+	match := false
+	for _, suffix := range errSourcePkgs {
+		if pkgPathIs(fn.Pkg(), suffix) {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return nil, nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, nil
+	}
+	var idx []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			idx = append(idx, i)
+		}
+	}
+	return fn, idx
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface) && t.String() == "error"
+}
+
+func pkgShort(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return "?"
+	}
+	return fn.Pkg().Name()
+}

@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockHeld flags blocking work performed while a sync.Mutex or
+// sync.RWMutex acquired in the same function is held: calls into the obs
+// registry (whose get-or-create path takes the registry's own lock — a
+// lock-order and contention hazard on hot paths) and channel sends (which
+// can park the goroutine while it holds the lock). Metric handles should
+// be resolved up front and incremented lock-free; sends belong outside
+// the critical section.
+//
+// The analysis is intraprocedural and lexical: branch and loop bodies are
+// walked with a copy of the held-lock state and fall-through states merge
+// conservatively (a lock held on any surviving path counts as held).
+// Function literals are analyzed as their own functions, not as part of
+// the enclosing critical section.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "no obs registry calls or channel sends while holding a mutex acquired in the same function",
+	Run:  runLockHeld,
+}
+
+func runLockHeld(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, fb := range functionBodies(f) {
+			w := &lockWalker{pass: pass}
+			w.walk(fb.body.List, map[string]int{})
+		}
+	}
+}
+
+// lockWalker tracks which lock expressions are held at each point of a
+// lexical walk over one function body.
+type lockWalker struct {
+	pass *Pass
+}
+
+// walk processes stmts in order starting from held, returning the
+// fall-through state and whether control always terminates (return /
+// branch) before the end.
+func (w *lockWalker) walk(stmts []ast.Stmt, held map[string]int) (map[string]int, bool) {
+	for _, stmt := range stmts {
+		var terminated bool
+		held, terminated = w.stmt(stmt, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func copyHeld(held map[string]int) map[string]int {
+	out := make(map[string]int, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeHeld unions two fall-through states, keeping the higher hold count
+// per lock (conservative toward "still held").
+func mergeHeld(a, b map[string]int) map[string]int {
+	out := copyHeld(a)
+	for k, v := range b {
+		if v > out[k] {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func anyHeld(held map[string]int) (string, bool) {
+	for k, v := range held {
+		if v > 0 {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+// stmt processes one statement, returning the successor state and whether
+// control terminates here.
+func (w *lockWalker) stmt(stmt ast.Stmt, held map[string]int) (map[string]int, bool) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		return w.walk(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		w.check(s.Cond, held)
+		thenState, thenTerm := w.walk(s.Body.List, copyHeld(held))
+		elseState, elseTerm := copyHeld(held), false
+		if s.Else != nil {
+			elseState, elseTerm = w.stmt(s.Else, copyHeld(held))
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseState, false
+		case elseTerm:
+			return thenState, false
+		default:
+			return mergeHeld(thenState, elseState), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.check(s.Cond, held)
+		}
+		body, _ := w.walk(s.Body.List, copyHeld(held))
+		if s.Post != nil {
+			body, _ = w.stmt(s.Post, body)
+		}
+		return mergeHeld(held, body), false
+	case *ast.RangeStmt:
+		w.check(s.X, held)
+		body, _ := w.walk(s.Body.List, copyHeld(held))
+		return mergeHeld(held, body), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.branches(s, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.check(r, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.SendStmt:
+		if lock, ok := anyHeld(held); ok {
+			w.pass.Reportf(s.Arrow, "channel send while holding %s", lock)
+		}
+		w.check(s.Chan, held)
+		w.check(s.Value, held)
+		return held, false
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end, which is
+		// exactly what the remainder of the walk models; no state change.
+		if key, kind, ok := w.lockCall(s.Call); ok && (kind == "Lock" || kind == "RLock") {
+			held = copyHeld(held)
+			held[key]++
+		}
+		w.check(s.Call, held)
+		return held, false
+	case *ast.ExprStmt:
+		if call, isCall := ast.Unparen(s.X).(*ast.CallExpr); isCall {
+			if key, kind, ok := w.lockCall(call); ok {
+				held = copyHeld(held)
+				switch kind {
+				case "Lock", "RLock":
+					held[key]++
+				case "Unlock", "RUnlock":
+					if held[key] > 0 {
+						held[key]--
+					}
+				}
+				return held, false
+			}
+		}
+		w.check(s.X, held)
+		return held, false
+	default:
+		w.check(stmt, held)
+		return held, false
+	}
+}
+
+// branches walks each case clause of a switch/select from a copy of the
+// incoming state and merges the survivors.
+func (w *lockWalker) branches(stmt ast.Stmt, held map[string]int) (map[string]int, bool) {
+	out := copyHeld(held)
+	var clauses []ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.check(s.Tag, held)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			body = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				if _, term := w.stmt(cc.Comm, copyHeld(held)); term {
+					continue
+				}
+			}
+			body = cc.Body
+		}
+		if state, term := w.walk(body, copyHeld(held)); !term {
+			out = mergeHeld(out, state)
+		}
+	}
+	return out, false
+}
+
+// check inspects the expressions of a leaf node for obs registry calls
+// while a lock is held. Function literal subtrees are skipped: they run
+// later, as their own functions.
+func (w *lockWalker) check(node ast.Node, held map[string]int) {
+	lock, isHeld := anyHeld(held)
+	if !isHeld || node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(w.pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		if pkg, tn, isMethod := recvTypeName(fn); isMethod && tn == "Registry" && pkgPathIs(pkg, "internal/obs") {
+			w.pass.Reportf(call.Pos(),
+				"obs.Registry.%s called while holding %s: registry get-or-create takes its own lock", fn.Name(), lock)
+		}
+		return true
+	})
+}
+
+// lockCall classifies call as a Lock/Unlock-family method on a
+// sync.Mutex or sync.RWMutex value, returning the rendered lock
+// expression as its identity.
+func (w *lockWalker) lockCall(call *ast.CallExpr) (key, kind string, ok bool) {
+	if call == nil {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn := calleeFunc(w.pass.Info, call)
+	if fn == nil {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	pkg, tn, isMethod := recvTypeName(fn)
+	if !isMethod || pkg == nil || pkg.Path() != "sync" || (tn != "Mutex" && tn != "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}

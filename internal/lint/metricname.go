@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+	"strings"
+)
+
+// MetricName enforces the obs registry's naming discipline. Registry
+// instruments are keyed by name string: a non-constant name means the
+// series set is decided at runtime — an unbounded-cardinality bug waiting
+// for production traffic — and inconsistent suffixes make dashboards and
+// tests guess at units. Names must be compile-time constants in
+// snake_case; counters count events and end in _total, histograms carry a
+// unit (_ns or _bytes), and gauges end in one of _total, _ns, _bytes, or
+// _count.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "obs metric names must be constant snake_case with _total/_ns/_bytes/_count unit suffixes",
+	Run:  runMetricName,
+}
+
+var snakeCaseRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// metricSuffixes maps each registry method to its admissible name endings.
+var metricSuffixes = map[string][]string{
+	"Counter":   {"_total"},
+	"Histogram": {"_ns", "_bytes"},
+	"Gauge":     {"_total", "_ns", "_bytes", "_count"},
+	"GaugeFunc": {"_total", "_ns", "_bytes", "_count"},
+}
+
+func runMetricName(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			suffixes, wanted := metricSuffixes[fn.Name()]
+			if !wanted || !isMethodOf(fn, "internal/obs", "Registry", fn.Name()) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			nameArg := call.Args[0]
+			tv, ok := pass.Info.Types[nameArg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(nameArg.Pos(),
+					"obs.%s name is not a compile-time constant: dynamic metric names create unbounded series cardinality",
+					fn.Name())
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !snakeCaseRE.MatchString(name) {
+				pass.Reportf(nameArg.Pos(), "obs.%s name %q is not snake_case", fn.Name(), name)
+				return true
+			}
+			for _, s := range suffixes {
+				if strings.HasSuffix(name, s) {
+					return true
+				}
+			}
+			pass.Reportf(nameArg.Pos(), "obs.%s name %q must end in %s",
+				fn.Name(), name, strings.Join(suffixes, ", "))
+			return true
+		})
+	}
+}

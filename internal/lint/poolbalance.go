@@ -1,0 +1,454 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolBalance checks the pooled RowBatch lifecycle: every batch acquired
+// through sqlengine.GetRowBatch (or a sync.Pool Get asserted to
+// *sqlengine.RowBatch) must reach exactly one PutRowBatch / Put on every
+// path out of the acquiring function. Leaks on early returns silently
+// shrink the pool's amortization; double releases put the same batch in
+// the pool twice, handing two future scans the same backing slab — a data
+// race that corrupts query results.
+//
+// The analysis is intraprocedural. Passing the batch to a call is a use,
+// not an ownership transfer; returning it, storing it in a field, global,
+// or composite, or sending it on a channel transfers ownership and ends
+// tracking. Branches are walked path-sensitively: a return inside an
+// if-body with the batch still held is a leak even when the fall-through
+// path releases it.
+var PoolBalance = &Analyzer{
+	Name: "poolbalance",
+	Doc:  "pooled RowBatch acquires must reach exactly one release on every path",
+	Run:  runPoolBalance,
+}
+
+const (
+	pbHeld = iota
+	pbReleased
+	pbEscaped
+)
+
+// pbState is the tracked lifecycle of one acquired batch variable.
+type pbState struct {
+	st       int
+	acqPos   token.Pos
+	deferred bool // a deferred release covers every exit
+}
+
+type pbMap map[types.Object]*pbState
+
+func (m pbMap) clone() pbMap {
+	out := make(pbMap, len(m))
+	for k, v := range m {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+func runPoolBalance(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, fb := range functionBodies(f) {
+			w := &poolWalker{pass: pass}
+			state, terminated := w.walk(fb.body.List, pbMap{})
+			if !terminated {
+				w.checkLeaks(state, fb.body.Rbrace)
+			}
+		}
+	}
+}
+
+type poolWalker struct {
+	pass *Pass
+}
+
+// isAcquire reports whether e acquires a pooled batch: a GetRowBatch call
+// or a sync.Pool Get asserted to *sqlengine.RowBatch.
+func (w *poolWalker) isAcquire(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return isPkgFunc(calleeFunc(w.pass.Info, x), "internal/sqlengine", "GetRowBatch")
+	case *ast.TypeAssertExpr:
+		call, ok := ast.Unparen(x.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := calleeFunc(w.pass.Info, call)
+		if !isMethodOf(fn, "sync", "Pool", "Get") {
+			return false
+		}
+		if tv, ok := w.pass.Info.Types[x]; ok {
+			return namedTypeIs(tv.Type, "internal/sqlengine", "RowBatch")
+		}
+	}
+	return false
+}
+
+// releaseTarget returns the tracked object a call releases, or nil: a
+// PutRowBatch(b) call or pool.Put(b) with a *RowBatch argument.
+func (w *poolWalker) releaseTarget(call *ast.CallExpr, state pbMap) (types.Object, bool) {
+	fn := calleeFunc(w.pass.Info, call)
+	isRelease := isPkgFunc(fn, "internal/sqlengine", "PutRowBatch") ||
+		isMethodOf(fn, "sync", "Pool", "Put")
+	if !isRelease || len(call.Args) != 1 {
+		return nil, false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil, true
+	}
+	obj := w.pass.Info.Uses[id]
+	if obj == nil {
+		return nil, true
+	}
+	if _, tracked := state[obj]; !tracked {
+		return nil, true
+	}
+	return obj, true
+}
+
+// release applies one explicit (non-deferred) release of obj.
+func (w *poolWalker) release(obj types.Object, pos token.Pos, state pbMap) {
+	s := state[obj]
+	switch {
+	case s.st == pbReleased:
+		w.pass.Reportf(pos, "pooled RowBatch %s released twice: the pool would hand its slab to two scans", obj.Name())
+	case s.deferred:
+		w.pass.Reportf(pos, "pooled RowBatch %s released here and again by a deferred release", obj.Name())
+	case s.st == pbHeld:
+		s.st = pbReleased
+	}
+}
+
+// checkUses flags reads of already-released batches and ownership
+// transfers (composite literals, channel sends) inside an expression.
+// Function literal subtrees are skipped.
+func (w *poolWalker) checkUses(node ast.Node, state pbMap) {
+	if node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if s, tracked := state[obj]; tracked && s.st == pbReleased {
+			w.pass.Reportf(id.Pos(), "pooled RowBatch %s used after release: the pool may already have handed it to another scan", id.Name)
+			s.st = pbEscaped // report once
+		}
+		return true
+	})
+}
+
+// transfer marks every tracked object mentioned in the expression as
+// escaped (ownership handed elsewhere; tracking ends without a report).
+// Used for go statements, where the spawned goroutine may retain anything
+// it can see.
+func (w *poolWalker) transfer(e ast.Expr, state pbMap) {
+	for obj, s := range state {
+		if usesObject(w.pass.Info, e, obj) {
+			s.st = pbEscaped
+		}
+	}
+}
+
+// transferDirect ends tracking only when the expression IS the batch (or
+// wraps it in &x / a composite literal): aliasing, returning, or storing
+// the batch value transfers ownership, while passing it as a call
+// argument remains a use.
+func (w *poolWalker) transferDirect(e ast.Expr, state pbMap) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := w.pass.Info.Uses[x]; obj != nil {
+			if s, ok := state[obj]; ok {
+				s.st = pbEscaped
+			}
+		}
+	case *ast.UnaryExpr:
+		w.transferDirect(x.X, state)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.transferDirect(kv.Value, state)
+			} else {
+				w.transferDirect(el, state)
+			}
+		}
+	}
+}
+
+func (w *poolWalker) checkLeaks(state pbMap, pos token.Pos) {
+	for obj, s := range state {
+		if s.st == pbHeld && !s.deferred {
+			acq := w.pass.Fset.Position(s.acqPos)
+			w.pass.Reportf(pos, "pooled RowBatch %s (acquired at line %d) leaks on this path: missing release", obj.Name(), acq.Line)
+		}
+	}
+}
+
+// walk processes stmts in order; it returns the fall-through state and
+// whether every path through stmts terminates.
+func (w *poolWalker) walk(stmts []ast.Stmt, state pbMap) (pbMap, bool) {
+	for _, stmt := range stmts {
+		var terminated bool
+		state, terminated = w.stmt(stmt, state)
+		if terminated {
+			return state, true
+		}
+	}
+	return state, false
+}
+
+// mergePB merges two fall-through branch states: objects whose lifecycle
+// states disagree become untracked (escaped) rather than guessed.
+func mergePB(a, b pbMap) pbMap {
+	out := make(pbMap, len(a))
+	for obj, sa := range a {
+		sb, ok := b[obj]
+		if !ok {
+			out[obj] = sa
+			continue
+		}
+		c := *sa
+		if sb.st != sa.st || sb.deferred != sa.deferred {
+			c.st = pbEscaped
+		}
+		out[obj] = &c
+	}
+	for obj, sb := range b {
+		if _, ok := a[obj]; !ok {
+			out[obj] = sb
+		}
+	}
+	return out
+}
+
+func (w *poolWalker) stmt(stmt ast.Stmt, state pbMap) (pbMap, bool) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		return w.walk(s.List, state)
+	case *ast.AssignStmt:
+		return w.assign(s, state), false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) && w.isAcquire(vs.Values[i]) {
+						if obj := w.pass.Info.Defs[name]; obj != nil {
+							state[obj] = &pbState{st: pbHeld, acqPos: vs.Values[i].Pos()}
+						}
+					} else if i < len(vs.Values) {
+						w.checkUses(vs.Values[i], state)
+					}
+				}
+			}
+		}
+		return state, false
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if obj, isRelease := w.releaseTarget(call, state); isRelease {
+				if obj != nil {
+					w.release(obj, call.Pos(), state)
+				}
+				return state, false
+			}
+		}
+		w.checkUses(s.X, state)
+		return state, false
+	case *ast.DeferStmt:
+		w.deferred(s.Call, state)
+		return state, false
+	case *ast.GoStmt:
+		w.transfer(s.Call, state)
+		return state, false
+	case *ast.SendStmt:
+		w.checkUses(s.Chan, state)
+		w.checkUses(s.Value, state)
+		w.transferDirect(s.Value, state)
+		return state, false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkUses(r, state)
+			w.transferDirect(r, state)
+		}
+		w.checkLeaks(state, s.Pos())
+		return state, true
+	case *ast.BranchStmt:
+		// break/continue/goto: path-insensitive beyond this point; a leak
+		// via continue-without-release is the loop merge's concern.
+		return state, true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			state, _ = w.stmt(s.Init, state)
+		}
+		w.checkUses(s.Cond, state)
+		thenState, thenTerm := w.walk(s.Body.List, state.clone())
+		elseState, elseTerm := state.clone(), false
+		if s.Else != nil {
+			elseState, elseTerm = w.stmt(s.Else, state.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return state, true
+		case thenTerm:
+			return elseState, false
+		case elseTerm:
+			return thenState, false
+		default:
+			return mergePB(thenState, elseState), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			state, _ = w.stmt(s.Init, state)
+		}
+		w.checkUses(s.Cond, state)
+		body, _ := w.walk(s.Body.List, state.clone())
+		if s.Post != nil {
+			body, _ = w.stmt(s.Post, body)
+		}
+		return mergePB(state, body), false
+	case *ast.RangeStmt:
+		w.checkUses(s.X, state)
+		body, _ := w.walk(s.Body.List, state.clone())
+		return mergePB(state, body), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			state, _ = w.stmt(s.Init, state)
+		}
+		w.checkUses(s.Tag, state)
+		return w.clauses(s.Body.List, state)
+	case *ast.TypeSwitchStmt:
+		return w.clauses(s.Body.List, state)
+	case *ast.SelectStmt:
+		return w.clauses(s.Body.List, state)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, state)
+	default:
+		w.checkUses(stmt, state)
+		return state, false
+	}
+}
+
+// clauses walks switch/select case bodies from clones and merges the
+// fall-through survivors.
+func (w *poolWalker) clauses(list []ast.Stmt, state pbMap) (pbMap, bool) {
+	out := state.clone()
+	for _, c := range list {
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.checkUses(e, state)
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			branch := state.clone()
+			if cc.Comm != nil {
+				branch, _ = w.stmt(cc.Comm, branch)
+			}
+			if st, term := w.walk(cc.Body, branch); !term {
+				out = mergePB(out, st)
+			}
+			continue
+		}
+		if st, term := w.walk(body, state.clone()); !term {
+			out = mergePB(out, st)
+		}
+	}
+	return out, false
+}
+
+// assign handles acquires, reassignment-while-held, aliasing, and stores
+// that transfer ownership.
+func (w *poolWalker) assign(s *ast.AssignStmt, state pbMap) pbMap {
+	// Single-call acquire: b := GetRowBatch(...) / b = pool.Get().(*RowBatch).
+	if len(s.Rhs) == 1 && len(s.Lhs) == 1 && w.isAcquire(s.Rhs[0]) {
+		if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			obj := w.pass.Info.Defs[id]
+			if obj == nil {
+				obj = w.pass.Info.Uses[id]
+			}
+			if obj != nil {
+				if prev, tracked := state[obj]; tracked && prev.st == pbHeld && !prev.deferred {
+					acq := w.pass.Fset.Position(prev.acqPos)
+					w.pass.Reportf(s.Pos(), "pooled RowBatch %s reassigned while still held (acquired at line %d): previous batch leaks", id.Name, acq.Line)
+				}
+				state[obj] = &pbState{st: pbHeld, acqPos: s.Rhs[0].Pos()}
+				return state
+			}
+		}
+	}
+	for _, rhs := range s.Rhs {
+		w.checkUses(rhs, state)
+	}
+	// A tracked batch assigned somewhere — aliased, stored into a field or
+	// composite — leaves this function's view; a call that merely takes it
+	// as an argument does not.
+	for _, rhs := range s.Rhs {
+		w.transferDirect(rhs, state)
+	}
+	// Assigning over a held batch variable loses its only reference.
+	for _, lhs := range s.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := w.pass.Info.Uses[id]; obj != nil {
+				if prev, tracked := state[obj]; tracked && prev.st == pbHeld && !prev.deferred {
+					acq := w.pass.Fset.Position(prev.acqPos)
+					w.pass.Reportf(s.Pos(), "pooled RowBatch %s overwritten while still held (acquired at line %d): batch leaks", id.Name, acq.Line)
+					prev.st = pbEscaped
+				}
+			}
+		}
+	}
+	return state
+}
+
+// deferred registers deferred releases, including defer func(){ Put(b) }()
+// closures.
+func (w *poolWalker) deferred(call *ast.CallExpr, state pbMap) {
+	mark := func(obj types.Object, pos token.Pos) {
+		s := state[obj]
+		switch {
+		case s.deferred:
+			w.pass.Reportf(pos, "pooled RowBatch %s has two deferred releases", obj.Name())
+		case s.st == pbReleased:
+			w.pass.Reportf(pos, "pooled RowBatch %s already released: deferred release is a double free", obj.Name())
+		default:
+			s.deferred = true
+		}
+	}
+	if obj, isRelease := w.releaseTarget(call, state); isRelease {
+		if obj != nil {
+			mark(obj, call.Pos())
+		}
+		return
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if obj, isRelease := w.releaseTarget(inner, state); isRelease && obj != nil {
+				mark(obj, inner.Pos())
+			}
+			return true
+		})
+		return
+	}
+	w.checkUses(call, state)
+}

@@ -1,0 +1,112 @@
+// Package arenaescape is a maxson-vet fixture: every line tagged with a
+// "want" comment must produce exactly that arenaescape diagnostic, and
+// the untagged functions must stay silent.
+package arenaescape
+
+import (
+	"repro/internal/datum"
+	"repro/internal/jsonpath"
+	"repro/internal/sjson"
+	"repro/internal/sqlengine"
+)
+
+type holder struct {
+	root *sjson.Value
+	vals []*sjson.Value
+	cols [][]datum.Datum
+}
+
+var globalRoot *sjson.Value
+
+// --- findings ---
+
+func storeInField(h *holder, p *sjson.Parser, doc []byte) {
+	root, err := p.Parse(doc)
+	if err != nil {
+		return
+	}
+	h.root = root // want "stored into h.root"
+}
+
+func storeInGlobal(p *sjson.Parser, doc []byte) {
+	root, err := p.Parse(doc)
+	if err != nil {
+		return
+	}
+	globalRoot = root // want "stored in package-level globalRoot"
+}
+
+func useAfterReset(p *sjson.Parser, doc []byte) string {
+	root, err := p.Parse(doc)
+	if err != nil {
+		return ""
+	}
+	p.ResetValues()
+	return root.Scalar() // want "recycled at line"
+}
+
+func extractToFieldBuffer(h *holder, p *sjson.Parser, set *jsonpath.PathSet, doc []byte) error {
+	_, err := set.Extract(p, doc, h.vals) // want "out-buffer h.vals is a field"
+	return err
+}
+
+func sendOnChannel(p *sjson.Parser, doc []byte, ch chan *sjson.Value) {
+	root, err := p.Parse(doc)
+	if err != nil {
+		return
+	}
+	ch <- root // want "sent on a channel"
+}
+
+func copyBatchAliasesIntoField(h *holder, b *sqlengine.RowBatch) {
+	copy(h.cols, b.Cols) // want "copy retains values derived from batch b"
+}
+
+func navigationKeepsTaint(h *holder, p *sjson.Parser, doc []byte) {
+	root, err := p.Parse(doc)
+	if err != nil {
+		return
+	}
+	h.root = root.Get("nested") // want "stored into h.root"
+}
+
+// --- clean ---
+
+func localUse(p *sjson.Parser, doc []byte) string {
+	root, err := p.Parse(doc)
+	if err != nil {
+		return ""
+	}
+	return root.Get("a").Scalar()
+}
+
+func extractThenCopyOut(p *sjson.Parser, set *jsonpath.PathSet, doc []byte) string {
+	var out [1]*sjson.Value
+	p.ResetValues()
+	if _, err := set.Extract(p, doc, out[:]); err != nil {
+		return ""
+	}
+	return out[0].Scalar()
+}
+
+func scalarWashesTaint(h *holder, p *sjson.Parser, doc []byte, sink *string) {
+	root, err := p.Parse(doc)
+	if err != nil {
+		return
+	}
+	*sink = root.Scalar() // a string copy, not an arena pointer
+}
+
+func reparseRevives(p *sjson.Parser, doc []byte) string {
+	first, err := p.Parse(doc)
+	if err != nil {
+		return ""
+	}
+	s := first.Scalar()
+	p.ResetValues()
+	second, err := p.Parse(doc)
+	if err != nil {
+		return s
+	}
+	return second.Scalar()
+}

@@ -1,0 +1,31 @@
+// Package directive is a maxson-vet fixture for the //lint:ignore
+// machinery itself: suppression, mandatory reasons, unknown analyzer
+// names, and unused-directive reporting. Expectations live in the lint
+// package's directive test, not in want comments.
+package directive
+
+import "repro/internal/obs"
+
+func suppressedOnSameLine(r *obs.Registry) {
+	r.Counter("bad_name").Inc() //lint:ignore metricname fixture exercising same-line suppression
+}
+
+func suppressedFromLineAbove(r *obs.Registry) {
+	//lint:ignore metricname fixture exercising line-above suppression
+	r.Counter("worse_name").Inc()
+}
+
+func missingReason(r *obs.Registry) {
+	//lint:ignore metricname
+	r.Counter("naked_directive").Inc()
+}
+
+func unknownAnalyzer(r *obs.Registry) {
+	//lint:ignore nosuchanalyzer the analyzer name is wrong
+	r.Counter("misdirected").Inc()
+}
+
+//lint:ignore metricname nothing on the next line triggers it
+func unusedDirective(r *obs.Registry) {
+	r.Counter("fine_total").Inc()
+}

@@ -1,0 +1,51 @@
+// Package errdiscard is a maxson-vet fixture: every line tagged with a
+// "want" comment must produce exactly that errdiscard diagnostic, and
+// the untagged functions must stay silent.
+package errdiscard
+
+import (
+	"repro/internal/jsonpath"
+	"repro/internal/sjson"
+)
+
+// --- findings ---
+
+func blankAssign(doc []byte) *sjson.Value {
+	v, _ := sjson.Parse(doc) // want "discarded with _"
+	return v
+}
+
+func bareCall(doc string) {
+	sjson.ParseString(doc) // want "discarded by a bare call"
+}
+
+func goDiscard(doc []byte) {
+	go sjson.Parse(doc) // want "discarded by go statement"
+}
+
+func deferDiscard(doc []byte) {
+	defer sjson.Parse(doc) // want "deferred"
+}
+
+func blankCompile(expr string) {
+	_, _ = jsonpath.Compile(expr) // want "discarded with _"
+}
+
+// --- clean ---
+
+func handled(doc []byte) (*sjson.Value, error) {
+	v, err := sjson.Parse(doc)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func boundAndChecked(expr string) bool {
+	p, err := jsonpath.Compile(expr)
+	return err == nil && p != nil
+}
+
+func noErrorResult(p *sjson.Parser) {
+	p.ResetValues() // no error to discard
+}

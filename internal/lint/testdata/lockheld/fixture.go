@@ -1,0 +1,74 @@
+// Package lockheld is a maxson-vet fixture: every line tagged with a
+// "want" comment must produce exactly that lockheld diagnostic, and the
+// untagged functions must stay silent.
+package lockheld
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+type server struct {
+	mu sync.Mutex
+	r  *obs.Registry
+	ch chan int
+}
+
+// --- findings ---
+
+func registryUnderLock(s *server) {
+	s.mu.Lock()
+	s.r.Counter("requests_total").Inc() // want "obs.Registry.Counter called while holding s.mu"
+	s.mu.Unlock()
+}
+
+func sendUnderLock(s *server) {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while holding s.mu"
+	s.mu.Unlock()
+}
+
+func deferUnlockStillHeld(s *server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 2 // want "channel send while holding s.mu"
+}
+
+func rlockSend(s *server, rw *sync.RWMutex) {
+	rw.RLock()
+	s.ch <- 3 // want "channel send while holding rw"
+	rw.RUnlock()
+}
+
+func heldOnOneBranch(s *server, hot bool) {
+	s.mu.Lock()
+	if hot {
+		s.mu.Unlock()
+		return
+	}
+	s.ch <- 4 // want "channel send while holding s.mu"
+	s.mu.Unlock()
+}
+
+// --- clean ---
+
+func resolveHandleBeforeLock(s *server) {
+	c := s.r.Counter("requests_total")
+	s.mu.Lock()
+	c.Inc() // pre-resolved handle increments are lock-free
+	s.mu.Unlock()
+	s.ch <- 5
+}
+
+func sendAfterUnlock(s *server) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 6
+}
+
+func closureIsItsOwnFunction(s *server) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() { s.ch <- 7 } // runs later, outside the critical section
+}

@@ -1,0 +1,45 @@
+// Package metricname is a maxson-vet fixture: every line tagged with a
+// "want" comment must produce exactly that metricname diagnostic, and
+// the untagged functions must stay silent.
+package metricname
+
+import "repro/internal/obs"
+
+const constantName = "scan_latency"
+
+// --- findings ---
+
+func dynamicName(r *obs.Registry, table string) {
+	r.Counter("rows_" + table).Inc() // want "not a compile-time constant"
+}
+
+func notSnakeCase(r *obs.Registry) {
+	r.Counter("ParseCalls_total").Inc() // want "not snake_case"
+}
+
+func counterSuffix(r *obs.Registry) {
+	r.Counter("parse_calls").Inc() // want "must end in _total"
+}
+
+func histogramSuffix(r *obs.Registry) {
+	r.Histogram(constantName).Observe(1) // want "must end in _ns, _bytes"
+}
+
+func gaugeSuffix(r *obs.Registry) {
+	r.Gauge("queue_depth").Set(3) // want "must end in _total, _ns, _bytes, _count"
+}
+
+// --- clean ---
+
+func wellNamed(r *obs.Registry) {
+	r.Counter("parse_calls_total", obs.L{K: "mode", V: "tree"}).Inc()
+	r.Histogram("scan_wall_ns").Observe(1)
+	r.Histogram("doc_size_bytes").Observe(64)
+	r.Gauge("cache_used_bytes").Set(1)
+	r.GaugeFunc("cache_entry_count", func() int64 { return 0 })
+}
+
+func constantByName(r *obs.Registry) {
+	const local = "fill_wall_ns"
+	r.Histogram(local).Observe(2)
+}

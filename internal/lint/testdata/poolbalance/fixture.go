@@ -1,0 +1,98 @@
+// Package poolbalance is a maxson-vet fixture: every line tagged with a
+// "want" comment must produce exactly that poolbalance diagnostic, and
+// the untagged functions must stay silent.
+package poolbalance
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/sqlengine"
+)
+
+var errBoom = errors.New("boom")
+
+var pool = sync.Pool{New: func() any { return &sqlengine.RowBatch{} }}
+
+func fill(b *sqlengine.RowBatch) (int, error) { return b.Capacity(), nil }
+
+// --- findings ---
+
+func leakOnEarlyReturn(fail bool) error {
+	b := sqlengine.GetRowBatch(2, 64)
+	if fail {
+		return errBoom // want "leaks on this path"
+	}
+	sqlengine.PutRowBatch(b)
+	return nil
+}
+
+func leakAtFallThrough() {
+	b := sqlengine.GetRowBatch(1, 8)
+	_ = b.Capacity()
+} // want "leaks on this path"
+
+func doubleRelease() {
+	b := sqlengine.GetRowBatch(1, 8)
+	sqlengine.PutRowBatch(b)
+	sqlengine.PutRowBatch(b) // want "released twice"
+}
+
+func useAfterRelease() int {
+	b := sqlengine.GetRowBatch(1, 8)
+	sqlengine.PutRowBatch(b)
+	n, _ := fill(b) // want "used after release"
+	return n
+}
+
+func reassignWhileHeld() {
+	b := sqlengine.GetRowBatch(1, 8)
+	b = sqlengine.GetRowBatch(1, 16) // want "reassigned while still held"
+	sqlengine.PutRowBatch(b)
+}
+
+func deferredDoubleFree() {
+	b := sqlengine.GetRowBatch(1, 8)
+	sqlengine.PutRowBatch(b)
+	defer sqlengine.PutRowBatch(b) // want "deferred release is a double free"
+}
+
+func poolGetLeak(fail bool) error {
+	b := pool.Get().(*sqlengine.RowBatch)
+	if fail {
+		return errBoom // want "leaks on this path"
+	}
+	pool.Put(b)
+	return nil
+}
+
+// --- clean ---
+
+func deferRelease() int {
+	b := sqlengine.GetRowBatch(2, 64)
+	defer sqlengine.PutRowBatch(b)
+	n, _ := fill(b)
+	return n
+}
+
+func releaseOnEveryPath(fail bool) error {
+	b := sqlengine.GetRowBatch(2, 64)
+	if fail {
+		sqlengine.PutRowBatch(b)
+		return errBoom
+	}
+	sqlengine.PutRowBatch(b)
+	return nil
+}
+
+func ownershipTransferByReturn() *sqlengine.RowBatch {
+	b := sqlengine.GetRowBatch(2, 64)
+	return b // the caller owns the batch now; not a leak here
+}
+
+func releaseInLoopBody(n int) {
+	for i := 0; i < n; i++ {
+		b := sqlengine.GetRowBatch(1, 8)
+		sqlengine.PutRowBatch(b)
+	}
+}

@@ -69,22 +69,29 @@ func (f *Filler) extract(path *jsonpath.Path, doc string) string {
 	f.parser.ResetValues()
 	if jsonpath.TrieEligible(path) {
 		canon := path.Canonical()
-		set := f.sets[canon]
-		if set == nil {
+		set, cached := f.sets[canon]
+		if !cached {
 			if f.sets == nil {
 				f.sets = map[string]*jsonpath.PathSet{}
 			}
-			set, _ = jsonpath.NewPathSet(path)
+			var err error
+			set, err = jsonpath.NewPathSet(path)
+			if err != nil {
+				set = nil // memoize the failure; the tree lane below handles it
+			}
 			f.sets[canon] = set
 		}
-		scanned, err := set.Extract(&f.parser, f.buf, f.out[:])
-		f.stats.BytesScanned += int64(scanned)
-		f.stats.BytesSkipped += int64(len(doc) - scanned)
-		if err != nil {
-			f.stats.ParseErrors++
-			return ""
+		if set != nil {
+			//lint:ignore arenaescape f.out holds the extracted value only until Scalar copies it out below; the arena is reset at the top of every extract call
+			scanned, err := set.Extract(&f.parser, f.buf, f.out[:])
+			f.stats.BytesScanned += int64(scanned)
+			f.stats.BytesSkipped += int64(len(doc) - scanned)
+			if err != nil {
+				f.stats.ParseErrors++
+				return ""
+			}
+			return f.out[0].Scalar()
 		}
-		return f.out[0].Scalar()
 	}
 	root, err := f.parser.Parse(f.buf)
 	f.stats.BytesScanned += int64(len(doc))

@@ -111,7 +111,7 @@ func (c *Cache) Instrument(r *obs.Registry, name string) {
 	l := obs.L{K: "cache", V: name}
 	r.GaugeFunc("lru_used_bytes", func() int64 { return c.used }, l)
 	r.GaugeFunc("lru_budget_bytes", func() int64 { return c.budget }, l)
-	r.GaugeFunc("lru_entries", func() int64 { return int64(c.ll.Len()) }, l)
+	r.GaugeFunc("lru_entry_count", func() int64 { return int64(c.ll.Len()) }, l)
 	r.GaugeFunc("lru_hits_total", func() int64 { return c.stats.Hits }, l)
 	r.GaugeFunc("lru_misses_total", func() int64 { return c.stats.Misses }, l)
 	r.GaugeFunc("lru_evictions_total", func() int64 { return c.stats.Evictions }, l)

@@ -120,7 +120,7 @@ func TestInstrumentGauges(t *testing.T) {
 	checks := map[string]int64{
 		"lru_used_bytes":      950,
 		"lru_budget_bytes":    1000,
-		"lru_entries":         1,
+		"lru_entry_count":     1,
 		"lru_hits_total":      1,
 		"lru_misses_total":    2,
 		"lru_evictions_total": 1,

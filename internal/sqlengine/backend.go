@@ -223,6 +223,7 @@ func (s *streamEval) Extract(doc string, path *jsonpath.Path) (string, bool) {
 		// The previous document's values die here, so the arena can recycle.
 		s.parser.ResetValues()
 		s.docBuf = append(s.docBuf[:0], doc...)
+		//lint:ignore arenaescape s.vals is the evaluator's memo for the current document; the ResetValues above retires it before every re-extract
 		scanned, err := s.set.Extract(&s.parser, s.docBuf, s.vals)
 		s.meter.Docs.Add(1)
 		s.meter.Bytes.Add(int64(scanned))

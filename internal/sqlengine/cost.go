@@ -26,13 +26,13 @@ import (
 // tail of a document costs nothing, and the skipped bytes surface separately
 // as the parse_bytes_skipped counter rather than as parse cost.
 type CostModel struct {
-	ReadNsPerByte       float64
-	ParseNsPerByteTree  float64 // Jackson-style full parse
-	ParseNsPerByteIndex float64 // Mison-style structural index
+	ReadNsPerByte        float64
+	ParseNsPerByteTree   float64 // Jackson-style full parse
+	ParseNsPerByteIndex  float64 // Mison-style structural index
 	ParseNsPerByteStream float64 // streaming trie extraction (per byte scanned)
-	ParseNsPerCall      float64 // fixed per-get_json_object overhead
-	ComputeNsPerRowOp   float64
-	PlanNsPerExprNode   float64
+	ParseNsPerCall       float64 // fixed per-get_json_object overhead
+	ComputeNsPerRowOp    float64
+	PlanNsPerExprNode    float64
 	// PrefilterNsPerByte rates the Sparser-style raw substring scan
 	// (SIMD-class throughput, far cheaper than parsing).
 	PrefilterNsPerByte float64
