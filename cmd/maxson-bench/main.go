@@ -41,6 +41,7 @@ func main() {
 	epochs := flag.Int("epochs", 12, "LSTM training epochs")
 	asJSON := flag.Bool("json", false, "emit one NDJSON document per experiment instead of tables")
 	outPath := flag.String("out", "", "with -json: write NDJSON to this file instead of stdout")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run; checked between experiments (0 = none)")
 	flag.Parse()
 
 	traceCfg := trace.DefaultConfig()
@@ -101,7 +102,14 @@ func main() {
 		}
 	}
 
+	runStart := time.Now()
 	for _, name := range selected {
+		// Experiments are self-contained, so the budget is checked between
+		// them: an overrun stops cleanly with completed results intact.
+		if *timeout > 0 && time.Since(runStart) > *timeout {
+			fmt.Fprintf(os.Stderr, "maxson-bench: -timeout %v exceeded; skipping remaining experiments starting at %s\n", *timeout, name)
+			os.Exit(3)
+		}
 		start := time.Now()
 		result, err := runners[name]()
 		if err != nil {

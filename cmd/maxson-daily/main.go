@@ -8,12 +8,17 @@
 // Usage:
 //
 //	maxson-daily -days 21 -budget-mb 64
+//
+// Exit codes: 0 success, 1 setup failure (tables/loads), 2 query failure,
+// 3 midnight-cycle failure (the partial cycle report is flushed to stderr),
+// 4 output failure.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"log/slog"
 	"os"
 	"time"
@@ -21,22 +26,62 @@ import (
 	"repro"
 )
 
+// Exit codes; each failure class gets its own so operators (and CI) can
+// tell a broken workload from a broken cycle without parsing stderr.
+const (
+	exitSetup  = 1
+	exitQuery  = 2
+	exitCycle  = 3
+	exitOutput = 4
+)
+
+// codedError carries the process exit code alongside the cause.
+type codedError struct {
+	code int
+	err  error
+}
+
+func (e *codedError) Error() string { return e.err.Error() }
+func (e *codedError) Unwrap() error { return e.err }
+
+func fail(code int, err error) error { return &codedError{code: code, err: err} }
+
 func main() {
 	days := flag.Int("days", 21, "days to simulate")
 	budgetMB := flag.Int64("budget-mb", 64, "cache budget in MiB")
 	rowsPerDay := flag.Int("rows", 200, "rows loaded per table per day")
 	warmup := flag.Int("warmup", 8, "days before the first midnight cycle")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 	verbose := flag.Bool("v", false, "emit structured cycle logs to stderr")
 	metrics := flag.Bool("metrics", false, "dump the metrics registry after the run")
 	flag.Parse()
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if err := run(ctx, *days, *budgetMB, *rowsPerDay, *warmup, *verbose, *metrics); err != nil {
+		fmt.Fprintln(os.Stderr, "maxson-daily:", err)
+		code := exitSetup
+		var ce *codedError
+		if errors.As(err, &ce) {
+			code = ce.code
+		}
+		os.Exit(code)
+	}
+}
+
+func run(ctx context.Context, days int, budgetMB int64, rowsPerDay, warmup int, verbose, metrics bool) error {
 	var logger *slog.Logger
-	if *verbose {
+	if verbose {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
 	}
 	sys := maxson.NewSystem(maxson.SystemConfig{
 		DefaultDB:        "prod",
-		CacheBudgetBytes: *budgetMB << 20,
+		CacheBudgetBytes: budgetMB << 20,
 		Logger:           logger,
 	})
 	wh := sys.Warehouse()
@@ -49,14 +94,14 @@ func main() {
 			{Name: "payload", Type: maxson.TypeString},
 		}}
 		if err := wh.CreateTable("prod", table, schema); err != nil {
-			log.Fatal(err)
+			return fail(exitSetup, fmt.Errorf("create table prod.%s: %w", table, err))
 		}
 	}
 
-	loadDay := func(day int) {
+	loadDay := func(day int) error {
 		for _, table := range []string{"sales", "machines"} {
 			var rows [][]maxson.Datum
-			for i := 0; i < *rowsPerDay; i++ {
+			for i := 0; i < rowsPerDay; i++ {
 				var doc string
 				if table == "sales" {
 					doc = fmt.Sprintf(
@@ -73,9 +118,10 @@ func main() {
 				})
 			}
 			if _, err := wh.AppendRows("prod", table, rows); err != nil {
-				log.Fatal(err)
+				return fail(exitSetup, fmt.Errorf("load day %d into prod.%s: %w", day, table, err))
 			}
 		}
+		return nil
 	}
 
 	// The recurring daily query mix (each runs twice a day — the paper's
@@ -99,17 +145,19 @@ func main() {
 	cm := sys.Engine().CostModel()
 	fmt.Println("day | parsed-docs | cache-values | sim-time    | cycle (MPJPs cached, bytes)")
 	fmt.Println("----+-------------+--------------+-------------+----------------------------")
-	for day := 1; day <= *days; day++ {
-		loadDay(day)
+	for day := 1; day <= days; day++ {
+		if err := loadDay(day); err != nil {
+			return err
+		}
 		sys.AdvanceClock(10 * time.Hour) // queries run mid-day, after the load
 
 		var parsed, cached int64
 		var simTime time.Duration
 		for rep := 0; rep < 2; rep++ {
 			for _, sql := range queries {
-				_, m, err := sys.Query(sql)
+				_, m, err := sys.QueryCtx(ctx, sql)
 				if err != nil {
-					log.Fatal(err)
+					return fail(exitQuery, fmt.Errorf("day %d query failed: %w", day, err))
 				}
 				parsed += m.Parse.Docs.Load()
 				cached += m.CacheValuesRead.Load()
@@ -120,10 +168,15 @@ func main() {
 		cycleNote := "-"
 		stageNote := ""
 		sys.AdvanceToMidnight()
-		if day >= *warmup {
-			report, err := sys.RunMidnightCycle()
+		if day >= warmup {
+			report, err := sys.RunMidnightCycleCtx(ctx)
 			if err != nil {
-				log.Fatal(err)
+				// Flush what the cycle got done before it died — the partial
+				// stage timings are the first thing an operator wants.
+				if report != nil {
+					fmt.Fprintf(os.Stderr, "partial cycle report (day %d): %s\n", day, report.StageSummary())
+				}
+				return fail(exitCycle, fmt.Errorf("day %d midnight cycle failed: %w", day, err))
 			}
 			cycleNote = fmt.Sprintf("%d cached, %s", report.Selected, humanBytes(sys.CacheBytes()))
 			stageNote = report.StageSummary()
@@ -136,13 +189,14 @@ func main() {
 
 	fmt.Println()
 	printSummary(sys)
-	if *metrics {
+	if metrics {
 		fmt.Println()
 		fmt.Println("metrics registry:")
 		if err := sys.Obs().WriteText(os.Stdout); err != nil {
-			log.Fatal(err)
+			return fail(exitOutput, fmt.Errorf("write metrics: %w", err))
 		}
 	}
+	return nil
 }
 
 func printSummary(sys *maxson.System) {

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,11 +34,19 @@ func main() {
 	explain := flag.Bool("explain", false, "print an EXPLAIN ANALYZE annotated operator tree")
 	replayDaysFlag := flag.Int("replay-days", 15, "with -explain -maxson: days of recurring history to replay before the cycle")
 	days := flag.Int("days", 31, "days of demo data to load")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for queries and cycles (0 = none)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: maxson-sql [-maxson] [-plan] [-explain] \"SELECT ...\"")
 	}
 	sql := flag.Arg(0)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	sys := maxson.NewSystem(maxson.SystemConfig{DefaultDB: "mydb"})
 	wh := sys.Warehouse()
@@ -86,13 +95,13 @@ func main() {
 		for day := 0; day < *replayDaysFlag; day++ {
 			sys.AdvanceClock(10 * time.Hour) // queries run mid-day
 			for rep := 0; rep < 2; rep++ {
-				if _, _, err := sys.Query(sql); err != nil {
+				if _, _, err := sys.QueryCtx(ctx, sql); err != nil {
 					log.Fatal(err)
 				}
 			}
 			sys.AdvanceToMidnight()
 		}
-		report, err := sys.RunMidnightCycle()
+		report, err := sys.RunMidnightCycleCtx(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -132,7 +141,7 @@ func main() {
 		return
 	}
 
-	rs, m, err := sys.Query(sql)
+	rs, m, err := sys.QueryCtx(ctx, sql)
 	if err != nil {
 		log.Fatal(err)
 	}

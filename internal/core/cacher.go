@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/datum"
@@ -107,6 +109,16 @@ func (c *Cacher) SetObs(r *obs.Registry) {
 // pass charged at the stream rate for the bytes actually scanned, the rest
 // fall back to a full tree parse at the tree rate.
 func (c *Cacher) Populate(selected []*PathProfile, cm sqlengine.CostModel) (CacheStats, error) {
+	return c.PopulateCtx(context.Background(), selected, cm)
+}
+
+// PopulateCtx is Populate under a context. The cycle is crash-safe: the new
+// generation's tables are built and registered nowhere until every table
+// succeeds, then committed with one atomic registry swap. A failure (I/O
+// error, worker panic, cancellation) at ANY point leaves the previous
+// generation serving untouched; the partially built tables are deleted
+// immediately, since no query can have planned against them.
+func (c *Cacher) PopulateCtx(ctx context.Context, selected []*PathProfile, cm sqlengine.CostModel) (CacheStats, error) {
 	var stats CacheStats
 
 	// Delete the generation retired during the PREVIOUS cycle: no live
@@ -115,21 +127,6 @@ func (c *Cacher) Populate(selected []*PathProfile, cm sqlengine.CostModel) (Cach
 	// is timed separately); this call is then a no-op, but keeps direct
 	// CacheSelected users correct.
 	stats.Dropped = c.DropRetired()
-
-	// Retire the current generation: remove its registry entries first so
-	// new plans stop resolving them, then queue its tables for deletion
-	// next cycle (in-flight queries keep working against intact files).
-	retired := map[[2]string]bool{}
-	for _, e := range c.registry.Entries() {
-		c.registry.Drop(e.Key)
-		retired[[2]string{e.CacheDB, e.CacheTable}] = true
-	}
-	for t := range retired {
-		c.pendingDrop = append(c.pendingDrop, t)
-	}
-	sort.Slice(c.pendingDrop, func(i, j int) bool {
-		return c.pendingDrop[i][0]+c.pendingDrop[i][1] < c.pendingDrop[j][0]+c.pendingDrop[j][1]
-	})
 	c.generation++
 
 	// Group selections by raw table: all MPJPs of one raw table go into one
@@ -151,9 +148,9 @@ func (c *Cacher) Populate(selected []*PathProfile, cm sqlengine.CostModel) (Cach
 	// scalable way using Spark" across the cluster's idle midnight
 	// capacity. Stats merge after the fan-out.
 	type tableResult struct {
-		stats CacheStats
-		paths int
-		err   error
+		stats   CacheStats
+		entries []*CacheEntry
+		err     error
 	}
 	results := make([]tableResult, len(tableIDs))
 	var wg sync.WaitGroup
@@ -166,19 +163,32 @@ func (c *Cacher) Populate(selected []*PathProfile, cm sqlengine.CostModel) (Cach
 		wg.Add(1)
 		go func(i int, id string) {
 			defer wg.Done()
+			// A panicking populate worker fails the cycle, not the process;
+			// the previous generation keeps serving.
+			defer func() {
+				if r := recover(); r != nil {
+					results[i].err = fmt.Errorf("core: populate of %s panicked: %v", id, r)
+				}
+			}()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			var local CacheStats
-			n, err := c.populateTable(byTable[id], &local, cm)
-			results[i] = tableResult{stats: local, paths: n, err: err}
+			entries, err := c.populateTable(ctx, byTable[id], &local, cm)
+			results[i] = tableResult{stats: local, entries: entries, err: err}
 		}(i, id)
 	}
 	wg.Wait()
+	var newEntries []*CacheEntry
+	var firstErr error
 	for _, r := range results {
 		if r.err != nil {
-			return stats, r.err
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
 		}
-		stats.PathsCached += r.paths
+		newEntries = append(newEntries, r.entries...)
+		stats.PathsCached += len(r.entries)
 		stats.RowsParsed += r.stats.RowsParsed
 		stats.BytesWritten += r.stats.BytesWritten
 		stats.BytesScanned += r.stats.BytesScanned
@@ -187,6 +197,30 @@ func (c *Cacher) Populate(selected []*PathProfile, cm sqlengine.CostModel) (Cach
 		stats.ParseNsSpent += r.stats.ParseNsSpent
 		stats.TablesWritten++
 	}
+	if firstErr != nil {
+		// Abort: delete this generation's tables right away (nothing
+		// referenced them) and leave the previous generation serving.
+		c.dropGeneration(tableIDs, c.generation)
+		return stats, firstErr
+	}
+
+	// Commit: swap the registry atomically, then queue the displaced
+	// generation's tables for deferred deletion so in-flight queries
+	// planned against the old entries finish on intact files. A new
+	// generation also lifts any quarantine — the bad tables are gone.
+	old := c.registry.Swap(newEntries)
+	c.registry.ClearQuarantine()
+	retired := map[[2]string]bool{}
+	for _, e := range old {
+		retired[[2]string{e.CacheDB, e.CacheTable}] = true
+	}
+	for t := range retired {
+		c.pendingDrop = append(c.pendingDrop, t)
+	}
+	sort.Slice(c.pendingDrop, func(i, j int) bool {
+		return c.pendingDrop[i][0]+c.pendingDrop[i][1] < c.pendingDrop[j][0]+c.pendingDrop[j][1]
+	})
+
 	if c.parseErrorsC != nil {
 		c.parseErrorsC.Add(stats.ParseErrors)
 		c.bytesScannedC.Add(stats.BytesScanned)
@@ -194,6 +228,23 @@ func (c *Cacher) Populate(selected []*PathProfile, cm sqlengine.CostModel) (Cach
 	}
 	c.lastStats = stats
 	return stats, nil
+}
+
+// dropGeneration deletes the named raw tables' cache tables of one
+// generation, ignoring tables that were never created.
+func (c *Cacher) dropGeneration(tableIDs []string, gen int) {
+	for _, id := range tableIDs {
+		db, table, ok := splitTableID(id)
+		if !ok {
+			continue
+		}
+		name := generationTableName(db, table, gen)
+		if c.wh.TableExists(CacheDB, name) {
+			if err := c.wh.DropTable(CacheDB, name); err != nil {
+				continue
+			}
+		}
+	}
 }
 
 // DropRetired deletes the cache tables queued for deferred deletion by the
@@ -220,6 +271,25 @@ func (c *Cacher) Generation() int { return c.generation }
 // deletion at the start of the next cycle.
 func (c *Cacher) PendingDrops() int { return len(c.pendingDrop) }
 
+// StateSnapshot exports the cacher's durable state — the generation counter
+// and the deferred-deletion queue — for SaveState.
+func (c *Cacher) StateSnapshot() (generation int, pendingDrop [][2]string) {
+	pending := make([][2]string, len(c.pendingDrop))
+	copy(pending, c.pendingDrop)
+	return c.generation, pending
+}
+
+// RestoreState reinstates a snapshot taken by StateSnapshot. LoadState uses
+// it so a restarted node resumes generation numbering (fresh cache tables
+// never collide with survivors) and still deletes tables the previous
+// incarnation had retired.
+func (c *Cacher) RestoreState(generation int, pendingDrop [][2]string) {
+	if generation > c.generation {
+		c.generation = generation
+	}
+	c.pendingDrop = append([][2]string(nil), pendingDrop...)
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a
@@ -227,12 +297,23 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// populateTable caches one raw table's selected paths.
-func (c *Cacher) populateTable(group []*PathProfile, stats *CacheStats, cm sqlengine.CostModel) (int, error) {
+// splitTableID undoes pathkey.Key.TableID ("db.table").
+func splitTableID(id string) (db, table string, ok bool) {
+	i := strings.IndexByte(id, '.')
+	if i < 0 {
+		return "", "", false
+	}
+	return id[:i], id[i+1:], true
+}
+
+// populateTable caches one raw table's selected paths and returns the
+// registry entries for them. Entries are NOT installed here — PopulateCtx
+// commits all tables' entries in one atomic swap after every table succeeds.
+func (c *Cacher) populateTable(ctx context.Context, group []*PathProfile, stats *CacheStats, cm sqlengine.CostModel) ([]*CacheEntry, error) {
 	key0 := group[0].Key
 	rawInfo, err := c.wh.Table(key0.DB, key0.Table)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	// Compile the paths and define the cache schema: one STRING column per
 	// path, named column__path (paper's cache-field naming).
@@ -253,17 +334,17 @@ func (c *Cacher) populateTable(group []*PathProfile, stats *CacheStats, cm sqlen
 		schema.Columns = append(schema.Columns, orc.Column{Name: col, Type: datum.TypeString})
 	}
 	if len(paths) == 0 {
-		return 0, nil
+		return nil, nil
 	}
 
 	cacheTable := generationTableName(key0.DB, key0.Table, c.generation)
 	if c.wh.TableExists(CacheDB, cacheTable) {
 		if err := c.wh.DropTable(CacheDB, cacheTable); err != nil {
-			return 0, err
+			return nil, err
 		}
 	}
 	if err := c.wh.CreateTable(CacheDB, cacheTable, schema); err != nil {
-		return 0, err
+		return nil, err
 	}
 
 	// Which raw columns do we need? One JSON column may serve many paths.
@@ -341,19 +422,25 @@ func (c *Cacher) populateTable(group []*PathProfile, stats *CacheStats, cm sqlen
 	// One cache file per raw file, in split order: this is the alignment
 	// invariant the Value Combiner depends on.
 	for _, file := range rawInfo.Files {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r, err := c.wh.OpenFile(file)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		cur, err := r.NewCursor(readCols, nil, nil)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		var rows [][]datum.Datum
 		for {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			n, err := cur.NextBatch(vecs, populateBatchRows)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			if n == 0 {
 				break
@@ -428,7 +515,7 @@ func (c *Cacher) populateTable(group []*PathProfile, stats *CacheStats, cm sqlen
 			}
 		}
 		if _, err := c.wh.AppendRows(CacheDB, cacheTable, rows); err != nil {
-			return 0, err
+			return nil, err
 		}
 	}
 
@@ -437,8 +524,9 @@ func (c *Cacher) populateTable(group []*PathProfile, stats *CacheStats, cm sqlen
 	if err == nil {
 		stats.BytesWritten += totalBytes
 	}
+	entries := make([]*CacheEntry, 0, len(paths))
 	for pi, p := range paths {
-		c.registry.Put(&CacheEntry{
+		entries = append(entries, &CacheEntry{
 			Key:         p.prof.Key,
 			CacheDB:     CacheDB,
 			CacheTable:  cacheTable,
@@ -447,7 +535,7 @@ func (c *Cacher) populateTable(group []*PathProfile, stats *CacheStats, cm sqlen
 			Bytes:       perPathBytes[pi],
 		})
 	}
-	return len(paths), nil
+	return entries, nil
 }
 
 // ActiveCacheTable returns the current generation's cache table for a raw

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -13,26 +14,34 @@ import (
 	"repro/internal/warehouse"
 )
 
+// ErrCacheDegraded marks a query failure caused by the cache layer, not the
+// data: the cache table involved has been quarantined, so re-planning the
+// same query routes it to the raw-parse path and succeeds. Maxson.QueryCtx
+// does exactly that — the cache stays transparent even when its files rot.
+var ErrCacheDegraded = errors.New("core: cache degraded")
+
 // combinerObs holds the Value Combiner's pre-resolved registry instruments:
 // one open counter per mode plus row-level hit/miss totals. All increments
 // are lock-free atomic adds.
 type combinerObs struct {
-	opensCombined          *obs.Counter
-	opensPushdown          *obs.Counter
-	opensFallbackRetired   *obs.Counter
-	opensFallbackUncovered *obs.Counter
-	rowsStitched           *obs.Counter
-	fallbackValues         *obs.Counter
+	opensCombined            *obs.Counter
+	opensPushdown            *obs.Counter
+	opensFallbackRetired     *obs.Counter
+	opensFallbackUncovered   *obs.Counter
+	opensFallbackQuarantined *obs.Counter
+	rowsStitched             *obs.Counter
+	fallbackValues           *obs.Counter
 }
 
 func newCombinerObs(r *obs.Registry) *combinerObs {
 	return &combinerObs{
-		opensCombined:          r.Counter("combiner_opens_total", obs.L{K: "mode", V: "combined"}),
-		opensPushdown:          r.Counter("combiner_opens_total", obs.L{K: "mode", V: "combined-pushdown"}),
-		opensFallbackRetired:   r.Counter("combiner_opens_total", obs.L{K: "mode", V: "fallback-retired"}),
-		opensFallbackUncovered: r.Counter("combiner_opens_total", obs.L{K: "mode", V: "fallback-uncovered"}),
-		rowsStitched:           r.Counter("combiner_rows_stitched_total"),
-		fallbackValues:         r.Counter("combiner_fallback_values_total"),
+		opensCombined:            r.Counter("combiner_opens_total", obs.L{K: "mode", V: "combined"}),
+		opensPushdown:            r.Counter("combiner_opens_total", obs.L{K: "mode", V: "combined-pushdown"}),
+		opensFallbackRetired:     r.Counter("combiner_opens_total", obs.L{K: "mode", V: "fallback-retired"}),
+		opensFallbackUncovered:   r.Counter("combiner_opens_total", obs.L{K: "mode", V: "fallback-uncovered"}),
+		opensFallbackQuarantined: r.Counter("combiner_opens_total", obs.L{K: "mode", V: "fallback-quarantined"}),
+		rowsStitched:             r.Counter("combiner_rows_stitched_total"),
+		fallbackValues:           r.Counter("combiner_fallback_values_total"),
 	}
 }
 
@@ -73,6 +82,11 @@ type CombinedScanFactory struct {
 	StreamExtract bool
 
 	schema sqlengine.RowSchema
+
+	// registry, when set, receives quarantine marks for cache tables that
+	// fail to open or decode, so the planner stops routing to them for the
+	// rest of the generation.
+	registry *Registry
 
 	// obsc publishes open-mode and hit/miss counters (nil = unobserved).
 	obsc *combinerObs
@@ -117,6 +131,25 @@ func (f *CombinedScanFactory) SetObs(r *obs.Registry) {
 	}
 }
 
+// SetRegistry attaches the cache registry so the factory can quarantine a
+// cache table it finds broken.
+func (f *CombinedScanFactory) SetRegistry(r *Registry) { f.registry = r }
+
+// quarantineCache marks this factory's cache table unusable for the rest of
+// the generation.
+func (f *CombinedScanFactory) quarantineCache() {
+	if f.registry != nil {
+		f.registry.Quarantine(CacheDB, f.cacheTable)
+	}
+}
+
+// degrade quarantines the cache table and wraps err in ErrCacheDegraded so
+// callers (Maxson.QueryCtx) know a re-plan will succeed on the raw path.
+func (f *CombinedScanFactory) degrade(err error) error {
+	f.quarantineCache()
+	return fmt.Errorf("%w: table %s/%s: %v", ErrCacheDegraded, CacheDB, f.cacheTable, err)
+}
+
 // NumSplits implements sqlengine.ScanSourceFactory. Splits follow the raw
 // table's part files; the cacher guarantees the cache table has the same
 // file count.
@@ -149,8 +182,10 @@ func (f *CombinedScanFactory) Open(split int, m *sqlengine.Metrics) (sqlengine.R
 		return f.openFallback(rawInfo.Files[split], m, "fallback-retired")
 	}
 	if len(cacheInfo.Files) > len(rawInfo.Files) {
-		return nil, fmt.Errorf("core: cache table %s has %d files, raw table only %d — alignment broken",
-			f.cacheTable, len(cacheInfo.Files), len(rawInfo.Files))
+		// Alignment is broken — the cache table cannot be trusted this
+		// generation. Quarantine it and serve the split from raw data.
+		f.quarantineCache()
+		return f.openFallback(rawInfo.Files[split], m, "fallback-quarantined")
 	}
 	// Splits beyond the cache's coverage (part files appended after the
 	// nightly population) read raw data and parse the paths on the fly.
@@ -158,19 +193,24 @@ func (f *CombinedScanFactory) Open(split int, m *sqlengine.Metrics) (sqlengine.R
 		return f.openFallback(rawInfo.Files[split], m, "fallback-uncovered")
 	}
 
-	// CacheReader.
+	// CacheReader. Open or cursor failures degrade to raw parsing rather
+	// than failing the query: a rotten cache file must stay invisible to the
+	// user (the paper's transparency property). The table is quarantined so
+	// later plans skip it entirely.
 	cacheReader, err := f.wh.OpenFile(cacheInfo.Files[split])
 	if err != nil {
-		return nil, err
+		f.quarantineCache()
+		return f.openFallback(rawInfo.Files[split], m, "fallback-quarantined")
 	}
 	var cacheStats orc.ReadStats
 	cacheCur, err := cacheReader.NewCursor(f.cacheCols, f.cacheSARG, &cacheStats)
 	if err != nil {
-		return nil, err
+		f.quarantineCache()
+		return f.openFallback(rawInfo.Files[split], m, "fallback-quarantined")
 	}
 
 	src := &combinedRowSource{m: m, cacheCur: cacheCur, cacheStats: &cacheStats,
-		nPrimary: len(f.primaryCols), nCache: len(f.cacheCols)}
+		nPrimary: len(f.primaryCols), nCache: len(f.cacheCols), degrade: f.degrade}
 
 	// PrimaryReader (absent when every projected column is cached).
 	if len(f.primaryCols) > 0 {
@@ -183,10 +223,11 @@ func (f *CombinedScanFactory) Open(split int, m *sqlengine.Metrics) (sqlengine.R
 		if err != nil {
 			return nil, err
 		}
-		// Row alignment sanity (the §IV-C invariant).
+		// Row alignment sanity (the §IV-C invariant). A mismatch means the
+		// cache file is wrong (truncated write, mid-swap read): degrade.
 		if rawReader.NumRows() != cacheReader.NumRows() {
-			return nil, fmt.Errorf("core: split %d rows differ: raw %d vs cache %d",
-				split, rawReader.NumRows(), cacheReader.NumRows())
+			f.quarantineCache()
+			return f.openFallback(rawInfo.Files[split], m, "fallback-quarantined")
 		}
 		// Predicate pushdown: share the cache reader's skip array. Only
 		// valid when both files are single-stripe so row groups align
@@ -238,9 +279,12 @@ func (f *CombinedScanFactory) openFallback(file string, m *sqlengine.Metrics, mo
 		m.Span.Set("source", mode)
 	}
 	if f.obsc != nil {
-		if mode == "fallback-retired" {
+		switch mode {
+		case "fallback-retired":
 			f.obsc.opensFallbackRetired.Inc()
-		} else {
+		case "fallback-quarantined":
+			f.obsc.opensFallbackQuarantined.Inc()
+		default:
 			f.obsc.opensFallbackUncovered.Inc()
 		}
 	}
@@ -554,6 +598,20 @@ type combinedRowSource struct {
 	nCache     int
 	sharedMask bool
 	obsc       *combinerObs
+	// degrade quarantines the cache table and wraps a mid-stream cache-side
+	// error in ErrCacheDegraded. Rows already emitted cannot be un-emitted,
+	// so unlike an open failure this cannot fall back in place — the query
+	// fails and Maxson re-plans it onto the raw path.
+	degrade func(error) error
+}
+
+// degradeErr routes a cache-side error through the factory's degrade hook
+// (identity when unset, e.g. sources built directly in tests).
+func (s *combinedRowSource) degradeErr(err error) error {
+	if s.degrade != nil {
+		return s.degrade(err)
+	}
+	return err
 }
 
 // Next implements sqlengine.RowSource (Algorithm 2: read both splits, pair
@@ -561,7 +619,7 @@ type combinedRowSource struct {
 func (s *combinedRowSource) Next() ([]datum.Datum, error) {
 	cacheRow, err := s.cacheCur.Next()
 	if err != nil {
-		return nil, err
+		return nil, s.degradeErr(err)
 	}
 	var rawRow []datum.Datum
 	if s.rawCur != nil {
@@ -571,8 +629,8 @@ func (s *combinedRowSource) Next() ([]datum.Datum, error) {
 		}
 		// Both or neither: the readers are synchronized by construction.
 		if (rawRow == nil) != (cacheRow == nil) {
-			return nil, fmt.Errorf("core: paired readers desynchronized (raw done=%v cache done=%v)",
-				rawRow == nil, cacheRow == nil)
+			return nil, s.degradeErr(fmt.Errorf("core: paired readers desynchronized (raw done=%v cache done=%v)",
+				rawRow == nil, cacheRow == nil))
 		}
 	}
 	s.meter()
@@ -604,7 +662,7 @@ func (s *combinedRowSource) NextBatch(b *sqlengine.RowBatch) (int, error) {
 	max := b.Capacity()
 	n, err := s.cacheCur.NextBatch(b.Cols[s.nPrimary:s.nPrimary+s.nCache], max)
 	if err != nil {
-		return 0, err
+		return 0, s.degradeErr(err)
 	}
 	if s.rawCur != nil {
 		nRaw, err := s.rawCur.NextBatch(b.Cols[:s.nPrimary], max)
@@ -612,7 +670,7 @@ func (s *combinedRowSource) NextBatch(b *sqlengine.RowBatch) (int, error) {
 			return 0, err
 		}
 		if nRaw != n {
-			return 0, fmt.Errorf("core: paired readers desynchronized (raw %d rows vs cache %d)", nRaw, n)
+			return 0, s.degradeErr(fmt.Errorf("core: paired readers desynchronized (raw %d rows vs cache %d)", nRaw, n))
 		}
 	}
 	s.meter()

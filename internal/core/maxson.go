@@ -1,7 +1,12 @@
 package core
 
 import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"log/slog"
 	"strings"
@@ -42,10 +47,15 @@ type Maxson struct {
 	// Log receives structured cycle logging. Defaults to a discard handler;
 	// install any slog.Handler (cmd/maxson-daily wires a text handler).
 	Log *slog.Logger
+	// StageTimeout bounds each midnight-cycle stage; zero means no limit.
+	// A stage that overruns is cancelled at the next batch boundary and the
+	// cycle aborts with the previous cache generation still serving.
+	StageTimeout time.Duration
 
-	wh        *warehouse.Warehouse
-	defaultDB string
-	obs       *obs.Registry
+	wh              *warehouse.Warehouse
+	defaultDB       string
+	obs             *obs.Registry
+	fallbackQueries *obs.Counter
 }
 
 // Config bundles Maxson construction options.
@@ -139,17 +149,50 @@ func (m *Maxson) registerGauges() {
 	m.obs.GaugeFunc("cache_pending_drop_table_count", func() int64 {
 		return int64(m.Cacher.PendingDrops())
 	})
+	m.obs.GaugeFunc("cache_quarantined_table_count", func() int64 {
+		return int64(m.Registry.QuarantineCount())
+	})
+	m.fallbackQueries = m.obs.Counter("cache_fallback_queries_total")
 }
 
 // Query executes SQL through the engine while feeding the collector — the
 // live path a production deployment would run.
 func (m *Maxson) Query(sql string) (*sqlengine.ResultSet, *sqlengine.Metrics, error) {
+	return m.QueryCtx(context.Background(), sql)
+}
+
+// degradedRetries bounds how many times a query is re-planned after a cache
+// table degrades mid-scan. Each degradation quarantines the table, so the
+// re-plan routes around it; one retry per distinct bad table suffices and
+// the bound keeps a pathological registry from looping.
+const degradedRetries = 2
+
+// QueryCtx is Query with cancellation: the context is checked between
+// batches, so a cancelled query returns context.Canceled within one batch
+// boundary. When a cache table fails mid-scan (ErrCacheDegraded) the table
+// is already quarantined, so the query is re-planned — transparently falling
+// back to raw parsing — rather than surfacing the cache's failure.
+func (m *Maxson) QueryCtx(ctx context.Context, sql string) (*sqlengine.ResultSet, *sqlengine.Metrics, error) {
 	stmt, err := sqlengine.Parse(sql)
 	if err != nil {
 		return nil, nil, err
 	}
+	// Observe once: retries re-run the same query, not new workload signal.
 	m.Collector.ObserveStmt(stmt, m.defaultDB, m.wh.Clock().Now())
-	return m.Engine.QueryStmt(stmt)
+	for attempt := 0; ; attempt++ {
+		rs, met, err := m.Engine.QueryStmtCtx(ctx, stmt)
+		if err == nil || !errors.Is(err, ErrCacheDegraded) || attempt >= degradedRetries {
+			return rs, met, err
+		}
+		m.fallbackQueries.Inc()
+		m.Log.Warn("cache degraded, re-planning on raw data", "attempt", attempt+1, "err", err)
+		// The plan modifier rewrote stmt in place against the now-quarantined
+		// cache table; re-parse for a clean statement to plan afresh.
+		stmt, err = sqlengine.Parse(sql)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
 }
 
 // Explain executes SQL with tracing (feeding the collector like Query does)
@@ -210,6 +253,16 @@ func (r *CycleReport) StageSummary() string {
 // the budget. The paper schedules this at midnight when the cluster is
 // under-utilized.
 func (m *Maxson) RunMidnightCycle() (*CycleReport, error) {
+	return m.RunMidnightCycleCtx(context.Background())
+}
+
+// RunMidnightCycleCtx is RunMidnightCycle with cancellation and per-stage
+// deadlines (StageTimeout). The context is re-checked between stages and,
+// inside populate, between files and batches. A cycle that dies at any
+// point leaves the previous cache generation serving: the new generation's
+// tables are only registered by an atomic swap after every table succeeds,
+// and the next cycle or LoadState cleans up any partial tables.
+func (m *Maxson) RunMidnightCycleCtx(ctx context.Context) (*CycleReport, error) {
 	now := m.wh.Clock().Now()
 	report := &CycleReport{At: now}
 	stageStart := time.Now()
@@ -218,6 +271,30 @@ func (m *Maxson) RunMidnightCycle() (*CycleReport, error) {
 		report.Stages = append(report.Stages, CycleStage{Name: name, Items: items, Wall: wall})
 		m.Log.Info("cycle stage", "stage", name, "items", items, "wall", wall)
 		stageStart = time.Now()
+	}
+	// stageCtx derives a per-stage deadline when StageTimeout is set. The
+	// cancel func must run even on early return, hence the collector.
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+	stageCtx := func() context.Context {
+		if m.StageTimeout <= 0 {
+			return ctx
+		}
+		sc, cancel := context.WithTimeout(ctx, m.StageTimeout)
+		cancels = append(cancels, cancel)
+		return sc
+	}
+	// checkpoint aborts between stages once the cycle's context is done.
+	checkpoint := func(at string) error {
+		if err := ctx.Err(); err != nil {
+			m.Log.Warn("midnight cycle cancelled", "before", at, "err", err)
+			return fmt.Errorf("core: midnight cycle cancelled before %s: %w", at, err)
+		}
+		return nil
 	}
 	// finish zero-fills stages an early exit skipped (reports always carry
 	// all five) and emits the cycle summary log.
@@ -231,11 +308,19 @@ func (m *Maxson) RunMidnightCycle() (*CycleReport, error) {
 			"dropped", report.Cache.Dropped)
 	}
 
+	if err := checkpoint("retire"); err != nil {
+		return report, err
+	}
+
 	// Stage 1: delete the cache tables the PREVIOUS cycle retired (deferred
 	// deletion — in-flight queries of that era have long drained).
 	dropped := m.Cacher.DropRetired()
 	stage("retire", dropped)
 	defer func() { report.Cache.Dropped += dropped }()
+
+	if err := checkpoint("collect"); err != nil {
+		return report, err
+	}
 
 	// Stage 2: collect the history window — the Window days ending yesterday
 	// (queries never touch same-day data, §II-D).
@@ -246,6 +331,10 @@ func (m *Maxson) RunMidnightCycle() (*CycleReport, error) {
 	if len(keys) == 0 {
 		finish()
 		return report, nil
+	}
+
+	if err := checkpoint("predict"); err != nil {
+		return report, err
 	}
 
 	// Stage 3: train once on all windows available in history, then predict
@@ -277,7 +366,7 @@ func (m *Maxson) RunMidnightCycle() (*CycleReport, error) {
 	if len(candidates) == 0 {
 		// Nothing predicted; clear the cache (it is rebuilt nightly).
 		stage("score", 0)
-		stats, err := m.Cacher.Populate(nil, m.Engine.CostModel())
+		stats, err := m.Cacher.PopulateCtx(stageCtx(), nil, m.Engine.CostModel())
 		report.Cache = stats
 		stage("populate", 0)
 		finish()
@@ -285,6 +374,10 @@ func (m *Maxson) RunMidnightCycle() (*CycleReport, error) {
 			return report, fmt.Errorf("core: cache clear failed: %w", err)
 		}
 		return report, nil
+	}
+
+	if err := checkpoint("score"); err != nil {
+		return report, err
 	}
 
 	// Stage 4: score against the same history window of queries.
@@ -300,8 +393,12 @@ func (m *Maxson) RunMidnightCycle() (*CycleReport, error) {
 	report.Selected = len(selected)
 	stage("score", len(profiles))
 
+	if err := checkpoint("populate"); err != nil {
+		return report, err
+	}
+
 	// Stage 5: empty and re-populate the cache under the budget.
-	stats, err := m.Cacher.Populate(selected, m.Engine.CostModel())
+	stats, err := m.Cacher.PopulateCtx(stageCtx(), selected, m.Engine.CostModel())
 	report.Cache = stats
 	stage("populate", stats.PathsCached)
 	finish()
@@ -329,29 +426,102 @@ func (m *Maxson) AdvanceToMidnight() {
 // modelPath is where SaveState persists the trained predictor weights.
 const modelPath = "/maxson_meta/predictor.weights"
 
+// statePath is where SaveState persists the cache registry snapshot.
+const statePath = "/maxson_meta/cache.state"
+
+// stateMagic brands the registry snapshot file; a file without it is not a
+// state file at all (versioned: bump the trailing digits on format change).
+const stateMagic = "MAXST001"
+
+// persistedState is the JSON payload of the cache.state file.
+type persistedState struct {
+	Generation  int           `json:"generation"`
+	PendingDrop [][2]string   `json:"pending_drop,omitempty"`
+	Entries     []*CacheEntry `json:"entries,omitempty"`
+}
+
+// encodeState frames a snapshot as magic + CRC32(payload) + JSON payload,
+// so LoadState can tell a torn or corrupted file from a valid one.
+func encodeState(st *persistedState) ([]byte, error) {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, len(stateMagic)+4+len(payload))
+	buf = append(buf, stateMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...), nil
+}
+
+// decodeState validates the framing written by encodeState. Any mismatch —
+// missing magic, truncated header, checksum failure, malformed JSON —
+// returns a distinct error naming what was wrong.
+func decodeState(blob []byte) (*persistedState, error) {
+	if len(blob) < len(stateMagic)+4 {
+		return nil, fmt.Errorf("core: state file truncated: %d bytes, need at least %d", len(blob), len(stateMagic)+4)
+	}
+	if string(blob[:len(stateMagic)]) != stateMagic {
+		return nil, fmt.Errorf("core: state file has bad magic %q (want %q)", blob[:len(stateMagic)], stateMagic)
+	}
+	payload := blob[len(stateMagic)+4:]
+	want := binary.BigEndian.Uint32(blob[len(stateMagic):])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("core: state file checksum mismatch: got %08x want %08x (partial write?)", got, want)
+	}
+	var st persistedState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return nil, fmt.Errorf("core: state file payload corrupt: %w", err)
+	}
+	return &st, nil
+}
+
 // SaveState persists the collector statistics (into the warehouse stats
-// table) and, when the model supports it, the trained predictor weights
-// (into the file system) — everything a restarted node needs to run the
-// next midnight cycle without retraining.
+// table), the cache registry snapshot, and, when the model supports it, the
+// trained predictor weights — everything a restarted node needs to serve
+// from cache and run the next midnight cycle without retraining. Both files
+// are written atomically (temp + rename), so a crash mid-save leaves the
+// previous state intact rather than a torn file.
 func (m *Maxson) SaveState() error {
 	if _, err := m.Collector.SaveStats(m.wh); err != nil {
+		return err
+	}
+	gen, pending := m.Cacher.StateSnapshot()
+	blob, err := encodeState(&persistedState{
+		Generation:  gen,
+		PendingDrop: pending,
+		Entries:     m.Registry.Entries(),
+	})
+	if err != nil {
+		return err
+	}
+	if err := m.wh.FS().WriteFileAtomic(statePath, blob); err != nil {
 		return err
 	}
 	saver, ok := m.Model.(*LSTMCRF)
 	if !ok || !m.ModelTrained {
 		return nil
 	}
-	blob, err := saver.SaveWeights()
+	weights, err := saver.SaveWeights()
 	if err != nil {
 		return err
 	}
-	return m.wh.FS().WriteFile(modelPath, blob)
+	return m.wh.FS().WriteFileAtomic(modelPath, weights)
 }
 
-// LoadState restores statistics and predictor weights saved by SaveState.
-// Missing state is not an error (fresh deployment).
+// LoadState restores statistics, the cache registry, and predictor weights
+// saved by SaveState. Missing state is not an error (fresh deployment); a
+// present-but-corrupt state file IS one, with a message naming the defect.
+//
+// Recovery semantics: registry entries whose cache tables still exist are
+// rolled forward; entries whose tables vanished are discarded; cache tables
+// on disk that no entry references (a midnight cycle that died mid-populate
+// left them behind) are swept. Either way the node comes up consistent
+// without manual cleanup.
 func (m *Maxson) LoadState() error {
 	if _, err := m.Collector.LoadStats(m.wh); err != nil {
+		return err
+	}
+	if err := m.loadRegistryState(); err != nil {
 		return err
 	}
 	loader, ok := m.Model.(*LSTMCRF)
@@ -366,6 +536,55 @@ func (m *Maxson) LoadState() error {
 		return err
 	}
 	m.ModelTrained = true
+	return nil
+}
+
+func (m *Maxson) loadRegistryState() error {
+	st := &persistedState{}
+	if m.wh.FS().Exists(statePath) {
+		blob, err := m.wh.FS().ReadFile(statePath)
+		if err != nil {
+			return err
+		}
+		if st, err = decodeState(blob); err != nil {
+			return err
+		}
+	}
+
+	// Roll forward entries whose cache tables survived; discard the rest.
+	kept := make([]*CacheEntry, 0, len(st.Entries))
+	live := make(map[string]bool)
+	discarded := 0
+	for _, e := range st.Entries {
+		if m.wh.TableExists(e.CacheDB, e.CacheTable) {
+			kept = append(kept, e)
+			live[e.CacheDB+"/"+e.CacheTable] = true
+		} else {
+			discarded++
+		}
+	}
+	m.Registry.Swap(kept)
+	m.Cacher.RestoreState(st.Generation, st.PendingDrop)
+	for _, t := range st.PendingDrop {
+		live[t[0]+"/"+t[1]] = true // still queued for deferred deletion
+	}
+
+	// Sweep orphans: cache tables no entry references and no drop queue
+	// owns — the debris of a cycle that died between creating tables and
+	// the registry swap.
+	swept := 0
+	for _, table := range m.wh.ListTables(CacheDB) {
+		if live[CacheDB+"/"+table] {
+			continue
+		}
+		if err := m.wh.DropTable(CacheDB, table); err == nil {
+			swept++
+		}
+	}
+	if discarded > 0 || swept > 0 {
+		m.Log.Warn("state recovery", "entries_kept", len(kept),
+			"entries_discarded", discarded, "orphan_tables_swept", swept)
+	}
 	return nil
 }
 

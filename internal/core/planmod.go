@@ -118,6 +118,12 @@ func (p *Planner) modifyScan(plan *sqlengine.PhysicalPlan, scan *sqlengine.ScanN
 		if entry == nil || entry.Invalid {
 			return
 		}
+		// Quarantined cache tables (failed to open or decode earlier this
+		// generation) are skipped entirely: the query plans against raw
+		// data as if the path were never cached.
+		if p.registry.IsQuarantined(entry.CacheDB, entry.CacheTable) {
+			return
+		}
 		if stale(entry.CachedAt) {
 			p.registry.MarkInvalid(key)
 			return
@@ -215,6 +221,7 @@ func (p *Planner) modifyScan(plan *sqlengine.PhysicalPlan, scan *sqlengine.ScanN
 		sqlengine.RowSchema{Cols: schemaCols},
 	)
 	factory.SetObs(p.Obs)
+	factory.SetRegistry(p.registry)
 	scan.Factory = factory
 	scan.Columns = primaryCols
 	scan.SetSchema(sqlengine.RowSchema{Cols: schemaCols})

@@ -31,11 +31,19 @@ type CacheEntry struct {
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[pathkey.Key]*CacheEntry
+	// quarantined names cache tables (db.table) that failed to open or
+	// decode this generation: the planner skips their entries so queries
+	// transparently re-route to the raw-parse path until the next
+	// population cycle replaces the table and clears the set.
+	quarantined map[string]bool
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{entries: make(map[pathkey.Key]*CacheEntry)}
+	return &Registry{
+		entries:     make(map[pathkey.Key]*CacheEntry),
+		quarantined: make(map[string]bool),
+	}
 }
 
 // Put installs or replaces an entry.
@@ -105,6 +113,62 @@ func (r *Registry) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.entries)
+}
+
+// Swap atomically replaces the whole entry set with entries and returns the
+// previous entries. Readers observe either the old generation or the new
+// one, never a half-built mix — the midnight cycle's build-then-swap commit.
+func (r *Registry) Swap(entries []*CacheEntry) []*CacheEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := make([]*CacheEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		cp := *e
+		old = append(old, &cp)
+	}
+	sort.Slice(old, func(i, j int) bool { return pathkey.Less(old[i].Key, old[j].Key) })
+	r.entries = make(map[pathkey.Key]*CacheEntry, len(entries))
+	for _, e := range entries {
+		cp := *e
+		r.entries[e.Key] = &cp
+	}
+	return old
+}
+
+func quarantineKey(db, table string) string { return db + "." + table }
+
+// Quarantine marks a cache table as unusable for the rest of the generation
+// and reports whether it was newly quarantined.
+func (r *Registry) Quarantine(db, table string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := quarantineKey(db, table)
+	if r.quarantined[k] {
+		return false
+	}
+	r.quarantined[k] = true
+	return true
+}
+
+// IsQuarantined reports whether a cache table is quarantined.
+func (r *Registry) IsQuarantined(db, table string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.quarantined[quarantineKey(db, table)]
+}
+
+// ClearQuarantine empties the quarantine set (a new generation swapped in).
+func (r *Registry) ClearQuarantine() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.quarantined = make(map[string]bool)
+}
+
+// QuarantineCount returns how many cache tables are quarantined.
+func (r *Registry) QuarantineCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.quarantined)
 }
 
 // TotalBytes sums the footprint of valid entries.

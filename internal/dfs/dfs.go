@@ -26,8 +26,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/simtime"
 )
 
@@ -57,6 +59,10 @@ type FS struct {
 	blockSize int64
 	clock     simtime.Clock
 	stats     IOStats
+	// inj is the optional fault injector. It is consulted before each
+	// open/append (Fail) and on each read's returned copy (Transform),
+	// always outside mu so injected latency never stalls the lock.
+	inj atomic.Pointer[fault.Injector]
 }
 
 type file struct {
@@ -101,6 +107,13 @@ func New(opts ...Option) *FS {
 // BlockSize returns the configured block size.
 func (f *FS) BlockSize() int64 { return f.blockSize }
 
+// SetInjector installs (or, with nil, removes) a fault injector. All
+// subsequent opens, reads, and appends consult it.
+func (f *FS) SetInjector(in *fault.Injector) { f.inj.Store(in) }
+
+// Injector returns the installed fault injector (nil when none).
+func (f *FS) Injector() *fault.Injector { return f.inj.Load() }
+
 // Stats returns a snapshot of I/O statistics.
 func (f *FS) Stats() IOStats {
 	f.mu.RLock()
@@ -136,6 +149,9 @@ func (f *FS) Create(name string) error {
 // file. It counts as a modification.
 func (f *FS) WriteFile(name string, data []byte) error {
 	name = clean(name)
+	if err := f.inj.Load().Fail(fault.OpAppend, name); err != nil {
+		return err
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	cp := make([]byte, len(data))
@@ -146,9 +162,38 @@ func (f *FS) WriteFile(name string, data []byte) error {
 	return nil
 }
 
+// WriteFileAtomic writes data to a temporary file and renames it over name,
+// so a failure mid-write (including an injected one) can never leave a torn
+// final file: name either keeps its old contents or holds the new ones.
+func (f *FS) WriteFileAtomic(name string, data []byte) error {
+	name = clean(name)
+	tmp := name + ".tmp"
+	if err := f.WriteFile(tmp, data); err != nil {
+		return err
+	}
+	return f.Rename(tmp, name)
+}
+
+// Rename atomically moves old to new, replacing any existing file at new.
+func (f *FS) Rename(oldName, newName string) error {
+	oldName, newName = clean(oldName), clean(newName)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fl, ok := f.files[oldName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, oldName)
+	}
+	delete(f.files, oldName)
+	f.files[newName] = fl
+	return nil
+}
+
 // Append appends data to an existing file, updating its modification time.
 func (f *FS) Append(name string, data []byte) error {
 	name = clean(name)
+	if err := f.inj.Load().Fail(fault.OpAppend, name); err != nil {
+		return err
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	fl, ok := f.files[name]
@@ -164,30 +209,41 @@ func (f *FS) Append(name string, data []byte) error {
 // ReadFile returns a copy of the file's contents.
 func (f *FS) ReadFile(name string) ([]byte, error) {
 	name = clean(name)
+	in := f.inj.Load()
+	if err := in.Fail(fault.OpOpen, name); err != nil {
+		return nil, err
+	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	fl, ok := f.files[name]
 	if !ok {
+		f.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
 	f.stats.BytesRead += int64(len(fl.data))
 	f.stats.Opens++
 	out := make([]byte, len(fl.data))
 	copy(out, fl.data)
-	return out, nil
+	f.mu.Unlock()
+	// The injector mangles the caller's private copy, never the stored file.
+	return in.Transform(fault.OpRead, name, out)
 }
 
 // ReadRange returns a copy of file bytes [off, off+n). Reading past the end
 // truncates rather than erroring, matching block-read semantics.
 func (f *FS) ReadRange(name string, off, n int64) ([]byte, error) {
 	name = clean(name)
+	in := f.inj.Load()
+	if err := in.Fail(fault.OpOpen, name); err != nil {
+		return nil, err
+	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	fl, ok := f.files[name]
 	if !ok {
+		f.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
 	if off < 0 || off > int64(len(fl.data)) {
+		f.mu.Unlock()
 		return nil, fmt.Errorf("dfs: read offset %d out of range for %s", off, name)
 	}
 	end := off + n
@@ -198,7 +254,8 @@ func (f *FS) ReadRange(name string, off, n int64) ([]byte, error) {
 	f.stats.Opens++
 	out := make([]byte, end-off)
 	copy(out, fl.data[off:end])
-	return out, nil
+	f.mu.Unlock()
+	return in.Transform(fault.OpRead, name, out)
 }
 
 // Size returns the file length in bytes.
@@ -312,7 +369,12 @@ func (f *FS) FileSplits(dir string) []Split {
 	names := f.List(dir)
 	splits := make([]Split, 0, len(names))
 	for i, name := range names {
-		size, _ := f.Size(name)
+		size, err := f.Size(name)
+		if err != nil {
+			// Deleted between List and Size: a split for it would only fail
+			// downstream, so skip it.
+			continue
+		}
 		blocks := int((size + f.blockSize - 1) / f.blockSize)
 		if blocks == 0 {
 			blocks = 1
@@ -333,7 +395,10 @@ func (f *FS) BlockSplits(dir string, blocksPerSplit int) []Split {
 	var splits []Split
 	idx := 0
 	for _, name := range names {
-		size, _ := f.Size(name)
+		size, err := f.Size(name)
+		if err != nil {
+			continue // vanished between List and Size; see FileSplits
+		}
 		if size == 0 {
 			splits = append(splits, Split{Path: name, Index: idx, BlockCount: 1})
 			idx++

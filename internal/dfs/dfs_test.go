@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/simtime"
 )
 
@@ -278,5 +279,89 @@ func TestQuickBlockSplitsPartition(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestInjectorWiring(t *testing.T) {
+	fs, _ := newTestFS()
+	if err := fs.WriteFile("/d/f", []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := fault.New(1)
+	inj.Add(fault.Rule{Op: fault.OpOpen, Kind: fault.KindError, FailN: 1, Message: "disk gone"})
+	fs.SetInjector(inj)
+	if _, err := fs.ReadFile("/d/f"); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("want injected open error, got %v", err)
+	}
+	data, err := fs.ReadFile("/d/f") // FailN exhausted
+	if err != nil || string(data) != "hello world" {
+		t.Fatalf("read after exhausted rule = (%q, %v)", data, err)
+	}
+
+	inj.Reset()
+	inj.Add(fault.Rule{Op: fault.OpRead, Kind: fault.KindShortRead, FailN: 1, Fraction: 0.5})
+	if data, err = fs.ReadFile("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len("hello world")/2 {
+		t.Fatalf("short read returned %d bytes, want %d", len(data), len("hello world")/2)
+	}
+
+	inj.Reset()
+	inj.Add(fault.Rule{Op: fault.OpAppend, Kind: fault.KindError, FailN: 1})
+	if err := fs.Append("/d/f", []byte("x")); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("want injected append error, got %v", err)
+	}
+
+	// Injection must not have mutated stored bytes: a clean injector sees
+	// the original content.
+	fs.SetInjector(nil)
+	data, err = fs.ReadFile("/d/f")
+	if err != nil || string(data) != "hello world" {
+		t.Fatalf("stored bytes changed under injection: (%q, %v)", data, err)
+	}
+}
+
+func TestRenameAndWriteFileAtomic(t *testing.T) {
+	fs, _ := newTestFS()
+	if err := fs.WriteFile("/d/old", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/d/old", "/d/new"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/d/old") {
+		t.Fatal("source survived rename")
+	}
+	if data, err := fs.ReadFile("/d/new"); err != nil || string(data) != "v1" {
+		t.Fatalf("renamed file = (%q, %v)", data, err)
+	}
+	if err := fs.Rename("/d/missing", "/d/x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("rename of missing file: want ErrNotFound, got %v", err)
+	}
+
+	// WriteFileAtomic replaces content in one step and leaves no temp file.
+	if err := fs.WriteFileAtomic("/d/new", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := fs.ReadFile("/d/new"); err != nil || string(data) != "v2" {
+		t.Fatalf("after atomic rewrite = (%q, %v)", data, err)
+	}
+	if fs.Exists("/d/new.tmp") {
+		t.Fatal("temp file left behind")
+	}
+
+	// A write failure (injected) leaves the original intact — the atomic
+	// guarantee under fault.
+	inj := fault.New(2)
+	inj.Add(fault.Rule{Op: fault.OpAppend, Kind: fault.KindError, FailN: 1})
+	fs.SetInjector(inj)
+	if err := fs.WriteFileAtomic("/d/new", []byte("v3")); err == nil {
+		t.Fatal("atomic write with failing append returned nil")
+	}
+	fs.SetInjector(nil)
+	if data, err := fs.ReadFile("/d/new"); err != nil || string(data) != "v2" {
+		t.Fatalf("failed atomic write corrupted target: (%q, %v)", data, err)
 	}
 }

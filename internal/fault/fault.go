@@ -1,0 +1,321 @@
+// Package fault is a deterministic, seedable fault-injection layer for the
+// storage stack. Production Maxson runs on HDFS/Yarn where split reads fail,
+// stragglers stall, and the midnight cache build can die halfway; the
+// in-memory dfs is perfectly reliable, so none of the degradation paths the
+// design depends on would ever run without this package.
+//
+// An Injector holds an ordered list of Rules. Each rule matches an operation
+// (open/read/append/decode) and a path substring, and fires with a per-site
+// probability or a "fail N times then succeed" script. Rules inject errors
+// (optionally transient, i.e. worth retrying), latency, payload corruption,
+// short reads, or panics. All randomness draws from one seeded PRNG under a
+// mutex, so a given seed and call sequence replays the same fault schedule.
+//
+// Injection points call Fail before performing an operation and Transform on
+// the bytes an operation returns:
+//
+//	if err := inj.Fail(fault.OpOpen, path); err != nil { return nil, err }
+//	data, err = inj.Transform(fault.OpRead, path, data)
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op names an injectable operation.
+type Op string
+
+// Injectable operations. OpOpen guards opening a file for reading, OpRead
+// transforms the bytes a read returns, OpAppend guards writes/appends, and
+// OpDecode fires inside ORC row-group decoding (mid-stream corruption the
+// open-time checks cannot see).
+const (
+	OpOpen   Op = "open"
+	OpRead   Op = "read"
+	OpAppend Op = "append"
+	OpDecode Op = "decode"
+)
+
+// Kind selects what a firing rule does.
+type Kind int
+
+// Rule kinds.
+const (
+	// KindError makes the operation fail with an injected error.
+	KindError Kind = iota
+	// KindLatency sleeps before the operation proceeds (straggler model).
+	// Latency rules never fail the operation; later rules still apply.
+	KindLatency
+	// KindCorrupt flips bytes in the returned payload (read/decode paths).
+	KindCorrupt
+	// KindShortRead truncates the returned payload.
+	KindShortRead
+	// KindPanic panics, modeling a crashed worker. The executor's per-split
+	// recover must convert this into a query error.
+	KindPanic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindLatency:
+		return "latency"
+	case KindCorrupt:
+		return "corrupt"
+	case KindShortRead:
+		return "short-read"
+	case KindPanic:
+		return "panic"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ErrInjected is the sentinel every injected error wraps; errors.Is(err,
+// fault.ErrInjected) identifies a fault-layer failure.
+var ErrInjected = errors.New("fault: injected error")
+
+// Error is an injected failure. It wraps ErrInjected and records the
+// operation and path, plus whether the failure is transient (a retry may
+// succeed — the model of a flaky datanode rather than a lost block).
+type Error struct {
+	Op        Op
+	Path      string
+	Transient bool
+	msg       string
+}
+
+func (e *Error) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	if e.msg != "" {
+		return fmt.Sprintf("fault: injected %s %s error on %s: %s", kind, e.Op, e.Path, e.msg)
+	}
+	return fmt.Sprintf("fault: injected %s %s error on %s", kind, e.Op, e.Path)
+}
+
+// Unwrap ties every injected error to the ErrInjected sentinel.
+func (e *Error) Unwrap() error { return ErrInjected }
+
+// Transient reports whether err is an injected error marked transient, i.e.
+// one the storage layer's bounded retry is allowed to absorb.
+func Transient(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe) && fe.Transient
+}
+
+// Rule describes one injection site. The zero Pattern matches every path and
+// the zero Op matches every operation. Prob is the per-hit firing
+// probability; 0 means 1.0 (always fire) so scripted rules read naturally.
+// FailN > 0 limits the rule to its first N firings ("fail N then succeed");
+// 0 means unlimited.
+type Rule struct {
+	Pattern   string        // substring match on the path
+	Op        Op            // operation filter ("" = all)
+	Kind      Kind          // what to inject
+	Prob      float64       // firing probability (0 = always)
+	FailN     int           // fire at most N times (0 = unlimited)
+	Transient bool          // KindError: mark the error retryable
+	Message   string        // KindError: extra error text
+	Latency   time.Duration // KindLatency: how long to stall
+	Fraction  float64       // KindShortRead: keep this fraction (0 = half)
+}
+
+type ruleState struct {
+	Rule
+	fired int
+}
+
+// Injector is a seeded fault schedule. Safe for concurrent use; the PRNG and
+// rule counters live under one mutex so a fixed seed and call sequence
+// replay identically.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*ruleState
+	// sleep is swappable so tests can count latency injections without
+	// actually stalling.
+	sleep func(time.Duration)
+
+	injected atomic.Int64
+	byKind   [5]atomic.Int64
+}
+
+// New returns an injector with no rules, seeded for deterministic replay.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), sleep: time.Sleep}
+}
+
+// Add appends a rule. Rules are evaluated in insertion order; the first
+// firing error/corrupt/short-read/panic rule wins, latency rules stack.
+func (in *Injector) Add(r Rule) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &ruleState{Rule: r})
+	return in
+}
+
+// SetSleep overrides the latency sleeper (tests).
+func (in *Injector) SetSleep(f func(time.Duration)) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if f != nil {
+		in.sleep = f
+	}
+}
+
+// Reset drops every rule and zeroes the per-rule fire counters, keeping the
+// PRNG state so later schedules stay on the seeded sequence.
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+}
+
+// Injected returns the total number of faults injected so far.
+func (in *Injector) Injected() int64 { return in.injected.Load() }
+
+// InjectedOf returns how many faults of one kind were injected.
+func (in *Injector) InjectedOf(k Kind) int64 {
+	if k < 0 || int(k) >= len(in.byKind) {
+		return 0
+	}
+	return in.byKind[k].Load()
+}
+
+// matches reports whether the rule applies to (op, path).
+func (r *ruleState) matches(op Op, path string) bool {
+	if r.Op != "" && r.Op != op {
+		return false
+	}
+	return r.Pattern == "" || strings.Contains(path, r.Pattern)
+}
+
+// fire rolls the rule's probability and FailN budget; the caller holds the
+// injector mutex.
+func (in *Injector) fire(r *ruleState) bool {
+	if r.FailN > 0 && r.fired >= r.FailN {
+		return false
+	}
+	if r.Prob > 0 && r.Prob < 1 && in.rng.Float64() >= r.Prob {
+		return false
+	}
+	r.fired++
+	return true
+}
+
+func (in *Injector) count(k Kind) {
+	in.injected.Add(1)
+	if k >= 0 && int(k) < len(in.byKind) {
+		in.byKind[k].Add(1)
+	}
+}
+
+// Fail evaluates the error/latency/panic rules for an operation about to
+// run. It returns the injected error, panics for KindPanic rules, and sleeps
+// (outside any caller lock — callers must invoke Fail before taking one) for
+// latency rules. A nil Injector never injects.
+func (in *Injector) Fail(op Op, path string) error {
+	if in == nil {
+		return nil
+	}
+	var stall time.Duration
+	var failErr error
+	var panicMsg string
+	in.mu.Lock()
+	for _, r := range in.rules {
+		if !r.matches(op, path) {
+			continue
+		}
+		switch r.Kind {
+		case KindLatency:
+			if in.fire(r) {
+				in.count(KindLatency)
+				stall += r.Latency
+			}
+		case KindError:
+			if failErr == nil && in.fire(r) {
+				in.count(KindError)
+				failErr = &Error{Op: op, Path: path, Transient: r.Transient, msg: r.Message}
+			}
+		case KindPanic:
+			if panicMsg == "" && failErr == nil && in.fire(r) {
+				in.count(KindPanic)
+				panicMsg = fmt.Sprintf("fault: injected panic on %s %s", op, path)
+			}
+		}
+	}
+	sleep := in.sleep
+	in.mu.Unlock()
+	if stall > 0 {
+		sleep(stall)
+	}
+	if panicMsg != "" {
+		panic(panicMsg)
+	}
+	return failErr
+}
+
+// Transform evaluates the read-payload rules (corrupt, short read, plus
+// error rules scoped to the given op) against data. It returns the possibly
+// mangled payload; corruption mutates a copy, never the input. A nil
+// Injector returns data unchanged.
+func (in *Injector) Transform(op Op, path string, data []byte) ([]byte, error) {
+	if in == nil {
+		return data, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := data
+	touched := false
+	for _, r := range in.rules {
+		if !r.matches(op, path) {
+			continue
+		}
+		switch r.Kind {
+		case KindError:
+			if in.fire(r) {
+				in.count(KindError)
+				return nil, &Error{Op: op, Path: path, Transient: r.Transient, msg: r.Message}
+			}
+		case KindCorrupt:
+			if len(out) > 0 && in.fire(r) {
+				in.count(KindCorrupt)
+				if !touched {
+					cp := make([]byte, len(out))
+					copy(cp, out)
+					out = cp
+					touched = true
+				}
+				// Flip a handful of deterministic positions; one flipped byte
+				// is enough to break a checksum, several defeat any
+				// accidentally self-correcting layout.
+				flips := 1 + in.rng.Intn(4)
+				for k := 0; k < flips; k++ {
+					pos := in.rng.Intn(len(out))
+					out[pos] ^= byte(1 + in.rng.Intn(255))
+				}
+			}
+		case KindShortRead:
+			if len(out) > 0 && in.fire(r) {
+				in.count(KindShortRead)
+				frac := r.Fraction
+				if frac <= 0 || frac >= 1 {
+					frac = 0.5
+				}
+				n := int(float64(len(out)) * frac)
+				out = out[:n]
+				touched = true
+			}
+		}
+	}
+	return out, nil
+}

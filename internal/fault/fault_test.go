@@ -1,0 +1,159 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFailNScripting(t *testing.T) {
+	in := New(1)
+	in.Add(Rule{Pattern: "/a", Op: OpOpen, Kind: KindError, FailN: 2, Transient: true})
+	for i := 0; i < 2; i++ {
+		err := in.Fail(OpOpen, "/a/file")
+		if err == nil {
+			t.Fatalf("attempt %d: want injected error", i)
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("attempt %d: error %v does not wrap ErrInjected", i, err)
+		}
+		if !Transient(err) {
+			t.Fatalf("attempt %d: error %v should be transient", i, err)
+		}
+	}
+	if err := in.Fail(OpOpen, "/a/file"); err != nil {
+		t.Fatalf("after FailN budget: want success, got %v", err)
+	}
+	if got := in.Injected(); got != 2 {
+		t.Fatalf("Injected() = %d, want 2", got)
+	}
+}
+
+func TestOpAndPatternFiltering(t *testing.T) {
+	in := New(1)
+	in.Add(Rule{Pattern: "cache", Op: OpRead, Kind: KindError})
+	if err := in.Fail(OpOpen, "/warehouse/cache/f"); err != nil {
+		t.Fatalf("op mismatch should not fire: %v", err)
+	}
+	if _, err := in.Transform(OpRead, "/warehouse/raw/f", []byte("x")); err != nil {
+		t.Fatalf("pattern mismatch should not fire: %v", err)
+	}
+	if _, err := in.Transform(OpRead, "/warehouse/cache/f", []byte("x")); err == nil {
+		t.Fatal("matching op+pattern should fire")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []bool {
+		in := New(42)
+		in.Add(Rule{Kind: KindError, Prob: 0.5})
+		var outcomes []bool
+		for i := 0; i < 64; i++ {
+			outcomes = append(outcomes, in.Fail(OpOpen, "/f") != nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at call %d", i)
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("Prob=0.5 fired %d/%d times; want a mix", fired, len(a))
+	}
+}
+
+func TestCorruptTransform(t *testing.T) {
+	in := New(7)
+	in.Add(Rule{Kind: KindCorrupt, Op: OpRead})
+	orig := bytes.Repeat([]byte("maxson"), 64)
+	data := append([]byte(nil), orig...)
+	out, err := in.Transform(OpRead, "/f", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(out, orig) {
+		t.Fatal("corrupt rule left payload unchanged")
+	}
+	if !bytes.Equal(data, orig) {
+		t.Fatal("corrupt rule mutated the caller's buffer")
+	}
+	if in.InjectedOf(KindCorrupt) != 1 {
+		t.Fatalf("InjectedOf(KindCorrupt) = %d, want 1", in.InjectedOf(KindCorrupt))
+	}
+}
+
+func TestShortReadTransform(t *testing.T) {
+	in := New(7)
+	in.Add(Rule{Kind: KindShortRead, Op: OpRead, Fraction: 0.25})
+	data := make([]byte, 100)
+	out, err := in.Transform(OpRead, "/f", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 25 {
+		t.Fatalf("short read kept %d bytes, want 25", len(out))
+	}
+}
+
+func TestLatencyUsesSleeper(t *testing.T) {
+	in := New(1)
+	var slept time.Duration
+	in.SetSleep(func(d time.Duration) { slept += d })
+	in.Add(Rule{Kind: KindLatency, Latency: 5 * time.Millisecond, FailN: 1})
+	if err := in.Fail(OpOpen, "/f"); err != nil {
+		t.Fatalf("latency rule must not fail the op: %v", err)
+	}
+	if slept != 5*time.Millisecond {
+		t.Fatalf("slept %v, want 5ms", slept)
+	}
+	if err := in.Fail(OpOpen, "/f"); err != nil || slept != 5*time.Millisecond {
+		t.Fatalf("FailN exhausted rule slept again (total %v)", slept)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	in := New(1)
+	in.Add(Rule{Kind: KindPanic, Op: OpDecode})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KindPanic rule did not panic")
+		}
+	}()
+	if err := in.Fail(OpDecode, "/f"); err != nil {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Fail(OpOpen, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("x")
+	out, err := in.Transform(OpRead, "/f", data)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("nil injector transformed data: %v %q", err, out)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	if Transient(errors.New("plain")) {
+		t.Fatal("plain error classified transient")
+	}
+	perm := &Error{Op: OpRead, Path: "/f"}
+	if Transient(perm) {
+		t.Fatal("permanent injected error classified transient")
+	}
+	if !Transient(&Error{Op: OpRead, Path: "/f", Transient: true}) {
+		t.Fatal("transient injected error not classified")
+	}
+}

@@ -9,12 +9,15 @@ import (
 // and extraction surfaces. PR 3's history is the motivation: a parse error
 // on the cache-population path was silently dropped for two PRs before a
 // counter made it visible. Any error produced by the sjson, jsonpath, orc,
-// or core packages must be bound to a non-blank variable — assigning it to
-// _ or invoking the call as a bare statement is a finding. Deferred Close
-// calls are exempt (the conventional defer r.Close() teardown).
+// core, dfs, or fault packages must be bound to a non-blank variable —
+// assigning it to _ or invoking the call as a bare statement is a finding.
+// Deferred Close calls are exempt (the conventional defer r.Close()
+// teardown). dfs and fault joined the list with the fault-injection work:
+// a dropped injected error makes a chaos test silently vacuous, and a
+// dropped dfs error hides exactly the failures the retry path exists for.
 var ErrDiscard = &Analyzer{
 	Name: "errdiscard",
-	Doc:  "errors from sjson/jsonpath/orc/core APIs must not be discarded with _ or a bare call",
+	Doc:  "errors from sjson/jsonpath/orc/core/dfs/fault APIs must not be discarded with _ or a bare call",
 	Run:  runErrDiscard,
 }
 
@@ -25,6 +28,8 @@ var errSourcePkgs = []string{
 	"internal/jsonpath",
 	"internal/orc",
 	"internal/core",
+	"internal/dfs",
+	"internal/fault",
 }
 
 func runErrDiscard(pass *Pass) {

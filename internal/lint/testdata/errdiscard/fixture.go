@@ -4,6 +4,8 @@
 package errdiscard
 
 import (
+	"repro/internal/dfs"
+	"repro/internal/fault"
 	"repro/internal/jsonpath"
 	"repro/internal/sjson"
 )
@@ -31,6 +33,19 @@ func blankCompile(expr string) {
 	_, _ = jsonpath.Compile(expr) // want "discarded with _"
 }
 
+func injectedDropped(inj *fault.Injector, path string) {
+	inj.Fail(fault.OpRead, path) // want "discarded by a bare call"
+}
+
+func dfsSizeDropped(fs *dfs.FS, name string) int64 {
+	size, _ := fs.Size(name) // want "discarded with _"
+	return size
+}
+
+func dfsWriteDropped(fs *dfs.FS, name string, data []byte) {
+	fs.WriteFile(name, data) // want "discarded by a bare call"
+}
+
 // --- clean ---
 
 func handled(doc []byte) (*sjson.Value, error) {
@@ -48,4 +63,19 @@ func boundAndChecked(expr string) bool {
 
 func noErrorResult(p *sjson.Parser) {
 	p.ResetValues() // no error to discard
+}
+
+func injectedHandled(inj *fault.Injector, path string) error {
+	if err := inj.Fail(fault.OpRead, path); err != nil {
+		return err
+	}
+	return nil
+}
+
+func dfsHandled(fs *dfs.FS, name string) ([]byte, error) {
+	data, err := fs.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
 }

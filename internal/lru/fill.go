@@ -2,8 +2,17 @@ package lru
 
 import (
 	"repro/internal/jsonpath"
+	"repro/internal/obs"
 	"repro/internal/pathkey"
 	"repro/internal/sjson"
+)
+
+// Circuit-breaker defaults: DefaultFailThreshold consecutive fill failures
+// open the breaker; it stays open for DefaultCooldownMisses misses before a
+// half-open probe fill is allowed.
+const (
+	DefaultFailThreshold  = 5
+	DefaultCooldownMisses = 32
 )
 
 // FillStats counts the parsing work the online cache's fill path performed.
@@ -22,11 +31,25 @@ type FillStats struct {
 type Filler struct {
 	C *Cache
 
+	// FailThreshold consecutive fill failures trip the circuit breaker
+	// (default DefaultFailThreshold); CooldownMisses is how many misses the
+	// breaker stays open before a half-open probe (default
+	// DefaultCooldownMisses). While open, misses still serve their value via
+	// raw parse but nothing is inserted — a stream of unparseable documents
+	// stops churning good entries out of the cache.
+	FailThreshold  int
+	CooldownMisses int
+
 	stats  FillStats
 	parser sjson.Parser
 	buf    []byte
 	out    [1]*sjson.Value
 	sets   map[string]*jsonpath.PathSet // compiled tries, keyed by canonical path
+
+	consecFails int
+	open        bool
+	cooldown    int   // remaining misses while open
+	trips       int64 // times the breaker opened
 }
 
 // NewFiller wraps an existing cache with the streaming fill path.
@@ -34,6 +57,67 @@ func NewFiller(c *Cache) *Filler { return &Filler{C: c} }
 
 // FillStats returns a copy of the fill counters.
 func (f *Filler) FillStats() FillStats { return f.stats }
+
+// BreakerOpen reports whether the fill circuit breaker is currently open.
+func (f *Filler) BreakerOpen() bool { return f.open }
+
+// BreakerTrips returns how many times the breaker has opened.
+func (f *Filler) BreakerTrips() int64 { return f.trips }
+
+// Instrument registers the breaker's state on the registry, labelled
+// cache=<name> like Cache.Instrument. Same caveat: the Filler is not
+// goroutine-safe, so snapshots belong to the owning goroutine.
+func (f *Filler) Instrument(r *obs.Registry, name string) {
+	if r == nil {
+		return
+	}
+	l := obs.L{K: "cache", V: name}
+	r.GaugeFunc("lru_fill_breaker_open_count", func() int64 {
+		if f.open {
+			return 1
+		}
+		return 0
+	}, l)
+	r.GaugeFunc("lru_fill_breaker_trips_total", func() int64 { return f.trips }, l)
+}
+
+// noteFill advances the breaker state machine after one miss-fill and
+// reports whether the extracted value may be inserted into the cache.
+func (f *Filler) noteFill(failed bool) (insert bool) {
+	threshold := f.FailThreshold
+	if threshold <= 0 {
+		threshold = DefaultFailThreshold
+	}
+	cooldown := f.CooldownMisses
+	if cooldown <= 0 {
+		cooldown = DefaultCooldownMisses
+	}
+	if f.open {
+		if f.cooldown > 0 {
+			f.cooldown--
+			return false
+		}
+		// Half-open: this fill was the probe.
+		if failed {
+			f.cooldown = cooldown
+			return false
+		}
+		f.open = false
+		f.consecFails = 0
+		return true
+	}
+	if !failed {
+		f.consecFails = 0
+		return true
+	}
+	f.consecFails++
+	if f.consecFails >= threshold {
+		f.open = true
+		f.cooldown = cooldown
+		f.trips++
+	}
+	return !f.open
+}
 
 // Access looks up (key, version); a hit refreshes recency and returns the
 // cached value. A miss extracts the value from doc, inserts it sized by the
@@ -46,8 +130,12 @@ func (f *Filler) Access(key pathkey.Key, version int64, path *jsonpath.Path, doc
 		f.C.stats.Hits++
 		return el.Value.(*entry).val, true
 	}
+	errsBefore := f.stats.ParseErrors
 	value = f.extract(path, doc)
 	f.C.stats.Misses++
+	if !f.noteFill(f.stats.ParseErrors > errsBefore) {
+		return value, false // breaker open: serve the parse, skip the insert
+	}
 	size := int64(len(value)) + 1
 	if size > f.C.budget {
 		return value, false

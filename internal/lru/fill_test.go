@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/jsonpath"
+	"repro/internal/obs"
 	"repro/internal/pathkey"
 )
 
@@ -69,5 +70,91 @@ func TestFillerMalformedDoc(t *testing.T) {
 	}
 	if f.FillStats().ParseErrors != 1 {
 		t.Errorf("ParseErrors = %d, want 1", f.FillStats().ParseErrors)
+	}
+}
+
+// TestFillerCircuitBreaker drives the fill breaker through the whole state
+// machine: trip on consecutive failures, hold open through the cooldown
+// (misses still serve their parse, nothing is inserted), re-open on a
+// failed half-open probe, close on a successful one.
+func TestFillerCircuitBreaker(t *testing.T) {
+	c := New(1000)
+	f := NewFiller(c)
+	f.FailThreshold = 3
+	f.CooldownMisses = 2
+	reg := obs.NewRegistry()
+	f.Instrument(reg, "chaos")
+	f.Instrument(nil, "noop") // must not panic
+	path := jsonpath.MustCompile("$.a")
+	k := pathkey.Key{DB: "db", Table: "t", Column: "c", Path: "$.a"}
+	good := `{"a": 7}`
+	bad := `{"a": nope}`
+
+	// Distinct versions force a miss-fill per access.
+	ver := int64(0)
+	access := func(doc string) (string, bool) {
+		ver++
+		return f.Access(k, ver, path, doc)
+	}
+
+	// Three consecutive failures trip the breaker; the first two still
+	// insert (their "" extraction), the tripping one does not.
+	for i := 0; i < 3; i++ {
+		if _, hit := access(bad); hit {
+			t.Fatal("unexpected hit")
+		}
+	}
+	if !f.BreakerOpen() || f.BreakerTrips() != 1 {
+		t.Fatalf("after 3 failures: open=%v trips=%d, want open, 1 trip", f.BreakerOpen(), f.BreakerTrips())
+	}
+	if got := c.Stats().Inserted; got != 2 {
+		t.Fatalf("inserted %d entries, want 2 (tripping fill must not insert)", got)
+	}
+
+	// Open: misses still serve the parsed value but never insert.
+	for i := 0; i < 2; i++ {
+		v, hit := access(good)
+		if hit || v != "7" {
+			t.Fatalf("cooldown miss = (%q, %v), want raw-parsed 7", v, hit)
+		}
+	}
+	if got := c.Stats().Inserted; got != 2 {
+		t.Fatalf("open breaker inserted (total %d, want 2)", got)
+	}
+
+	// Cooldown exhausted: a failing half-open probe re-opens.
+	if v, _ := access(bad); v != "" {
+		t.Fatalf("probe value = %q", v)
+	}
+	if !f.BreakerOpen() {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	snap := reg.Snapshot()
+	l := obs.L{K: "cache", V: "chaos"}
+	if got := snap.Gauge("lru_fill_breaker_open_count", l); got != 1 {
+		t.Fatalf("lru_fill_breaker_open_count = %d, want 1", got)
+	}
+	if got := snap.Gauge("lru_fill_breaker_trips_total", l); got != 1 {
+		t.Fatalf("lru_fill_breaker_trips_total = %d, want 1", got)
+	}
+
+	// Ride out the second cooldown; a successful probe closes the breaker
+	// and filling resumes.
+	access(good)
+	access(good)
+	v, hit := access(good)
+	if hit || v != "7" {
+		t.Fatalf("closing probe = (%q, %v)", v, hit)
+	}
+	if f.BreakerOpen() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	insertedBefore := c.Stats().Inserted
+	access(good)
+	if got := c.Stats().Inserted; got != insertedBefore+1 {
+		t.Fatalf("filling did not resume after close: inserted %d, want %d", got, insertedBefore+1)
+	}
+	if got := reg.Snapshot().Gauge("lru_fill_breaker_open_count", l); got != 0 {
+		t.Fatalf("lru_fill_breaker_open_count = %d after close, want 0", got)
 	}
 }

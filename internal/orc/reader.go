@@ -21,7 +21,16 @@ type Reader struct {
 	numRows int64
 	rgRows  int
 	stripes []stripeMeta
+	// faultHook, when set, runs before every row-group decode; a non-nil
+	// return aborts the decode with that error. The warehouse installs the
+	// fault injector's OpDecode check here so mid-stream failures — ones the
+	// open-time footer validation cannot see — are exercisable.
+	faultHook func() error
 }
+
+// SetFaultHook installs a check that runs before each row-group decode.
+// Cursors opened after the call observe it.
+func (r *Reader) SetFaultHook(hook func() error) { r.faultHook = hook }
 
 // OpenReader parses the file footer and returns a reader. The data slice is
 // retained and must not be modified.
@@ -298,6 +307,11 @@ func (c *Cursor) NextBatch(dst [][]datum.Datum, max int) (int, error) {
 // Decode buffers are reused across groups: callers copy values out of
 // c.decoded before the next decodeGroup call.
 func (c *Cursor) decodeGroup(flatIdx int) error {
+	if c.r.faultHook != nil {
+		if err := c.r.faultHook(); err != nil {
+			return err
+		}
+	}
 	fg := c.flat[flatIdx]
 	stripe := &c.r.stripes[fg.stripe]
 	rg := &stripe.rowGroups[fg.group]

@@ -2,6 +2,7 @@ package sqlengine
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/datum"
 )
@@ -81,10 +82,19 @@ func (b *RowBatch) Gather(i int, dst []datum.Datum) []datum.Datum {
 // batchPool recycles RowBatch slabs across partitions and queries.
 var batchPool = sync.Pool{New: func() any { return &RowBatch{} }}
 
+// batchOutstanding counts batches checked out of the pool and not yet
+// returned. Quiescent engines read 0; the chaos suite asserts the count
+// returns to baseline after faulted queries so leaks are caught in CI.
+var batchOutstanding atomic.Int64
+
+// OutstandingBatches returns how many pooled RowBatches are checked out.
+func OutstandingBatches() int64 { return batchOutstanding.Load() }
+
 // GetRowBatch returns a pooled batch reshaped to width x capacity.
 func GetRowBatch(width, capacity int) *RowBatch {
 	b := batchPool.Get().(*RowBatch)
 	b.reshape(width, capacity)
+	batchOutstanding.Add(1)
 	return b
 }
 
@@ -92,6 +102,7 @@ func GetRowBatch(width, capacity int) *RowBatch {
 // any row gathered from it) afterwards.
 func PutRowBatch(b *RowBatch) {
 	if b != nil {
+		batchOutstanding.Add(-1)
 		batchPool.Put(b)
 	}
 }

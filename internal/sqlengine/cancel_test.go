@@ -1,0 +1,163 @@
+package sqlengine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/dfs"
+	"repro/internal/obs"
+	"repro/internal/orc"
+	"repro/internal/simtime"
+	"repro/internal/warehouse"
+	"time"
+)
+
+func newCancelTestEngine(t *testing.T, opts ...EngineOption) *Engine {
+	t.Helper()
+	clock := simtime.NewSim(time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC))
+	fs := dfs.New(dfs.WithClock(clock))
+	wh := warehouse.New(fs, warehouse.WithClock(clock))
+	wh.CreateDatabase("db")
+	schema := orc.Schema{Columns: []orc.Column{{Name: "id", Type: datum.TypeInt64}}}
+	if err := wh.CreateTable("db", "t", schema); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]datum.Datum, 8)
+	for i := range rows {
+		rows[i] = []datum.Datum{datum.Int(int64(i))}
+	}
+	if _, err := wh.AppendRows("db", "t", rows); err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(wh, append([]EngineOption{WithDefaultDB("db")}, opts...)...)
+}
+
+// cancellingFactory yields a single split whose RowSource cancels the query
+// context during its first Next call and then keeps producing rows. If the
+// executor honours cancellation at batch boundaries, it stops after the
+// batch in flight; if not, the source's hard cap fails the test instead of
+// hanging it.
+type cancellingFactory struct {
+	schema RowSchema
+	cancel context.CancelFunc
+	calls  int
+}
+
+func (f *cancellingFactory) NumSplits() (int, error)    { return 1, nil }
+func (f *cancellingFactory) Schema() (RowSchema, error) { return f.schema, nil }
+func (f *cancellingFactory) Open(split int, m *Metrics) (RowSource, error) {
+	return (*cancellingSource)(f), nil
+}
+
+type cancellingSource cancellingFactory
+
+func (s *cancellingSource) Next() ([]datum.Datum, error) {
+	s.calls++
+	if s.calls == 1 {
+		s.cancel()
+	}
+	if s.calls > 10000 {
+		return nil, fmt.Errorf("source drained %d rows after cancellation", s.calls)
+	}
+	return []datum.Datum{datum.Int(int64(s.calls))}, nil
+}
+
+// TestChaosCancelWithinOneBatch verifies the acceptance criterion that a
+// cancelled context stops execution within one batch boundary: the source
+// that triggered the cancel is asked for at most one more full batch
+// (the one in flight) and the query returns context.Canceled.
+func TestChaosCancelWithinOneBatch(t *testing.T) {
+	const batchSize = 4
+	e := newCancelTestEngine(t, WithBatchSize(batchSize), WithParallelism(1))
+
+	plan, _, err := e.PlanOnly(`SELECT id FROM db.t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f := &cancellingFactory{schema: plan.Scan.Schema(), cancel: cancel}
+	plan.Scan.Factory = f
+
+	before := OutstandingBatches()
+	_, _, err = e.ExecuteCtx(ctx, plan)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The cancel fired inside batch 1; the executor may finish filling that
+	// batch (batchSize rows) but must not start another.
+	if f.calls > batchSize+1 {
+		t.Fatalf("source was asked for %d rows after cancellation (batch size %d): cancellation not honoured at the batch boundary", f.calls, batchSize)
+	}
+	if got := OutstandingBatches(); got != before {
+		t.Fatalf("pooled RowBatch leak: outstanding %d before, %d after", before, got)
+	}
+}
+
+// TestChaosPreCancelledContext verifies a context cancelled before execution
+// never opens a split.
+func TestChaosPreCancelledContext(t *testing.T) {
+	e := newCancelTestEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := e.QueryCtx(ctx, `SELECT id FROM db.t`)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestChaosQueryTimeout verifies WithQueryTimeout bounds every query.
+func TestChaosQueryTimeout(t *testing.T) {
+	e := newCancelTestEngine(t, WithQueryTimeout(time.Nanosecond), WithParallelism(1))
+	_, _, err := e.Query(`SELECT id FROM db.t`)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+// panickingFactory panics inside a split worker, exercising the per-split
+// recover that converts panics into attributed query errors.
+type panickingFactory struct{ schema RowSchema }
+
+func (f *panickingFactory) NumSplits() (int, error)    { return 1, nil }
+func (f *panickingFactory) Schema() (RowSchema, error) { return f.schema, nil }
+func (f *panickingFactory) Open(split int, m *Metrics) (RowSource, error) {
+	panic("synthetic split failure")
+}
+
+// TestChaosSplitPanicRecovered verifies a worker panic surfaces as an error
+// naming the split — not a crashed process — increments the panic counter,
+// and leaks no pooled batches.
+func TestChaosSplitPanicRecovered(t *testing.T) {
+	e := newCancelTestEngine(t, WithParallelism(2))
+	r := obs.NewRegistry()
+	e.SetObsRegistry(r)
+
+	plan, _, err := e.PlanOnly(`SELECT id FROM db.t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Scan.Factory = &panickingFactory{schema: plan.Scan.Schema()}
+
+	before := OutstandingBatches()
+	_, _, err = e.Execute(plan)
+	if err == nil {
+		t.Fatal("want panic converted to error, got nil")
+	}
+	if !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "split 0") {
+		t.Fatalf("panic error lacks split attribution: %v", err)
+	}
+	if !strings.Contains(err.Error(), "db.t") {
+		t.Fatalf("panic error lacks table attribution: %v", err)
+	}
+	if got := r.Counter("engine_split_panics_total").Value(); got != 1 {
+		t.Fatalf("engine_split_panics_total = %d, want 1", got)
+	}
+	if got := OutstandingBatches(); got != before {
+		t.Fatalf("pooled RowBatch leak after panic: outstanding %d before, %d after", before, got)
+	}
+}

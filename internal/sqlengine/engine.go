@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"time"
@@ -23,6 +24,9 @@ type Engine struct {
 	// rowAtATime forces every scan through the legacy RowSourceAdapter.
 	batchSize  int
 	rowAtATime bool
+	// queryTimeout, when positive, bounds each query's execution; the
+	// deadline is checked at batch boundaries like any cancellation.
+	queryTimeout time.Duration
 	// PlanModifier, when set, rewrites physical plans after planning —
 	// Maxson installs its MaxsonParser here. The returned extra node count
 	// is added to PlanExprNodes so Fig 13 sees the modification overhead.
@@ -50,6 +54,8 @@ type engineCounters struct {
 	prefilterSkipped *obs.Counter
 	cacheValuesRead  *obs.Counter
 	cacheMisses      *obs.Counter
+	splitPanics      *obs.Counter
+	ioRetries        *obs.Counter
 	simNanos         *obs.Histogram
 }
 
@@ -68,6 +74,8 @@ func newEngineCounters(r *obs.Registry) *engineCounters {
 		prefilterSkipped: r.Counter("engine_prefilter_skipped_total"),
 		cacheValuesRead:  r.Counter("engine_cache_values_read_total"),
 		cacheMisses:      r.Counter("engine_cache_misses_total"),
+		splitPanics:      r.Counter("engine_split_panics_total"),
+		ioRetries:        r.Counter("engine_io_retries_total"),
 		simNanos:         r.Histogram("engine_query_sim_ns"),
 	}
 }
@@ -151,6 +159,17 @@ func WithCostModel(cm CostModel) EngineOption {
 	return func(e *Engine) { e.cost = cm }
 }
 
+// WithQueryTimeout bounds every query's execution time. Zero (the default)
+// means no limit. The deadline is enforced at batch boundaries, so a query
+// returns within one batch of it expiring.
+func WithQueryTimeout(d time.Duration) EngineOption {
+	return func(e *Engine) {
+		if d > 0 {
+			e.queryTimeout = d
+		}
+	}
+}
+
 // WithObsRegistry attaches a metrics registry; the engine publishes its
 // lifetime totals (bytes read, parse work, row ops, cache reads, …) there.
 func WithObsRegistry(r *obs.Registry) EngineOption {
@@ -190,6 +209,9 @@ func (e *Engine) SetObsRegistry(r *obs.Registry) {
 	}
 	e.obsReg = r
 	e.obsC = newEngineCounters(r)
+	c := e.obsC
+	e.wh.SetRetryNotify(func() { c.ioRetries.Inc() })
+	r.GaugeFunc("engine_row_batches_outstanding_count", OutstandingBatches)
 }
 
 // ObsRegistry returns the attached metrics registry (nil when none).
@@ -203,16 +225,28 @@ func (e *Engine) nowWall() time.Duration {
 // Query parses, plans, and executes one SELECT. The returned metrics carry
 // both plan-time and execution-time accounting.
 func (e *Engine) Query(sql string) (*ResultSet, *Metrics, error) {
+	return e.QueryCtx(context.Background(), sql)
+}
+
+// QueryCtx is Query under a context: cancellation and deadlines are
+// honored at batch boundaries, so the call returns within one batch of the
+// context being cancelled.
+func (e *Engine) QueryCtx(ctx context.Context, sql string) (*ResultSet, *Metrics, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
 		return nil, nil, err
 	}
-	return e.QueryStmt(stmt)
+	return e.QueryStmtCtx(ctx, stmt)
 }
 
 // QueryStmt plans and executes a parsed statement.
 func (e *Engine) QueryStmt(stmt *SelectStmt) (*ResultSet, *Metrics, error) {
-	_, rs, m, err := e.queryStmt(stmt, false)
+	return e.QueryStmtCtx(context.Background(), stmt)
+}
+
+// QueryStmtCtx is QueryStmt under a context.
+func (e *Engine) QueryStmtCtx(ctx context.Context, stmt *SelectStmt) (*ResultSet, *Metrics, error) {
+	_, rs, m, err := e.queryStmt(ctx, stmt, false)
 	return rs, m, err
 }
 
@@ -224,13 +258,18 @@ func (e *Engine) QueryTraced(sql string) (*ResultSet, *Metrics, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	_, rs, m, err := e.queryStmt(stmt, true)
+	_, rs, m, err := e.queryStmt(context.Background(), stmt, true)
 	return rs, m, err
 }
 
 // queryStmt plans and executes one statement, optionally tracing, and also
 // returns the physical plan (EXPLAIN ANALYZE renders from it).
-func (e *Engine) queryStmt(stmt *SelectStmt, traced bool) (*PhysicalPlan, *ResultSet, *Metrics, error) {
+func (e *Engine) queryStmt(ctx context.Context, stmt *SelectStmt, traced bool) (*PhysicalPlan, *ResultSet, *Metrics, error) {
+	if e.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.queryTimeout)
+		defer cancel()
+	}
 	planStart := time.Now()
 	plan, err := e.Plan(stmt)
 	if err != nil {
@@ -263,7 +302,7 @@ func (e *Engine) queryStmt(stmt *SelectStmt, traced bool) (*PhysicalPlan, *Resul
 		planSpan.SetDur("simulated",
 			time.Duration(float64(planNodes+extra)*e.cost.PlanNsPerExprNode))
 	}
-	rs, m, err := e.execute(plan, trace)
+	rs, m, err := e.execute(ctx, plan, trace)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -116,12 +117,18 @@ func (s *fileRowSource) flushStats() {
 
 // Execute runs a physical plan and returns its results plus metrics.
 func (e *Engine) Execute(plan *PhysicalPlan) (*ResultSet, *Metrics, error) {
-	return e.execute(plan, nil)
+	return e.execute(context.Background(), plan, nil)
+}
+
+// ExecuteCtx runs a physical plan under a context; cancellation is honored
+// at batch boundaries.
+func (e *Engine) ExecuteCtx(ctx context.Context, plan *PhysicalPlan) (*ResultSet, *Metrics, error) {
+	return e.execute(ctx, plan, nil)
 }
 
 // execute runs a physical plan; when trace is non-nil each operator and
 // scan partition records a span under it.
-func (e *Engine) execute(plan *PhysicalPlan, trace *obs.Span) (*ResultSet, *Metrics, error) {
+func (e *Engine) execute(ctx context.Context, plan *PhysicalPlan, trace *obs.Span) (*ResultSet, *Metrics, error) {
 	m := &Metrics{
 		TreeParser:   e.backend.Name() == "jackson",
 		StreamParser: e.backend.Name() == "ondemand",
@@ -139,7 +146,7 @@ func (e *Engine) execute(plan *PhysicalPlan, trace *obs.Span) (*ResultSet, *Metr
 			bm.Span = trace.Child(fmt.Sprintf("join-build %s.%s", plan.Join.Build.DB, plan.Join.Build.Table))
 		}
 		var err error
-		joinTable, buildWidth, err = e.buildJoinTable(plan, bm)
+		joinTable, buildWidth, err = e.buildJoinTable(ctx, plan, bm)
 		if bm.Span != nil {
 			bm.Span.SetInt("rows", bm.RowsScanned.Load())
 			bm.Span.SetInt("bytes", bm.BytesRead.Load())
@@ -183,9 +190,21 @@ func (e *Engine) execute(plan *PhysicalPlan, trace *obs.Span) (*ResultSet, *Metr
 		wg.Add(1)
 		go func(split int) {
 			defer wg.Done()
+			// A panicking worker (corrupt data, injected fault, executor bug)
+			// must fail the query, not the process. runPartition's own defers
+			// run before this recover, so the pooled batch is still returned.
+			defer func() {
+				if r := recover(); r != nil {
+					if e.obsC != nil {
+						e.obsC.splitPanics.Inc()
+					}
+					results[split] = partResult{err: fmt.Errorf(
+						"sql: split %d of %s.%s panicked: %v", split, plan.Scan.DB, plan.Scan.Table, r)}
+				}
+			}()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[split] = e.runPartition(plan, factory, split, joinTable, buildWidth, partMetrics[split])
+			results[split] = e.runPartition(ctx, plan, factory, split, joinTable, buildWidth, partMetrics[split])
 		}(split)
 	}
 	wg.Wait()
@@ -328,7 +347,7 @@ type execScratch struct {
 // run fused over the selected rows, so a document the filter parsed is
 // still memoized by the doc evaluator when the projection needs it. Metric
 // deltas accumulate in locals and flush once per batch.
-func (e *Engine) runPartition(plan *PhysicalPlan, factory ScanSourceFactory, split int, joinTable map[string][][]datum.Datum, buildWidth int, m *Metrics) (res partResult) {
+func (e *Engine) runPartition(ctx context.Context, plan *PhysicalPlan, factory ScanSourceFactory, split int, joinTable map[string][][]datum.Datum, buildWidth int, m *Metrics) (res partResult) {
 	src, err := factory.Open(split, m)
 	if err != nil {
 		res.err = err
@@ -339,7 +358,7 @@ func (e *Engine) runPartition(plan *PhysicalPlan, factory ScanSourceFactory, spl
 		res.err = err
 		return res
 	}
-	ctx := &EvalContext{Doc: e.backend.NewDocEvaluator(&m.Parse), Metrics: m}
+	ec := &EvalContext{Doc: e.backend.NewDocEvaluator(&m.Parse), Metrics: m}
 	if plan.aggregate {
 		res.aggs = make(map[string]*aggState)
 	}
@@ -398,30 +417,36 @@ func (e *Engine) runPartition(plan *PhysicalPlan, factory ScanSourceFactory, spl
 	// row that survived the prefilters.
 	emit := func(row []datum.Datum) {
 		if plan.Filter != nil {
-			if !Truthy(Eval(plan.Filter, row, ctx)) {
+			if !Truthy(Eval(plan.Filter, row, ec)) {
 				return
 			}
 		}
 		res.rowsOut++
 		if plan.aggregate {
-			e.accumulate(plan, row, res.aggs, ctx, sc)
+			e.accumulate(plan, row, res.aggs, ec, sc)
 			return
 		}
 		outRow := sc.arena.alloc(len(plan.Items))
 		for i, it := range plan.Items {
-			outRow[i] = Eval(it.Expr, row, ctx)
+			outRow[i] = Eval(it.Expr, row, ec)
 		}
 		res.rows = append(res.rows, outRow)
 		if wantSortKeys {
 			keys := sc.arena.alloc(len(plan.OrderBy))
 			for i, o := range plan.OrderBy {
-				keys[i] = Eval(o.Expr, row, ctx)
+				keys[i] = Eval(o.Expr, row, ec)
 			}
 			res.keys = append(res.keys, keys)
 		}
 	}
 
 	for {
+		// Cancellation is checked once per batch: a cancelled query returns
+		// within one batch boundary rather than finishing the split.
+		if err := ctx.Err(); err != nil {
+			res.err = err
+			return res
+		}
 		n, err := bs.NextBatch(batch)
 		if err != nil {
 			res.err = err
@@ -435,7 +460,7 @@ func (e *Engine) runPartition(plan *PhysicalPlan, factory ScanSourceFactory, spl
 			// Probe the hash table; inner join emits one row per match.
 			for i := 0; i < n; i++ {
 				row := batch.Gather(i, sc.row)
-				key, ok := appendJoinKey(sc.keyBuf[:0], plan.Join.LeftKeys, row, ctx, sc)
+				key, ok := appendJoinKey(sc.keyBuf[:0], plan.Join.LeftKeys, row, ec, sc)
 				sc.keyBuf = key
 				if !ok {
 					continue // NULL keys never join
@@ -491,7 +516,7 @@ func (e *Engine) runPartition(plan *PhysicalPlan, factory ScanSourceFactory, spl
 }
 
 // buildJoinTable reads the build-side table fully and hashes it by key.
-func (e *Engine) buildJoinTable(plan *PhysicalPlan, m *Metrics) (map[string][][]datum.Datum, int, error) {
+func (e *Engine) buildJoinTable(ctx context.Context, plan *PhysicalPlan, m *Metrics) (map[string][][]datum.Datum, int, error) {
 	build := plan.Join.Build
 	factory := build.Factory
 	if factory == nil {
@@ -501,19 +526,25 @@ func (e *Engine) buildJoinTable(plan *PhysicalPlan, m *Metrics) (map[string][][]
 	if err != nil {
 		return nil, 0, err
 	}
-	ctx := &EvalContext{Doc: e.backend.NewDocEvaluator(&m.Parse), Metrics: m}
+	ec := &EvalContext{Doc: e.backend.NewDocEvaluator(&m.Parse), Metrics: m}
 	table := make(map[string][][]datum.Datum)
 	width := len(build.schema.Cols)
 	batch := GetRowBatch(width, e.batchSize)
 	defer PutRowBatch(batch)
 	sc := &execScratch{row: make([]datum.Datum, width)}
 	for split := 0; split < nSplits; split++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		src, err := factory.Open(split, m)
 		if err != nil {
 			return nil, 0, err
 		}
 		bs := asBatchSource(src, e.rowAtATime)
 		for {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
 			n, err := bs.NextBatch(batch)
 			if err != nil {
 				return nil, 0, err
@@ -524,7 +555,7 @@ func (e *Engine) buildJoinTable(plan *PhysicalPlan, m *Metrics) (map[string][][]
 			m.RowOps.Add(int64(n))
 			for i := 0; i < n; i++ {
 				row := batch.Gather(i, sc.row)
-				key, ok := appendJoinKey(sc.keyBuf[:0], plan.Join.RightKeys, row, ctx, sc)
+				key, ok := appendJoinKey(sc.keyBuf[:0], plan.Join.RightKeys, row, ec, sc)
 				sc.keyBuf = key
 				if !ok {
 					continue

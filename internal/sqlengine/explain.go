@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,7 +23,7 @@ func (e *Engine) ExplainAnalyze(sql string) (string, *ResultSet, *Metrics, error
 
 // ExplainAnalyzeStmt is ExplainAnalyze over a parsed statement.
 func (e *Engine) ExplainAnalyzeStmt(stmt *SelectStmt) (string, *ResultSet, *Metrics, error) {
-	plan, rs, m, err := e.queryStmt(stmt, true)
+	plan, rs, m, err := e.queryStmt(context.Background(), stmt, true)
 	if err != nil {
 		return "", nil, nil, err
 	}

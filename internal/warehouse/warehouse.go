@@ -21,8 +21,17 @@ import (
 
 	"repro/internal/datum"
 	"repro/internal/dfs"
+	"repro/internal/fault"
 	"repro/internal/orc"
 	"repro/internal/simtime"
+)
+
+// Retry policy for transient read failures (flaky-datanode model). Only
+// errors the fault layer marks transient are retried; real corruption and
+// missing files fail immediately.
+const (
+	readRetries      = 3
+	readRetryBackoff = time.Millisecond
 )
 
 // Common errors.
@@ -42,6 +51,11 @@ type Warehouse struct {
 	tables map[string]*tableMeta // key: db.table
 	dbs    map[string]bool
 	orcOpt orc.WriterOptions
+
+	// retryNotify, when set, is called once per retried read so the engine
+	// can meter I/O retries without the warehouse importing obs.
+	retryNotify func()
+	retrySleep  func(time.Duration)
 }
 
 type tableMeta struct {
@@ -94,6 +108,20 @@ func New(fs *dfs.FS, opts ...Option) *Warehouse {
 // FS exposes the backing file system (read-mostly; the cacher writes its
 // cache tables through the warehouse API instead).
 func (w *Warehouse) FS() *dfs.FS { return w.fs }
+
+// SetRetryNotify installs a callback fired once per retried transient read.
+func (w *Warehouse) SetRetryNotify(f func()) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.retryNotify = f
+}
+
+// SetRetrySleep overrides the backoff sleeper between read retries (tests).
+func (w *Warehouse) SetRetrySleep(f func(time.Duration)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.retrySleep = f
+}
 
 // Clock returns the warehouse clock.
 func (w *Warehouse) Clock() simtime.Clock { return w.clock }
@@ -303,12 +331,41 @@ func (w *Warehouse) CreatedAt(db, table string) (time.Time, error) {
 // OpenFile opens one part file for reading.
 func (w *Warehouse) OpenFile(path string) (*orc.Reader, error) { return w.openFile(path) }
 
+// openFile reads and opens a part file, absorbing up to readRetries
+// transient failures with linear backoff. Permanent errors (missing file,
+// corrupt footer) surface immediately; only faults the injection layer marks
+// transient are retried, mirroring how an HDFS client retries a flaky
+// datanode but not a lost block.
 func (w *Warehouse) openFile(path string) (*orc.Reader, error) {
-	data, err := w.fs.ReadFile(path)
-	if err != nil {
-		return nil, err
+	w.mu.RLock()
+	notify, sleep := w.retryNotify, w.retrySleep
+	w.mu.RUnlock()
+	if sleep == nil {
+		sleep = time.Sleep
 	}
-	return orc.OpenReader(data)
+	var data []byte
+	var err error
+	for attempt := 0; ; attempt++ {
+		data, err = w.fs.ReadFile(path)
+		if err == nil {
+			break
+		}
+		if attempt >= readRetries || !fault.Transient(err) {
+			return nil, err
+		}
+		if notify != nil {
+			notify()
+		}
+		sleep(time.Duration(attempt+1) * readRetryBackoff)
+	}
+	r, err := orc.OpenReader(data)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: open %s: %w", path, err)
+	}
+	if inj := w.fs.Injector(); inj != nil {
+		r.SetFaultHook(func() error { return inj.Fail(fault.OpDecode, path) })
+	}
+	return r, nil
 }
 
 // ReadAll reads every row of selected columns across all part files, in

@@ -24,6 +24,7 @@
 package maxson
 
 import (
+	"context"
 	"log/slog"
 	"time"
 
@@ -150,6 +151,14 @@ func (s *System) Query(sql string) (*ResultSet, *Metrics, error) {
 	return s.m.Query(sql)
 }
 
+// QueryCtx is Query with cancellation and deadline support: the context is
+// checked between batches, so cancellation takes effect within one batch
+// boundary. A cache table failing mid-query is quarantined and the query is
+// transparently re-planned against raw data.
+func (s *System) QueryCtx(ctx context.Context, sql string) (*ResultSet, *Metrics, error) {
+	return s.m.QueryCtx(ctx, sql)
+}
+
 // Explain executes SQL with tracing and returns an EXPLAIN ANALYZE-style
 // annotated operator tree (per-operator rows, bytes, parse calls, cache
 // reads, simulated phase times) alongside the results. The query feeds the
@@ -167,6 +176,13 @@ func (s *System) Obs() *obs.Registry { return s.m.Obs() }
 // under the budget.
 func (s *System) RunMidnightCycle() (*CycleReport, error) {
 	return s.m.RunMidnightCycle()
+}
+
+// RunMidnightCycleCtx is RunMidnightCycle with cancellation: the context is
+// checked between stages and, during populate, between files and batches. An
+// interrupted cycle leaves the previous cache generation serving.
+func (s *System) RunMidnightCycleCtx(ctx context.Context) (*CycleReport, error) {
+	return s.m.RunMidnightCycleCtx(ctx)
 }
 
 // AdvanceToMidnight moves the simulated clock to the next midnight (the
