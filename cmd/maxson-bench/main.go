@@ -11,7 +11,7 @@
 //	maxson-bench -exp all -json -out results.ndjson
 //
 // Experiments: fig2, fig3, fig4, table3, table4, fig11 (includes Table V),
-// fig12, fig13, fig14, fig15, all.
+// fig12, fig13, fig14, fig15, ablation, sparser, exec, extract, obs, all.
 //
 // With -json each experiment emits one NDJSON document
 // {"experiment": ..., "ran_ms": ..., "result": {...}} so downstream tooling
@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -42,7 +44,25 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit one NDJSON document per experiment instead of tables")
 	outPath := flag.String("out", "", "with -json: write NDJSON to this file instead of stdout")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run; checked between experiments (0 = none)")
+	debugAddr := flag.String("debug-addr", "", "serve a diagnostics server (pprof, process metrics) while experiments run")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// Experiments build their own systems, so this server exposes the
+		// process-level surface — chiefly net/http/pprof for profiling a
+		// running benchmark — rather than any one experiment's registry.
+		ds := obs.NewDebugServer(obs.NewRegistry())
+		addr, err := ds.Start(*debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/healthz, /debug/pprof)\n", addr)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = ds.Shutdown(sctx)
+		}()
+	}
 
 	traceCfg := trace.DefaultConfig()
 	traceCfg.Days = *days
@@ -72,8 +92,9 @@ func main() {
 		"sparser":  func() (fmt.Stringer, error) { return experiments.RunSparserStudy(*rows, *seed) },
 		"exec":     func() (fmt.Stringer, error) { return experiments.RunExecBench(*rows, *seed) },
 		"extract":  func() (fmt.Stringer, error) { return experiments.RunExtractBench(*rows, *seed) },
+		"obs":      func() (fmt.Stringer, error) { return experiments.RunObsBench() },
 	}
-	order := []string{"fig2", "fig3", "fig4", "table3", "table4", "fig11", "fig12", "fig13", "fig14", "fig15", "ablation", "sparser", "exec", "extract"}
+	order := []string{"fig2", "fig3", "fig4", "table3", "table4", "fig11", "fig12", "fig13", "fig14", "fig15", "ablation", "sparser", "exec", "extract", "obs"}
 
 	var selected []string
 	if *exp == "all" {

@@ -8,6 +8,11 @@
 // Usage:
 //
 //	maxson-daily -days 21 -budget-mb 64
+//	maxson-daily -days 21 -debug-addr 127.0.0.1:6060   # live diagnostics
+//
+// With -debug-addr the run serves the diagnostics server while it works:
+// Prometheus /metrics, the flight recorder's /debug/queries, the last cycle
+// report on /debug/cycle, /healthz, and net/http/pprof.
 //
 // Exit codes: 0 success, 1 setup failure (tables/loads), 2 query failure,
 // 3 midnight-cycle failure (the partial cycle report is flushed to stderr),
@@ -54,6 +59,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 	verbose := flag.Bool("v", false, "emit structured cycle logs to stderr")
 	metrics := flag.Bool("metrics", false, "dump the metrics registry after the run")
+	debugAddr := flag.String("debug-addr", "", "serve the diagnostics server (metrics, flight recorder, pprof) on this address")
+	linger := flag.Duration("linger", 0, "with -debug-addr: keep the debug server up this long after the run (for scraping)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -63,7 +70,7 @@ func main() {
 		defer cancel()
 	}
 
-	if err := run(ctx, *days, *budgetMB, *rowsPerDay, *warmup, *verbose, *metrics); err != nil {
+	if err := run(ctx, *days, *budgetMB, *rowsPerDay, *warmup, *verbose, *metrics, *debugAddr, *linger); err != nil {
 		fmt.Fprintln(os.Stderr, "maxson-daily:", err)
 		code := exitSetup
 		var ce *codedError
@@ -74,7 +81,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, days int, budgetMB int64, rowsPerDay, warmup int, verbose, metrics bool) error {
+func run(ctx context.Context, days int, budgetMB int64, rowsPerDay, warmup int, verbose, metrics bool, debugAddr string, linger time.Duration) error {
 	var logger *slog.Logger
 	if verbose {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
@@ -84,6 +91,22 @@ func run(ctx context.Context, days int, budgetMB int64, rowsPerDay, warmup int, 
 		CacheBudgetBytes: budgetMB << 20,
 		Logger:           logger,
 	})
+	if debugAddr != "" {
+		ds := sys.NewDebugServer()
+		addr, err := ds.Start(debugAddr)
+		if err != nil {
+			return fail(exitSetup, fmt.Errorf("debug server: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics, /debug/queries, /debug/cycle, /debug/pprof)\n", addr)
+		defer func() {
+			if linger > 0 {
+				time.Sleep(linger)
+			}
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = ds.Shutdown(sctx)
+		}()
+	}
 	wh := sys.Warehouse()
 	wh.CreateDatabase("prod")
 

@@ -9,6 +9,12 @@
 //	maxson-sql -maxson "SELECT ..."   # pre-caches all JSONPaths first
 //	maxson-sql -plan "SELECT ..."     # print the physical plan only
 //	maxson-sql -explain "SELECT ..."  # EXPLAIN ANALYZE: annotated operator tree
+//	maxson-sql -trace-out q.json "SELECT ..."  # Chrome trace-event timeline
+//	maxson-sql -debug-addr :6060 "SELECT ..."  # live /metrics, /debug/queries, pprof
+//
+// -trace-out writes the query's span tree in Chrome trace-event format;
+// load the file at chrome://tracing or https://ui.perfetto.dev to see the
+// plan/scan/split timeline.
 //
 // With -explain -maxson the query is replayed as a recurring daily workload,
 // a real midnight cycle runs (train, predict, score, populate), and the
@@ -21,10 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pathkey"
 )
 
@@ -35,6 +43,8 @@ func main() {
 	replayDaysFlag := flag.Int("replay-days", 15, "with -explain -maxson: days of recurring history to replay before the cycle")
 	days := flag.Int("days", 31, "days of demo data to load")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for queries and cycles (0 = none)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the query to this file")
+	debugAddr := flag.String("debug-addr", "", "serve the diagnostics server (metrics, flight recorder, pprof) on this address")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: maxson-sql [-maxson] [-plan] [-explain] \"SELECT ...\"")
@@ -49,6 +59,19 @@ func main() {
 	}
 
 	sys := maxson.NewSystem(maxson.SystemConfig{DefaultDB: "mydb"})
+	if *debugAddr != "" {
+		ds := sys.NewDebugServer()
+		addr, err := ds.Start(*debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("-- debug server on http://%s (/metrics, /debug/queries, /debug/pprof)\n", addr)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = ds.Shutdown(sctx)
+		}()
+	}
 	wh := sys.Warehouse()
 	wh.CreateDatabase("mydb")
 	schema := maxson.Schema{Columns: []maxson.Column{
@@ -78,12 +101,13 @@ func main() {
 	sys.AdvanceClock(24 * time.Hour)
 
 	if *explain {
-		out, _, _, err := sys.Explain(sql)
+		out, _, met, err := sys.Explain(sql)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if !*useMaxson {
 			fmt.Print(out)
+			exportTrace(*traceOut, met)
 			return
 		}
 		fmt.Println("-- before midnight cycle")
@@ -109,12 +133,13 @@ func main() {
 			report.CandidateMPJP, report.Cache.PathsCached,
 			humanBytes(sys.CacheBytes()), report.StageSummary())
 
-		after, _, _, err := sys.Explain(sql)
+		after, _, met, err := sys.Explain(sql)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("\n-- after midnight cycle")
 		fmt.Print(after)
+		exportTrace(*traceOut, met)
 		return
 	}
 
@@ -151,6 +176,39 @@ func main() {
 	if n := m.CacheValuesRead.Load(); n > 0 {
 		fmt.Printf("-- served %d values from the JSONPath cache\n", n)
 	}
+	if *traceOut != "" {
+		// The plain query path runs untraced; replay once with tracing on so
+		// the exported timeline covers a real execution of the same plan.
+		_, _, tm, err := sys.Explain(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exportTrace(*traceOut, tm)
+	}
+}
+
+// exportTrace writes a traced query's span tree as a Chrome trace-event
+// JSON file, loadable at chrome://tracing or ui.perfetto.dev. No-op when no
+// path was requested; fatal when the query carried no trace.
+func exportTrace(path string, m *maxson.Metrics) {
+	if path == "" {
+		return
+	}
+	if m == nil || m.Trace == nil {
+		log.Fatal("trace-out: query was not traced (no span tree recorded)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.WriteTraceEvents(f, m.Trace); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("-- trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", path)
 }
 
 func humanBytes(n int64) string {

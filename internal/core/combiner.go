@@ -252,10 +252,20 @@ func (f *CombinedScanFactory) Open(split int, m *sqlengine.Metrics) (sqlengine.R
 		src.rawCur = rawCur
 		src.rawStats = &rawStats
 	}
-	if m != nil && m.Span != nil {
-		m.Span.Set("source", "combined")
-		if src.sharedMask {
-			m.Span.Set("pushdown", "shared-mask")
+	if m != nil {
+		switch {
+		case src.sharedMask:
+			m.MarkScanMode(sqlengine.ScanCombinedPushdown)
+		case len(f.primaryCols) == 0:
+			m.MarkScanMode(sqlengine.ScanCacheOnly)
+		default:
+			m.MarkScanMode(sqlengine.ScanCombined)
+		}
+		if m.Span != nil {
+			m.Span.Set("source", "combined")
+			if src.sharedMask {
+				m.Span.Set("pushdown", "shared-mask")
+			}
 		}
 	}
 	if f.obsc != nil {
@@ -275,8 +285,18 @@ func (f *CombinedScanFactory) Open(split int, m *sqlengine.Metrics) (sqlengine.R
 // until the next midnight cycle covers it. mode distinguishes a retired
 // cache generation from a split the cache never covered.
 func (f *CombinedScanFactory) openFallback(file string, m *sqlengine.Metrics, mode string) (sqlengine.RowSource, error) {
-	if m != nil && m.Span != nil {
-		m.Span.Set("source", mode)
+	if m != nil {
+		switch mode {
+		case "fallback-retired":
+			m.MarkScanMode(sqlengine.ScanFallbackRetired)
+		case "fallback-quarantined":
+			m.MarkScanMode(sqlengine.ScanFallbackQuarantined)
+		default:
+			m.MarkScanMode(sqlengine.ScanFallbackUncovered)
+		}
+		if m.Span != nil {
+			m.Span.Set("source", mode)
+		}
 	}
 	if f.obsc != nil {
 		switch mode {

@@ -10,9 +10,11 @@ import (
 	"io"
 	"log/slog"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/pathkey"
 	"repro/internal/simtime"
 	"repro/internal/sqlengine"
@@ -51,11 +53,15 @@ type Maxson struct {
 	// A stage that overruns is cancelled at the next batch boundary and the
 	// cycle aborts with the previous cache generation still serving.
 	StageTimeout time.Duration
+	// Flight is the per-query flight recorder; nil disables recording (the
+	// query path then pays a single nil test).
+	Flight *flight.Recorder
 
 	wh              *warehouse.Warehouse
 	defaultDB       string
 	obs             *obs.Registry
 	fallbackQueries *obs.Counter
+	lastCycle       atomic.Pointer[CycleReport]
 }
 
 // Config bundles Maxson construction options.
@@ -70,6 +76,9 @@ type Config struct {
 	Obs *obs.Registry
 	// Logger receives structured cycle logs (nil = discard).
 	Logger *slog.Logger
+	// Flight, when non-nil, records every query through QueryCtx into a
+	// bounded in-memory ring for the diagnostics server.
+	Flight *flight.Recorder
 }
 
 // New assembles a Maxson instance on top of an engine. The plan modifier is
@@ -104,6 +113,7 @@ func New(e *sqlengine.Engine, cfg Config) *Maxson {
 	if m.Log == nil {
 		m.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	m.Flight = cfg.Flight
 
 	// One registry serves the whole stack: prefer the caller's, fall back to
 	// the engine's, create one otherwise. The engine adopts it if it has
@@ -177,22 +187,72 @@ func (m *Maxson) QueryCtx(ctx context.Context, sql string) (*sqlengine.ResultSet
 	if err != nil {
 		return nil, nil, err
 	}
+	// Open a flight record before planning so the engine can tag scan-layer
+	// metrics with the query ID it finds in the context.
+	aq := m.Flight.Begin(sql)
+	if aq != nil {
+		ctx = flight.NewContext(ctx, aq)
+	}
 	// Observe once: retries re-run the same query, not new workload signal.
 	m.Collector.ObserveStmt(stmt, m.defaultDB, m.wh.Clock().Now())
 	for attempt := 0; ; attempt++ {
 		rs, met, err := m.Engine.QueryStmtCtx(ctx, stmt)
 		if err == nil || !errors.Is(err, ErrCacheDegraded) || attempt >= degradedRetries {
+			m.finishFlight(aq, rs, met, err)
 			return rs, met, err
 		}
 		m.fallbackQueries.Inc()
+		aq.AddRetry()
 		m.Log.Warn("cache degraded, re-planning on raw data", "attempt", attempt+1, "err", err)
 		// The plan modifier rewrote stmt in place against the now-quarantined
 		// cache table; re-parse for a clean statement to plan afresh.
 		stmt, err = sqlengine.Parse(sql)
 		if err != nil {
+			m.finishFlight(aq, nil, nil, err)
 			return nil, nil, err
 		}
 	}
+}
+
+// finishFlight closes a query's flight record, translating the engine's
+// Metrics into the recorder's totals, stages (plan/execute wall plus the
+// simulated read/parse/compute breakdown), and plan mode. A query that
+// survived only via cache-degradation retries reports "quarantined"; a query
+// that died before producing metrics reports "error".
+func (m *Maxson) finishFlight(aq *flight.Active, rs *sqlengine.ResultSet, met *sqlengine.Metrics, qerr error) {
+	if aq == nil {
+		return
+	}
+	mode := "error"
+	var t flight.Totals
+	if met != nil {
+		pc := met.Parse.Snapshot()
+		t = flight.Totals{
+			BytesRead:         met.BytesRead.Load(),
+			ParseDocs:         pc.Docs,
+			ParseBytes:        pc.Bytes,
+			ParseBytesSkipped: pc.Skipped,
+			RowsScanned:       met.RowsScanned.Load(),
+			Batches:           met.Batches.Load(),
+			CacheValues:       met.CacheValuesRead.Load(),
+			CacheMisses:       met.CacheMisses.Load(),
+		}
+		if rs != nil {
+			t.RowsOut = int64(len(rs.Rows))
+		}
+		mode = met.PlanModeString()
+		if aq.Retries() > 0 {
+			mode = "quarantined"
+		}
+		aq.AddStage("plan", met.PlanWall)
+		bd := met.Breakdown(m.Engine.CostModel())
+		aq.AddStage("read_sim", bd.Read)
+		aq.AddStage("parse_sim", bd.Parse)
+		aq.AddStage("compute_sim", bd.Compute)
+		aq.AddStage("execute", met.WallTime)
+	}
+	aq.SetMode(mode)
+	aq.Finish(t, qerr)
 }
 
 // Explain executes SQL with tracing (feeding the collector like Query does)
@@ -262,9 +322,16 @@ func (m *Maxson) RunMidnightCycle() (*CycleReport, error) {
 // point leaves the previous cache generation serving: the new generation's
 // tables are only registered by an atomic swap after every table succeeds,
 // and the next cycle or LoadState cleans up any partial tables.
+// LastCycle returns the most recent midnight-cycle report, nil before the
+// first cycle runs. The diagnostics server's /debug/cycle endpoint serves it.
+func (m *Maxson) LastCycle() *CycleReport { return m.lastCycle.Load() }
+
 func (m *Maxson) RunMidnightCycleCtx(ctx context.Context) (*CycleReport, error) {
 	now := m.wh.Clock().Now()
 	report := &CycleReport{At: now}
+	// Publish the report on every exit path — aborted cycles are exactly the
+	// ones an operator wants to inspect on /debug/cycle.
+	defer m.lastCycle.Store(report)
 	stageStart := time.Now()
 	stage := func(name string, items int) {
 		wall := time.Since(stageStart)

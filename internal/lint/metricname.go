@@ -13,8 +13,9 @@ import (
 // for production traffic — and inconsistent suffixes make dashboards and
 // tests guess at units. Names must be compile-time constants in
 // snake_case; counters count events and end in _total, histograms carry a
-// unit (_ns or _bytes), and gauges end in one of _total, _ns, _bytes, or
-// _count.
+// unit (_ns, _bytes, or _count for unitless distributions), and gauges end
+// in one of _total, _ns, _bytes, or _count. Label keys must not claim names
+// the Prometheus exporter generates itself (le).
 var MetricName = &Analyzer{
 	Name: "metricname",
 	Doc:  "obs metric names must be constant snake_case with _total/_ns/_bytes/_count unit suffixes",
@@ -26,10 +27,15 @@ var snakeCaseRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
 // metricSuffixes maps each registry method to its admissible name endings.
 var metricSuffixes = map[string][]string{
 	"Counter":   {"_total"},
-	"Histogram": {"_ns", "_bytes"},
+	"Histogram": {"_ns", "_bytes", "_count"},
 	"Gauge":     {"_total", "_ns", "_bytes", "_count"},
 	"GaugeFunc": {"_total", "_ns", "_bytes", "_count"},
 }
+
+// reservedLabelKeys are label names the Prometheus exposition generates on
+// its own series (histogram buckets); a user series claiming one would
+// collide with or masquerade as exporter output.
+var reservedLabelKeys = map[string]bool{"le": true}
 
 func runMetricName(pass *Pass) {
 	for _, f := range pass.Files {
@@ -49,6 +55,7 @@ func runMetricName(pass *Pass) {
 			if len(call.Args) == 0 {
 				return true
 			}
+			checkLabelKeys(pass, fn.Name(), call.Args[1:])
 			nameArg := call.Args[0]
 			tv, ok := pass.Info.Types[nameArg]
 			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
@@ -71,5 +78,41 @@ func runMetricName(pass *Pass) {
 				fn.Name(), name, strings.Join(suffixes, ", "))
 			return true
 		})
+	}
+}
+
+// checkLabelKeys flags obs.L literals whose key is constant and reserved.
+// Keys are checked whether written positionally (L{"le", "1"}) or by field
+// name (L{K: "le", V: "1"}).
+func checkLabelKeys(pass *Pass, method string, args []ast.Expr) {
+	for _, arg := range args {
+		lit, ok := arg.(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.Info.Types[lit]
+		if !ok || tv.Type == nil || !strings.HasSuffix(tv.Type.String(), "internal/obs.L") {
+			continue
+		}
+		for i, elt := range lit.Elts {
+			keyExpr := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); !ok || id.Name != "K" {
+					continue
+				}
+				keyExpr = kv.Value
+			} else if i != 0 {
+				continue // positional: only the first element is the key
+			}
+			ktv, ok := pass.Info.Types[keyExpr]
+			if !ok || ktv.Value == nil || ktv.Value.Kind() != constant.String {
+				continue
+			}
+			if k := constant.StringVal(ktv.Value); reservedLabelKeys[k] {
+				pass.Reportf(keyExpr.Pos(),
+					"obs.%s label key %q is reserved: the Prometheus exporter emits it on histogram bucket series",
+					method, k)
+			}
+		}
 	}
 }

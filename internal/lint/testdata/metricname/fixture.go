@@ -22,11 +22,19 @@ func counterSuffix(r *obs.Registry) {
 }
 
 func histogramSuffix(r *obs.Registry) {
-	r.Histogram(constantName).Observe(1) // want "must end in _ns, _bytes"
+	r.Histogram(constantName).Observe(1) // want "must end in _ns, _bytes, _count"
 }
 
 func gaugeSuffix(r *obs.Registry) {
 	r.Gauge("queue_depth").Set(3) // want "must end in _total, _ns, _bytes, _count"
+}
+
+func reservedLabelKeyed(r *obs.Registry) {
+	r.Counter("rows_total", obs.L{K: "le", V: "10"}).Inc() // want "reserved"
+}
+
+func reservedLabelPositional(r *obs.Registry) {
+	r.Histogram("wait_ns", obs.L{"le", "10"}).Observe(1) // want "reserved"
 }
 
 // --- clean ---
@@ -35,8 +43,10 @@ func wellNamed(r *obs.Registry) {
 	r.Counter("parse_calls_total", obs.L{K: "mode", V: "tree"}).Inc()
 	r.Histogram("scan_wall_ns").Observe(1)
 	r.Histogram("doc_size_bytes").Observe(64)
+	r.Histogram("batch_rows_count").Observe(128) // unitless distribution
 	r.Gauge("cache_used_bytes").Set(1)
 	r.GaugeFunc("cache_entry_count", func() int64 { return 0 })
+	r.Counter("level_total", obs.L{K: "level", V: "le"}).Inc() // "le" as a VALUE is fine
 }
 
 func constantByName(r *obs.Registry) {

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// DebugServer is the live diagnostics endpoint: a stdlib net/http server
+// exposing the metrics registry, health, and pprof, plus any extra routes
+// the caller mounts (the flight recorder's /debug/queries, the cycle
+// report's /debug/cycle). It is designed to run beside production traffic:
+// every handler reads atomic snapshots, never blocking the query hot path.
+//
+// Routes registered by NewDebugServer:
+//
+//	/metrics          Prometheus text exposition (bucket lines included)
+//	/metrics.json     the same snapshot as one JSON document
+//	/healthz          200 "ok" (or 503 + error text when a health check
+//	                  is installed and failing)
+//	/debug/pprof/...  the standard pprof index, profile, heap, trace, ...
+type DebugServer struct {
+	mux *http.ServeMux
+
+	mu     sync.Mutex
+	srv    *http.Server
+	ln     net.Listener
+	health func() error
+}
+
+// NewDebugServer builds a debug server over a metrics registry.
+func NewDebugServer(reg *Registry) *DebugServer {
+	d := &DebugServer{mux: http.NewServeMux()}
+	d.mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		if err := reg.WriteProm(w); err != nil {
+			// Headers are gone; nothing to do but drop the connection.
+			return
+		}
+	})
+	d.mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	d.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		d.mu.Lock()
+		check := d.health
+		d.mu.Unlock()
+		if check != nil {
+			if err := check(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	d.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	d.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	d.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	d.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	d.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return d
+}
+
+// Handle mounts an extra route (e.g. /debug/queries, /debug/cycle).
+func (d *DebugServer) Handle(pattern string, h http.Handler) {
+	d.mux.Handle(pattern, h)
+}
+
+// HandleFunc mounts an extra route from a plain function.
+func (d *DebugServer) HandleFunc(pattern string, f func(http.ResponseWriter, *http.Request)) {
+	d.mux.HandleFunc(pattern, f)
+}
+
+// SetHealth installs the /healthz check; nil restores unconditional 200.
+func (d *DebugServer) SetHealth(f func() error) {
+	d.mu.Lock()
+	d.health = f
+	d.mu.Unlock()
+}
+
+// Handler returns the underlying mux, for httptest and for embedding the
+// debug routes into a larger server.
+func (d *DebugServer) Handler() http.Handler { return d.mux }
+
+// Start binds addr and serves in a background goroutine, returning the
+// bound address (useful with ":0"). Pair with Shutdown.
+func (d *DebugServer) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: d.mux}
+	d.mu.Lock()
+	d.srv, d.ln = srv, ln
+	d.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (d *DebugServer) Addr() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ln == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Shutdown gracefully drains the server: in-flight requests finish, new
+// connections are refused. Safe to call without Start (no-op).
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	d.mu.Lock()
+	srv := d.srv
+	d.srv, d.ln = nil, nil
+	d.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// Serve binds addr and serves until ctx is cancelled, then shuts down
+// gracefully (bounded at 5s). The long-running CLI shape: `go d.Serve(...)`
+// with the process context.
+func (d *DebugServer) Serve(ctx context.Context, addr string) error {
+	if _, err := d.Start(addr); err != nil {
+		return err
+	}
+	<-ctx.Done()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return d.Shutdown(sctx)
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestDebugServer() (*DebugServer, *Registry) {
+	reg := NewRegistry()
+	reg.Counter("engine_queries_total").Add(3)
+	reg.Histogram("engine_query_wall_ns").Observe(1000)
+	return NewDebugServer(reg), reg
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+func TestDebugServerMetrics(t *testing.T) {
+	d, _ := newTestDebugServer()
+	rr := get(t, d.Handler(), "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != PromContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, PromContentType)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{
+		"# TYPE engine_queries_total counter",
+		"engine_queries_total 3",
+		"# TYPE engine_query_wall_ns histogram",
+		`engine_query_wall_ns_bucket{le="+Inf"} 1`,
+		"engine_query_wall_ns_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestDebugServerMetricsJSON(t *testing.T) {
+	d, _ := newTestDebugServer()
+	rr := get(t, d.Handler(), "/metrics.json")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/metrics.json status = %d", rr.Code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/metrics.json is not a Snapshot: %v", err)
+	}
+	if snap.Counters["engine_queries_total"] != 3 {
+		t.Errorf("snapshot counters = %v", snap.Counters)
+	}
+}
+
+func TestDebugServerHealthz(t *testing.T) {
+	d, _ := newTestDebugServer()
+	if rr := get(t, d.Handler(), "/healthz"); rr.Code != http.StatusOK ||
+		!strings.Contains(rr.Body.String(), "ok") {
+		t.Errorf("/healthz = %d %q, want 200 ok", rr.Code, rr.Body.String())
+	}
+	d.SetHealth(func() error { return errors.New("cache quarantined") })
+	if rr := get(t, d.Handler(), "/healthz"); rr.Code != http.StatusServiceUnavailable ||
+		!strings.Contains(rr.Body.String(), "cache quarantined") {
+		t.Errorf("failing /healthz = %d %q, want 503 with cause", rr.Code, rr.Body.String())
+	}
+	d.SetHealth(nil)
+	if rr := get(t, d.Handler(), "/healthz"); rr.Code != http.StatusOK {
+		t.Errorf("restored /healthz = %d, want 200", rr.Code)
+	}
+}
+
+func TestDebugServerPprofRegistered(t *testing.T) {
+	d, _ := newTestDebugServer()
+	if rr := get(t, d.Handler(), "/debug/pprof/"); rr.Code != http.StatusOK ||
+		!strings.Contains(rr.Body.String(), "goroutine") {
+		t.Errorf("/debug/pprof/ = %d, want the pprof index", rr.Code)
+	}
+	if rr := get(t, d.Handler(), "/debug/pprof/cmdline"); rr.Code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d, want 200", rr.Code)
+	}
+	// The named profiles route through the index handler.
+	if rr := get(t, d.Handler(), "/debug/pprof/heap"); rr.Code != http.StatusOK {
+		t.Errorf("/debug/pprof/heap = %d, want 200", rr.Code)
+	}
+}
+
+func TestDebugServerExtraRoutes(t *testing.T) {
+	d, _ := newTestDebugServer()
+	d.Handle("/debug/queries", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"records":[]}`)
+	}))
+	d.HandleFunc("/debug/cycle", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "no cycle has run yet", http.StatusNotFound)
+	})
+	if rr := get(t, d.Handler(), "/debug/queries"); rr.Code != http.StatusOK ||
+		!strings.Contains(rr.Body.String(), "records") {
+		t.Errorf("/debug/queries = %d %q", rr.Code, rr.Body.String())
+	}
+	if rr := get(t, d.Handler(), "/debug/cycle"); rr.Code != http.StatusNotFound {
+		t.Errorf("/debug/cycle before a cycle = %d, want 404", rr.Code)
+	}
+}
+
+// TestDebugServerStartShutdown exercises the real listener path: bind :0,
+// serve a request over TCP, then shut down gracefully and check the port no
+// longer accepts work.
+func TestDebugServerStartShutdown(t *testing.T) {
+	d, _ := newTestDebugServer()
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Addr() != addr {
+		t.Errorf("Addr() = %q, want %q", d.Addr(), addr)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Errorf("live /healthz = %d %q", resp.StatusCode, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still serving after Shutdown")
+	}
+	// Shutdown is idempotent.
+	if err := d.Shutdown(ctx); err != nil {
+		t.Errorf("second Shutdown: %v", err)
+	}
+}
+
+// TestDebugServerServeCancels checks the ctx-driven Serve wrapper exits on
+// cancellation with a clean shutdown.
+func TestDebugServerServeCancels(t *testing.T) {
+	d, _ := newTestDebugServer()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Serve(ctx, "127.0.0.1:0") }()
+	// Wait for the listener to come up, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Addr() == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("server never bound")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after cancellation")
+	}
+}

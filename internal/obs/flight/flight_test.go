@@ -1,0 +1,203 @@
+package flight
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestRecorderLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := New(reg, Options{})
+	work := reg.Counter("work_done_total")
+
+	a := r.Begin("SELECT 1")
+	if a.ID() != 1 {
+		t.Errorf("first query ID = %d, want 1", a.ID())
+	}
+	work.Add(5) // moves between the pre and post snapshots
+	a.SetMode("raw")
+	a.AddStage("plan", 2*time.Millisecond)
+	a.AddStage("execute", 8*time.Millisecond)
+	rec := a.Finish(Totals{BytesRead: 100, RowsOut: 1, Batches: 2}, nil)
+
+	if rec == nil {
+		t.Fatal("Finish returned nil record")
+	}
+	if rec.ID != 1 || rec.PlanMode != "raw" || rec.BytesRead != 100 || rec.RowsOut != 1 || rec.Batches != 2 {
+		t.Errorf("record = %+v", rec)
+	}
+	if len(rec.Stages) != 2 || rec.Stages[0].Name != "plan" || rec.Stages[0].NS != 2e6 {
+		t.Errorf("stages = %+v", rec.Stages)
+	}
+	if rec.WallNS <= 0 {
+		t.Errorf("wall = %d, want > 0", rec.WallNS)
+	}
+	if rec.Deltas["work_done_total"] != 5 {
+		t.Errorf("deltas = %v, want work_done_total=5", rec.Deltas)
+	}
+	// The recorder's own counter moved during Finish, so it must not appear
+	// in this record's (pre-Finish-snapshotted) deltas inconsistently; what
+	// matters for users: recorded count is exported.
+	s := reg.Snapshot()
+	if s.Counters["flight_queries_recorded_total"] != 1 {
+		t.Errorf("flight_queries_recorded_total = %d, want 1", s.Counters["flight_queries_recorded_total"])
+	}
+	got := r.Recent(10)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Errorf("Recent = %+v", got)
+	}
+}
+
+func TestRecorderErrorAndRetries(t *testing.T) {
+	r := New(nil, Options{})
+	a := r.Begin("SELECT broken")
+	a.AddRetry()
+	a.AddRetry()
+	a.SetMode("quarantined")
+	rec := a.Finish(Totals{}, errors.New("cache degraded"))
+	if rec.Retries != 2 || rec.Err != "cache degraded" || rec.PlanMode != "quarantined" {
+		t.Errorf("record = %+v", rec)
+	}
+}
+
+func TestRecorderRingWraparound(t *testing.T) {
+	r := New(nil, Options{Capacity: 4})
+	for i := 0; i < 10; i++ {
+		a := r.Begin("q")
+		a.SetMode("raw")
+		a.Finish(Totals{}, nil)
+	}
+	got := r.Recent(100)
+	if len(got) != 4 {
+		t.Fatalf("Recent returned %d records, want ring capacity 4", len(got))
+	}
+	for i, want := range []uint64{10, 9, 8, 7} {
+		if got[i].ID != want {
+			t.Errorf("Recent[%d].ID = %d, want %d (newest first)", i, got[i].ID, want)
+		}
+	}
+	if r.Seq() != 10 {
+		t.Errorf("Seq = %d, want 10", r.Seq())
+	}
+}
+
+func TestSlowQueryDetection(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	reg := obs.NewRegistry()
+	r := New(reg, Options{SlowThreshold: time.Nanosecond, Log: logger})
+
+	a := r.Begin("SELECT slow FROM t")
+	time.Sleep(time.Millisecond)
+	rec := a.Finish(Totals{}, nil)
+	if !rec.Slow {
+		t.Fatal("record not marked slow under a 1ns threshold")
+	}
+	if got := r.Slow(10); len(got) != 1 || got[0].ID != rec.ID {
+		t.Errorf("Slow ring = %+v", got)
+	}
+	if s := reg.Snapshot(); s.Counters["flight_queries_slow_total"] != 1 {
+		t.Errorf("flight_queries_slow_total = %d, want 1", s.Counters["flight_queries_slow_total"])
+	}
+	if !strings.Contains(logBuf.String(), "slow query") || !strings.Contains(logBuf.String(), "SELECT slow FROM t") {
+		t.Errorf("slow-query log line missing: %q", logBuf.String())
+	}
+
+	// A fast threshold keeps fast queries out of the slow ring.
+	r2 := New(nil, Options{SlowThreshold: time.Hour})
+	r2.Begin("q").Finish(Totals{}, nil)
+	if got := r2.Slow(10); len(got) != 0 {
+		t.Errorf("fast query landed in slow ring: %+v", got)
+	}
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Error("nil recorder reports enabled")
+	}
+	a := r.Begin("SELECT 1")
+	if a != nil {
+		t.Fatalf("nil recorder Begin = %v, want nil", a)
+	}
+	// Every Active method must tolerate the nil receiver.
+	a.AddStage("x", time.Second)
+	a.SetMode("raw")
+	a.AddRetry()
+	if a.ID() != 0 || a.Retries() != 0 {
+		t.Error("nil Active leaked state")
+	}
+	if rec := a.Finish(Totals{}, nil); rec != nil {
+		t.Errorf("nil Finish = %+v", rec)
+	}
+	if r.Recent(5) != nil || r.Slow(5) != nil || r.Seq() != 0 {
+		t.Error("nil recorder returned data")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	r := New(nil, Options{})
+	a := r.Begin("q")
+	ctx := NewContext(context.Background(), a)
+	if got := FromContext(ctx); got != a {
+		t.Errorf("FromContext = %v, want %v", got, a)
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Errorf("empty context FromContext = %v, want nil", got)
+	}
+	if got := NewContext(context.Background(), nil); got != context.Background() {
+		t.Error("NewContext(nil) should return ctx unchanged")
+	}
+	a.Finish(Totals{}, nil)
+}
+
+func TestHandler(t *testing.T) {
+	r := New(nil, Options{SlowThreshold: time.Nanosecond})
+	for i := 0; i < 3; i++ {
+		a := r.Begin("SELECT 1")
+		a.SetMode("raw")
+		a.Finish(Totals{RowsOut: int64(i)}, nil)
+	}
+
+	serve := func(h http.Handler, path string) queriesPage {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("%s status = %d", path, rr.Code)
+		}
+		var page queriesPage
+		if err := json.Unmarshal(rr.Body.Bytes(), &page); err != nil {
+			t.Fatalf("%s body not JSON: %v", path, err)
+		}
+		return page
+	}
+
+	page := serve(r.Handler(), "/debug/queries")
+	if page.Total != 3 || len(page.Records) != 3 || page.Records[0].ID != 3 {
+		t.Errorf("page = total=%d records=%d", page.Total, len(page.Records))
+	}
+	if page := serve(r.Handler(), "/debug/queries?n=1"); len(page.Records) != 1 {
+		t.Errorf("n=1 returned %d records", len(page.Records))
+	}
+	if page := serve(r.Handler(), "/debug/queries?slow=1"); !page.Slow || len(page.Records) != 3 {
+		t.Errorf("slow page = %+v", page)
+	}
+
+	// A nil recorder still serves an empty page (CLIs mount unconditionally).
+	var nilRec *Recorder
+	if page := serve(nilRec.Handler(), "/debug/queries"); page.Total != 0 || len(page.Records) != 0 {
+		t.Errorf("nil recorder page = %+v", page)
+	}
+}

@@ -1,0 +1,57 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// queriesPage is the /debug/queries response body.
+type queriesPage struct {
+	// Total is the number of queries recorded so far (IDs are 1..Total).
+	Total uint64 `json:"total"`
+	// Inflight counts queries begun but not yet finished.
+	Inflight int64 `json:"inflight"`
+	// Slow reports whether the records are from the slow ring.
+	Slow bool `json:"slow"`
+	// Records are newest-first.
+	Records []*QueryRecord `json:"records"`
+}
+
+// Handler serves the recorder as JSON — the /debug/queries route.
+//
+//	GET /debug/queries          → the most recent records (default 50)
+//	GET /debug/queries?n=200    → up to 200 records
+//	GET /debug/queries?slow=1   → the slow-query ring instead
+//
+// Nil-safe: a nil recorder serves an empty page, so CLIs can mount the
+// route unconditionally.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 50
+		if s := req.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		page := queriesPage{Records: []*QueryRecord{}}
+		if r != nil {
+			page.Total = r.Seq()
+			page.Inflight = r.inflight.Load()
+			page.Slow = req.URL.Query().Get("slow") != ""
+			var recs []*QueryRecord
+			if page.Slow {
+				recs = r.Slow(n)
+			} else {
+				recs = r.Recent(n)
+			}
+			if recs != nil {
+				page.Records = recs
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(page)
+	})
+}

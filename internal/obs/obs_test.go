@@ -86,6 +86,8 @@ func TestSnapshotAndExportersDeterministic(t *testing.T) {
 		"c_total{k=\"v\"} 3\n" +
 		"g -5\n" +
 		"gf 42\n" +
+		"h_bucket{le=\"127\"} 1\n" + // 100 → 2^7-1 bucket (lexicographic line sort)
+		"h_bucket{le=\"15\"} 1\n" + // 10 → 2^4-1 bucket
 		"h_count 2\n" +
 		"h_mean 55.0\n" +
 		"h_sum 110\n"

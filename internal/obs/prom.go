@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format version this exporter writes.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm exports the snapshot in the Prometheus text exposition format:
+// a # TYPE line per metric family, one sample line per series, and full
+// histogram exposition — cumulative _bucket{le="..."} lines (power-of-two
+// bounds, closed by le="+Inf"), _sum, and _count. Families and series are
+// emitted in sorted order, so the output is deterministic.
+func (r *Registry) WriteProm(w io.Writer) error {
+	return r.Snapshot().WriteProm(w)
+}
+
+// promFamily groups the series of one metric name for exposition.
+type promFamily struct {
+	name   string
+	kind   string // counter | gauge | histogram
+	series []string
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition format.
+// It exists on Snapshot (not only Registry) so flight-recorder deltas and
+// tests can render point-in-time copies.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	fams := map[string]*promFamily{}
+	add := func(key, kind string) {
+		name, _ := splitSeriesKey(key)
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{name: name, kind: kind}
+			fams[name] = f
+		}
+		f.series = append(f.series, key)
+	}
+	for k := range s.Counters {
+		add(k, "counter")
+	}
+	for k := range s.Gauges {
+		add(k, "gauge")
+	}
+	for k := range s.Histograms {
+		add(k, "histogram")
+	}
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		sort.Strings(f.series)
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.kind)
+		for _, key := range f.series {
+			switch f.kind {
+			case "counter":
+				fmt.Fprintf(&sb, "%s %d\n", key, s.Counters[key])
+			case "gauge":
+				fmt.Fprintf(&sb, "%s %d\n", key, s.Gauges[key])
+			case "histogram":
+				writePromHistogram(&sb, key, s.Histograms[key])
+			}
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// writePromHistogram emits one histogram series: cumulative bucket lines at
+// each non-empty power-of-two bound, the mandatory le="+Inf" closer, then
+// _sum and _count.
+func writePromHistogram(sb *strings.Builder, key string, h HistSnapshot) {
+	name, labels := splitSeriesKey(key)
+	line := func(suffix, extraLabels string, v int64) {
+		ls := labels
+		if extraLabels != "" {
+			if ls != "" {
+				ls += ","
+			}
+			ls += extraLabels
+		}
+		if ls != "" {
+			fmt.Fprintf(sb, "%s%s{%s} %d\n", name, suffix, ls, v)
+		} else {
+			fmt.Fprintf(sb, "%s%s %d\n", name, suffix, v)
+		}
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		line("_bucket", fmt.Sprintf(`le="%d"`, b.LE), cum)
+	}
+	line("_bucket", `le="+Inf"`, h.Count)
+	line("_sum", "", h.Sum)
+	line("_count", "", h.Count)
+}

@@ -108,13 +108,23 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[bits.Len64(uint64(v))].Add(1)
 }
 
-// HistSnapshot is a point-in-time histogram copy. Buckets maps the
-// inclusive upper bound (2^i - 1) to the observation count in that bucket;
-// empty buckets are omitted.
+// HistBucket is one power-of-two histogram bucket in a snapshot: Count
+// observations with value <= LE (and greater than the previous bucket's LE).
+type HistBucket struct {
+	// LE is the bucket's inclusive upper bound, 2^i - 1 for bucket index i
+	// (0 for the zero bucket) — directly usable as a Prometheus `le` value.
+	LE int64 `json:"le"`
+	// Count is the number of observations in this bucket alone
+	// (non-cumulative; exporters that need cumulative counts sum as they go).
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time histogram copy. Buckets holds the
+// non-empty buckets in ascending LE order.
 type HistSnapshot struct {
-	Count   int64            `json:"count"`
-	Sum     int64            `json:"sum"`
-	Buckets map[string]int64 `json:"buckets,omitempty"`
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
 // Mean returns sum/count (0 when empty).
@@ -129,14 +139,11 @@ func (h *Histogram) snapshot() HistSnapshot {
 	out := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
 	for i := range h.buckets {
 		if n := h.buckets[i].Load(); n > 0 {
-			if out.Buckets == nil {
-				out.Buckets = make(map[string]int64)
-			}
-			var le uint64
+			var le int64
 			if i > 0 {
 				le = 1<<uint(i) - 1
 			}
-			out.Buckets[fmt.Sprintf("le_%d", le)] = n
+			out.Buckets = append(out.Buckets, HistBucket{LE: le, Count: n})
 		}
 	}
 	return out
@@ -302,7 +309,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // WriteText exports the snapshot expvar-style: one "name value" line per
-// series, sorted by name. Histograms export _count, _sum, and _mean lines.
+// series, sorted by name. Histograms export _count, _sum, _mean, and one
+// _bucket{le="..."} line per non-empty bucket (non-cumulative counts, in
+// ascending bound order).
 func (r *Registry) WriteText(w io.Writer) error {
 	s := r.Snapshot()
 	var lines []string
@@ -316,6 +325,10 @@ func (r *Registry) WriteText(w io.Writer) error {
 		lines = append(lines, fmt.Sprintf("%s_count %d", k, h.Count))
 		lines = append(lines, fmt.Sprintf("%s_sum %d", k, h.Sum))
 		lines = append(lines, fmt.Sprintf("%s_mean %.1f", k, h.Mean()))
+		for _, b := range h.Buckets {
+			lines = append(lines, fmt.Sprintf("%s %d",
+				bucketSeries(k, fmt.Sprintf("%d", b.LE)), b.Count))
+		}
 	}
 	sort.Strings(lines)
 	for _, l := range lines {
@@ -324,4 +337,25 @@ func (r *Registry) WriteText(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// splitSeriesKey undoes seriesKey: "name{k=\"v\"}" → ("name", `k="v"`).
+// The registry is the only writer of these keys, so splitting on the first
+// '{' is exact.
+func splitSeriesKey(key string) (name, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], key[i+1 : len(key)-1]
+	}
+	return key, ""
+}
+
+// bucketSeries renders the _bucket series for one histogram bucket,
+// splicing le into the series' existing label set:
+// "hist_ns{cache=\"x\"}" + "255" → `hist_ns_bucket{cache="x",le="255"}`.
+func bucketSeries(key, le string) string {
+	name, labels := splitSeriesKey(key)
+	if labels == "" {
+		return name + `_bucket{le="` + le + `"}`
+	}
+	return name + `_bucket{` + labels + `,le="` + le + `"}`
 }

@@ -13,12 +13,20 @@ import (
 // parallel); attribute and child order is the order of creation, so
 // callers that need deterministic rendering create spans before fanning
 // out goroutines.
+//
+// Each span also carries a wall-clock window: start is stamped at
+// creation, end by End (or SetWindow/Begin for callers whose span objects
+// are created before or after the work they cover). The window feeds the
+// Chrome trace-event exporter; Render and EXPLAIN ANALYZE ignore it, so
+// their output stays deterministic.
 type Span struct {
 	Name string
 
 	mu       sync.Mutex
 	attrs    []Attr
 	children []*Span
+	start    time.Time
+	end      time.Time
 }
 
 // Attr is one span attribute. Values are pre-rendered strings so the tree
@@ -29,15 +37,51 @@ type Attr struct {
 }
 
 // NewSpan starts a trace rooted at a span with the given name.
-func NewSpan(name string) *Span { return &Span{Name: name} }
+func NewSpan(name string) *Span { return &Span{Name: name, start: time.Now()} }
 
 // Child creates and appends a child span.
 func (s *Span) Child(name string) *Span {
-	c := &Span{Name: name}
+	c := &Span{Name: name, start: time.Now()}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// Begin re-stamps the span's start time. Executors that pre-create spans
+// (so tree order stays deterministic across a concurrent fan-out) call it
+// when the covered work actually starts.
+func (s *Span) Begin() {
+	s.mu.Lock()
+	s.start = time.Now()
+	s.mu.Unlock()
+}
+
+// End stamps the span's end time. The first call wins; spans never ended
+// inherit an effective end from their children at export time.
+func (s *Span) End() {
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// SetWindow backfills the span's wall-clock window — for spans created
+// after the work they describe completed (aggregate/sort spans are built
+// from measured deltas once the phase is done).
+func (s *Span) SetWindow(start, end time.Time) {
+	s.mu.Lock()
+	s.start, s.end = start, end
+	s.mu.Unlock()
+}
+
+// Window returns the recorded (start, end); end is zero until End or
+// SetWindow runs.
+func (s *Span) Window() (start, end time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.start, s.end
 }
 
 // Set records a string attribute. Re-setting a key overwrites in place so

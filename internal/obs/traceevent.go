@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// traceEvent is one Chrome trace-event ("X" complete event). The JSON
+// shape follows the Trace Event Format, which Perfetto and chrome://tracing
+// load directly.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the top-level JSON object Perfetto expects.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTraceEvents exports a span tree as Chrome trace-event JSON, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. Every span becomes one
+// complete ("X") event carrying its attributes as args. Spans nested in
+// time share their parent's track; siblings that overlap (parallel scan
+// splits) are fanned out to fresh tracks so the timeline renders each lane
+// rather than a corrupted stack.
+func WriteTraceEvents(w io.Writer, root *Span) error {
+	if root == nil {
+		return nil
+	}
+	base, _ := effectiveWindow(root)
+	tf := &traceFile{DisplayTimeUnit: "ns", TraceEvents: []traceEvent{}}
+	lanes := &laneAlloc{next: 1}
+	emitTraceEvents(tf, root, base, 0, lanes)
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// laneAlloc hands out fresh track IDs for overlapping siblings.
+type laneAlloc struct{ next int }
+
+func (l *laneAlloc) alloc() int {
+	n := l.next
+	l.next++
+	return n
+}
+
+// effectiveWindow computes a span's rendered window: a missing start
+// borrows the earliest child start; a missing end extends to the latest
+// child end (or collapses to the start for leaves never ended).
+func effectiveWindow(s *Span) (start, end time.Time) {
+	start, end = s.Window()
+	for _, c := range s.Children() {
+		cs, ce := effectiveWindow(c)
+		if start.IsZero() || (!cs.IsZero() && cs.Before(start)) {
+			start = cs
+		}
+		if end.IsZero() || ce.After(end) {
+			end = ce
+		}
+	}
+	if end.Before(start) {
+		end = start
+	}
+	return start, end
+}
+
+// emitTraceEvents appends this span's event and recurses. Children start on
+// the parent's lane; a child whose window overlaps the previously placed
+// sibling on that lane gets a fresh lane, which its own subtree inherits.
+func emitTraceEvents(tf *traceFile, s *Span, base time.Time, lane int, lanes *laneAlloc) {
+	start, end := effectiveWindow(s)
+	args := make(map[string]string)
+	for _, a := range s.Attrs() {
+		args[a.Key] = a.Val
+	}
+	tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+		Name: s.Name,
+		Ph:   "X",
+		TS:   float64(start.Sub(base).Nanoseconds()) / 1e3,
+		Dur:  float64(end.Sub(start).Nanoseconds()) / 1e3,
+		PID:  1,
+		TID:  lane,
+		Args: args,
+	})
+	var prevEnd time.Time
+	for i, c := range s.Children() {
+		cs, ce := effectiveWindow(c)
+		childLane := lane
+		if i > 0 && cs.Before(prevEnd) {
+			childLane = lanes.alloc()
+		} else {
+			prevEnd = ce
+		}
+		emitTraceEvents(tf, c, base, childLane, lanes)
+	}
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodedTrace mirrors the trace-event JSON for assertions.
+type decodedTrace struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		TS   float64           `json:"ts"`
+		Dur  float64           `json:"dur"`
+		PID  int               `json:"pid"`
+		TID  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestWriteTraceEvents builds a query-shaped span tree — two overlapping
+// scan splits under a scan span, then an aggregate — and checks the emitted
+// timeline: one complete event per span, overlapping siblings fanned out to
+// distinct lanes, sequential spans sharing the parent's lane.
+func TestWriteTraceEvents(t *testing.T) {
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	ms := func(n int) time.Time { return base.Add(time.Duration(n) * time.Millisecond) }
+
+	root := NewSpan("query")
+	root.SetWindow(base, ms(10))
+	scan := root.Child("scan")
+	scan.SetWindow(base, ms(8))
+	s0 := scan.Child("split-0")
+	s0.SetWindow(base, ms(6))
+	s0.SetInt("rows", 5)
+	s1 := scan.Child("split-1")
+	s1.SetWindow(ms(1), ms(7)) // overlaps split-0 → must get its own lane
+	agg := root.Child("aggregate")
+	agg.SetWindow(ms(8), ms(9)) // starts after scan ends → shares the lane
+
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	var got decodedTrace
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+
+	if got.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", got.DisplayTimeUnit)
+	}
+	lanes := map[string]int{}
+	for _, ev := range got.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q has phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.PID != 1 {
+			t.Errorf("event %q pid = %d, want 1", ev.Name, ev.PID)
+		}
+		lanes[ev.Name] = ev.TID
+	}
+	if len(got.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5 (one per span): %+v", len(got.TraceEvents), got.TraceEvents)
+	}
+	for _, name := range []string{"query", "scan", "split-0", "aggregate"} {
+		if lanes[name] != lanes["query"] {
+			t.Errorf("%s on lane %d, want parent lane %d", name, lanes[name], lanes["query"])
+		}
+	}
+	if lanes["split-1"] == lanes["split-0"] {
+		t.Errorf("overlapping siblings share lane %d; want distinct lanes", lanes["split-1"])
+	}
+
+	for _, ev := range got.TraceEvents {
+		switch ev.Name {
+		case "split-1":
+			if ev.TS != 1000 || ev.Dur != 6000 {
+				t.Errorf("split-1 ts=%v dur=%v, want ts=1000µs dur=6000µs", ev.TS, ev.Dur)
+			}
+		case "split-0":
+			if ev.Args["rows"] != "5" {
+				t.Errorf("split-0 args = %v, want rows=5", ev.Args)
+			}
+		case "query":
+			if ev.TS != 0 || ev.Dur != 10000 {
+				t.Errorf("query ts=%v dur=%v, want ts=0 dur=10000µs", ev.TS, ev.Dur)
+			}
+		}
+	}
+}
+
+// TestWriteTraceEventsInferredWindow checks a parent span with no explicit
+// window borrows its children's extent instead of rendering zero-width.
+func TestWriteTraceEventsInferredWindow(t *testing.T) {
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	root := NewSpan("outer")
+	root.SetWindow(time.Time{}, time.Time{}) // strip the creation stamp
+	c := root.Child("inner")
+	c.SetWindow(base, base.Add(4*time.Millisecond))
+
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	var got decodedTrace
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range got.TraceEvents {
+		if ev.Name == "outer" && ev.Dur != 4000 {
+			t.Errorf("outer dur = %vµs, want 4000 (inferred from child)", ev.Dur)
+		}
+	}
+}
+
+// TestWriteTraceEventsNil checks the nil-root no-op contract.
+func TestWriteTraceEventsNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil root wrote %q", buf.String())
+	}
+}

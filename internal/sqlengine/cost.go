@@ -89,6 +89,19 @@ type Metrics struct {
 	// the Fig 13 plan-generation-time comparison).
 	PlanExprNodes int64
 
+	// QueryID is the flight-recorder query ID (0 when no recorder is
+	// active), set by the engine from the query context so scan-layer
+	// metrics correlate back to one recorded query.
+	QueryID uint64
+
+	// Batches counts scan batches pulled through the vectorized pipeline.
+	Batches atomic.Int64
+
+	// scanModes accumulates ScanMode bits from every split's row source, so
+	// a finished query can report how its data was actually served (raw
+	// parse, combined cache scan, per-split fallback, ...).
+	scanModes atomic.Uint32
+
 	// Trace is the root span of the query's trace tree (nil when tracing is
 	// off). Span is the span covering this Metrics' scope: the executor
 	// gives each scan partition its own Metrics whose Span is that split's
@@ -96,6 +109,54 @@ type Metrics struct {
 	// Combiner records combined/fallback mode here) without extra plumbing.
 	Trace *obs.Span
 	Span  *obs.Span
+}
+
+// ScanMode bits mark how splits were served. A query's Metrics ORs together
+// the bits of every split, so mixed plans (cached splits plus fresh raw
+// appends) surface as multiple bits.
+const (
+	ScanRaw                 uint32 = 1 << iota // plain raw-table scan
+	ScanCacheOnly                              // cache-table-only read (fully cached projection)
+	ScanCombined                               // combined raw+cache stitched scan
+	ScanCombinedPushdown                       // combined scan with shared row-group mask
+	ScanFallbackUncovered                      // fallback parse: split postdates the cache
+	ScanFallbackRetired                        // fallback parse: cache generation retired
+	ScanFallbackQuarantined                    // fallback parse: cache table quarantined
+)
+
+// MarkScanMode ORs one ScanMode bit into the metrics (lock-free; called by
+// row-source Open paths that may run concurrently per split).
+func (m *Metrics) MarkScanMode(bit uint32) {
+	for {
+		old := m.scanModes.Load()
+		if old&bit == bit || m.scanModes.CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
+}
+
+// ScanModes returns the accumulated ScanMode bits.
+func (m *Metrics) ScanModes() uint32 { return m.scanModes.Load() }
+
+// PlanModeString folds the scan-mode bits into the flight recorder's plan
+// mode vocabulary: "cached" (cache-only reads), "combined" (stitched
+// raw+cache), "fallback-raw" (cache planned but some split parsed raw),
+// "raw" (no cache involvement), or "none" (no scan ran, e.g. EXPLAIN).
+func (m *Metrics) PlanModeString() string {
+	bits := m.scanModes.Load()
+	fallback := bits&(ScanFallbackUncovered|ScanFallbackRetired|ScanFallbackQuarantined) != 0
+	switch {
+	case bits == 0:
+		return "none"
+	case fallback:
+		return "fallback-raw"
+	case bits&(ScanCombined|ScanCombinedPushdown) != 0:
+		return "combined"
+	case bits&ScanCacheOnly != 0 && bits&ScanRaw == 0:
+		return "cached"
+	default:
+		return "raw"
+	}
 }
 
 // addTo merges this Metrics' counters into dst. The executor uses it to
@@ -116,6 +177,10 @@ func (m *Metrics) addTo(dst *Metrics) {
 	dst.CacheValuesRead.Add(m.CacheValuesRead.Load())
 	dst.CacheHits.Add(m.CacheHits.Load())
 	dst.CacheMisses.Add(m.CacheMisses.Load())
+	dst.Batches.Add(m.Batches.Load())
+	if bits := m.scanModes.Load(); bits != 0 {
+		dst.MarkScanMode(bits)
+	}
 }
 
 // String renders the counters as one human-readable line — the single

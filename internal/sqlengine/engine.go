@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/datum"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/warehouse"
 )
 
@@ -57,6 +58,8 @@ type engineCounters struct {
 	splitPanics      *obs.Counter
 	ioRetries        *obs.Counter
 	simNanos         *obs.Histogram
+	wallNanos        *obs.Histogram
+	batchRows        *obs.Histogram
 }
 
 func newEngineCounters(r *obs.Registry) *engineCounters {
@@ -77,6 +80,8 @@ func newEngineCounters(r *obs.Registry) *engineCounters {
 		splitPanics:      r.Counter("engine_split_panics_total"),
 		ioRetries:        r.Counter("engine_io_retries_total"),
 		simNanos:         r.Histogram("engine_query_sim_ns"),
+		wallNanos:        r.Histogram("engine_query_wall_ns"),
+		batchRows:        r.Histogram("engine_batch_rows_count"),
 	}
 }
 
@@ -100,6 +105,7 @@ func (c *engineCounters) publish(m *Metrics, cm CostModel) {
 	c.cacheValuesRead.Add(m.CacheValuesRead.Load())
 	c.cacheMisses.Add(m.CacheMisses.Load())
 	c.simNanos.Observe(int64(m.SimulatedTime(cm)))
+	c.wallNanos.Observe(int64(m.WallTime))
 }
 
 // EngineOption configures an Engine.
@@ -297,7 +303,9 @@ func (e *Engine) queryStmt(ctx context.Context, stmt *SelectStmt, traced bool) (
 	var trace *obs.Span
 	if traced {
 		trace = obs.NewSpan("query")
+		trace.SetWindow(planStart, time.Time{}) // root covers planning too
 		planSpan := trace.Child("plan")
+		planSpan.SetWindow(planStart, planStart.Add(planWall))
 		planSpan.SetInt("expr-nodes", planNodes+extra)
 		planSpan.SetDur("simulated",
 			time.Duration(float64(planNodes+extra)*e.cost.PlanNsPerExprNode))
@@ -308,6 +316,9 @@ func (e *Engine) queryStmt(ctx context.Context, stmt *SelectStmt, traced bool) (
 	}
 	m.PlanWall = planWall
 	m.PlanExprNodes = planNodes + extra
+	// Correlate the metrics (and through them the scan spans) with the
+	// flight recorder's query ID when one rides the context.
+	m.QueryID = flight.FromContext(ctx).ID()
 	return plan, rs, m, nil
 }
 

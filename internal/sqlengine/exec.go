@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/datum"
 	"repro/internal/obs"
@@ -73,8 +74,11 @@ func (ts *tableSource) Open(split int, m *Metrics) (RowSource, error) {
 	if err != nil {
 		return nil, err
 	}
-	if m != nil && m.Span != nil {
-		m.Span.Set("source", "raw")
+	if m != nil {
+		m.MarkScanMode(ScanRaw)
+		if m.Span != nil {
+			m.Span.Set("source", "raw")
+		}
 	}
 	return &fileRowSource{cur: cur, rs: &rs, m: m}, nil
 }
@@ -148,6 +152,7 @@ func (e *Engine) execute(ctx context.Context, plan *PhysicalPlan, trace *obs.Spa
 		var err error
 		joinTable, buildWidth, err = e.buildJoinTable(ctx, plan, bm)
 		if bm.Span != nil {
+			bm.Span.End()
 			bm.Span.SetInt("rows", bm.RowsScanned.Load())
 			bm.Span.SetInt("bytes", bm.BytesRead.Load())
 			bm.Span.SetInt("parse-docs", bm.Parse.Docs.Load())
@@ -208,6 +213,9 @@ func (e *Engine) execute(ctx context.Context, plan *PhysicalPlan, trace *obs.Spa
 		}(split)
 	}
 	wg.Wait()
+	if scanSpan != nil {
+		scanSpan.End()
+	}
 
 	// Fold the per-split work into the query totals and annotate each
 	// split's span with what it actually did.
@@ -263,12 +271,14 @@ func (e *Engine) execute(ctx context.Context, plan *PhysicalPlan, trace *obs.Spa
 	var sortKeys [][]datum.Datum
 	if plan.aggregate {
 		opsBefore := m.RowOps.Load()
+		aggStart := time.Now()
 		out, err = e.finalizeAggregate(plan, results, m)
 		if err != nil {
 			return nil, nil, err
 		}
 		if trace != nil {
 			span := trace.Child("aggregate")
+			span.SetWindow(aggStart, time.Now())
 			span.SetInt("groups", int64(len(out)))
 			span.SetInt("row-ops", m.RowOps.Load()-opsBefore)
 		}
@@ -282,18 +292,22 @@ func (e *Engine) execute(ctx context.Context, plan *PhysicalPlan, trace *obs.Spa
 
 	if plan.Distinct {
 		opsBefore := m.RowOps.Load()
+		distinctStart := time.Now()
 		out, sortKeys = distinctRows(out, sortKeys, m)
 		if trace != nil {
 			span := trace.Child("distinct")
+			span.SetWindow(distinctStart, time.Now())
 			span.SetInt("out", int64(len(out)))
 			span.SetInt("row-ops", m.RowOps.Load()-opsBefore)
 		}
 	}
 	if len(plan.OrderBy) > 0 {
 		opsBefore := m.RowOps.Load()
+		sortStart := time.Now()
 		sortRows(plan, out, sortKeys, m)
 		if trace != nil {
 			span := trace.Child("sort")
+			span.SetWindow(sortStart, time.Now())
 			span.SetInt("rows", int64(len(out)))
 			span.SetInt("row-ops", m.RowOps.Load()-opsBefore)
 		}
@@ -305,6 +319,7 @@ func (e *Engine) execute(ctx context.Context, plan *PhysicalPlan, trace *obs.Spa
 		}
 	}
 	if trace != nil {
+		trace.End()
 		trace.SetInt("rows", int64(len(out)))
 		trace.Set("simulated", m.Breakdown(e.cost).String())
 	}
@@ -348,6 +363,12 @@ type execScratch struct {
 // still memoized by the doc evaluator when the projection needs it. Metric
 // deltas accumulate in locals and flush once per batch.
 func (e *Engine) runPartition(ctx context.Context, plan *PhysicalPlan, factory ScanSourceFactory, split int, joinTable map[string][][]datum.Datum, buildWidth int, m *Metrics) (res partResult) {
+	if m.Span != nil {
+		// Pre-created in split order for deterministic rendering; re-stamp
+		// the wall window to the split's actual execution.
+		m.Span.Begin()
+		defer m.Span.End()
+	}
 	src, err := factory.Open(split, m)
 	if err != nil {
 		res.err = err
@@ -455,6 +476,10 @@ func (e *Engine) runPartition(ctx context.Context, plan *PhysicalPlan, factory S
 		if n == 0 {
 			return res
 		}
+		m.Batches.Add(1)
+		if e.obsC != nil {
+			e.obsC.batchRows.Observe(int64(n))
+		}
 
 		if plan.Join != nil {
 			// Probe the hash table; inner join emits one row per match.
@@ -551,6 +576,10 @@ func (e *Engine) buildJoinTable(ctx context.Context, plan *PhysicalPlan, m *Metr
 			}
 			if n == 0 {
 				break
+			}
+			m.Batches.Add(1)
+			if e.obsC != nil {
+				e.obsC.batchRows.Observe(int64(n))
 			}
 			m.RowOps.Add(int64(n))
 			for i := 0; i < n; i++ {

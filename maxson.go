@@ -25,13 +25,16 @@ package maxson
 
 import (
 	"context"
+	"encoding/json"
 	"log/slog"
+	"net/http"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/datum"
 	"repro/internal/dfs"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/orc"
 	"repro/internal/simtime"
 	"repro/internal/sqlengine"
@@ -66,6 +69,14 @@ type (
 		RowGroupRows int
 		// Logger receives structured midnight-cycle logs; nil discards.
 		Logger *slog.Logger
+		// FlightQueries sizes the flight recorder's recent-query ring.
+		// 0 uses the default capacity (256); negative disables the recorder
+		// entirely (the query path then pays one nil test).
+		FlightQueries int
+		// SlowQueryThreshold marks queries at/above this wall time as slow —
+		// they land in the slow-query ring and emit one structured log line.
+		// Zero uses the default (500ms).
+		SlowQueryThreshold time.Duration
 	}
 
 	// ResultSet is a query result.
@@ -125,11 +136,24 @@ func NewSystem(cfg SystemConfig) *System {
 	e := sqlengine.NewEngine(wh,
 		sqlengine.WithDefaultDB(cfg.DefaultDB),
 		sqlengine.WithBackend(backend))
+	// One registry serves the whole stack so the flight recorder's pre/post
+	// snapshots see engine, combiner, and cache series alike.
+	reg := obs.NewRegistry()
+	var rec *flight.Recorder
+	if cfg.FlightQueries >= 0 {
+		rec = flight.New(reg, flight.Options{
+			Capacity:      cfg.FlightQueries,
+			SlowThreshold: cfg.SlowQueryThreshold,
+			Log:           cfg.Logger,
+		})
+	}
 	m := core.New(e, core.Config{
 		BudgetBytes: cfg.CacheBudgetBytes,
 		Window:      cfg.Window,
 		DefaultDB:   cfg.DefaultDB,
+		Obs:         reg,
 		Logger:      cfg.Logger,
+		Flight:      rec,
 	})
 	return &System{m: m, wh: wh, e: e, clock: clock}
 }
@@ -170,6 +194,31 @@ func (s *System) Explain(sql string) (string, *ResultSet, *Metrics, error) {
 // Obs returns the system-wide metrics registry: engine totals, Value
 // Combiner counters, and cache gauges, exportable via WriteJSON/WriteText.
 func (s *System) Obs() *obs.Registry { return s.m.Obs() }
+
+// Flight returns the per-query flight recorder, nil when SystemConfig
+// disabled it (FlightQueries < 0).
+func (s *System) Flight() *flight.Recorder { return s.m.Flight }
+
+// NewDebugServer builds the live diagnostics server for this system:
+// Prometheus /metrics, /metrics.json, /healthz, net/http/pprof, the flight
+// recorder's /debug/queries, and /debug/cycle serving the last midnight
+// CycleReport (404 before the first cycle). Start it with Serve or Start.
+func (s *System) NewDebugServer() *obs.DebugServer {
+	ds := obs.NewDebugServer(s.m.Obs())
+	ds.Handle("/debug/queries", s.m.Flight.Handler())
+	ds.HandleFunc("/debug/cycle", func(w http.ResponseWriter, r *http.Request) {
+		rep := s.m.LastCycle()
+		if rep == nil {
+			http.Error(w, "no cycle has run yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+	return ds
+}
 
 // RunMidnightCycle trains/refreshes the predictor, predicts tomorrow's
 // MPJPs, ranks them with the scoring function, and re-populates the cache
