@@ -11,7 +11,8 @@
 //	maxson-bench -exp all -json -out results.ndjson
 //
 // Experiments: fig2, fig3, fig4, table3, table4, fig11 (includes Table V),
-// fig12, fig13, fig14, fig15, ablation, sparser, exec, extract, obs, all.
+// fig12, fig13, fig14, fig15, ablation, sparser, exec, extract, obs, mqo,
+// all.
 //
 // With -json each experiment emits one NDJSON document
 // {"experiment": ..., "ran_ms": ..., "result": {...}} so downstream tooling
@@ -93,8 +94,9 @@ func main() {
 		"exec":     func() (fmt.Stringer, error) { return experiments.RunExecBench(*rows, *seed) },
 		"extract":  func() (fmt.Stringer, error) { return experiments.RunExtractBench(*rows, *seed) },
 		"obs":      func() (fmt.Stringer, error) { return experiments.RunObsBench() },
+		"mqo":      func() (fmt.Stringer, error) { return experiments.RunMQOBench(*rows, *seed) },
 	}
-	order := []string{"fig2", "fig3", "fig4", "table3", "table4", "fig11", "fig12", "fig13", "fig14", "fig15", "ablation", "sparser", "exec", "extract", "obs"}
+	order := []string{"fig2", "fig3", "fig4", "table3", "table4", "fig11", "fig12", "fig13", "fig14", "fig15", "ablation", "sparser", "exec", "extract", "obs", "mqo"}
 
 	var selected []string
 	if *exp == "all" {

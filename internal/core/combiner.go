@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/datum"
 	"repro/internal/jsonpath"
@@ -121,6 +122,44 @@ func NewCombinedScanFactory(
 		StreamExtract: true,
 		schema:        schema,
 	}
+}
+
+// ScanFingerprint implements scanshare.Fingerprinter: two combined scans
+// with equal fingerprints read identical rows, so the shared-scan scheduler
+// may serve both from one pass (broadcast mode). Everything that shapes the
+// output rows participates: raw table and projected columns, row-group
+// predicates on both sides, the cache table (whose name carries the
+// generation), its column list, fallback specs, and the pushdown and
+// stream-extract modes.
+func (f *CombinedScanFactory) ScanFingerprint() string {
+	var b strings.Builder
+	b.WriteString("combined\x00")
+	b.WriteString(f.rawDB)
+	b.WriteByte(0)
+	b.WriteString(f.rawTable)
+	b.WriteByte(0)
+	b.WriteString(strings.Join(f.primaryCols, ","))
+	b.WriteByte(0)
+	if f.primarySARG != nil {
+		b.WriteString(f.primarySARG.String())
+	}
+	b.WriteByte(0)
+	b.WriteString(f.cacheTable)
+	b.WriteByte(0)
+	b.WriteString(strings.Join(f.cacheCols, ","))
+	b.WriteByte(0)
+	if f.cacheSARG != nil {
+		b.WriteString(f.cacheSARG.String())
+	}
+	b.WriteByte(0)
+	for _, fb := range f.fallbacks {
+		b.WriteString(fb.RawColumn)
+		b.WriteByte('=')
+		b.WriteString(fb.Path.Canonical())
+		b.WriteByte(';')
+	}
+	fmt.Fprintf(&b, "\x00%t\x00%t", f.pushdown, f.StreamExtract)
+	return b.String()
 }
 
 // SetObs attaches a metrics registry; per-split open modes and row-level

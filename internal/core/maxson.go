@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/pathkey"
+	"repro/internal/scanshare"
 	"repro/internal/simtime"
 	"repro/internal/sqlengine"
 	"repro/internal/warehouse"
@@ -79,6 +80,13 @@ type Config struct {
 	// Flight, when non-nil, records every query through QueryCtx into a
 	// bounded in-memory ring for the diagnostics server.
 	Flight *flight.Recorder
+	// ScanShareWindow, when positive, enables the shared-scan scheduler
+	// with this admission window: concurrent queries over the same (table,
+	// generation) coalesce into one pass. Zero disables sharing.
+	ScanShareWindow time.Duration
+	// ScanShareMaxQueries seals a share group early at this size
+	// (default scanshare.DefaultMaxQueries).
+	ScanShareMaxQueries int
 }
 
 // New assembles a Maxson instance on top of an engine. The plan modifier is
@@ -133,6 +141,22 @@ func New(e *sqlengine.Engine, cfg Config) *Maxson {
 	m.registerGauges()
 
 	m.Planner.Install(e)
+
+	// Shared-scan scheduler: batches concurrent queries per (table,
+	// generation) into one pass. Keyed by the cacher's generation so scans
+	// straddling a midnight swap never share, and a quarantine-triggered
+	// re-plan (new raw scan, same generation) can re-coalesce with its
+	// siblings' retries.
+	if cfg.ScanShareWindow > 0 {
+		e.SetScanShare(scanshare.New(scanshare.Options{
+			Window:     cfg.ScanShareWindow,
+			MaxQueries: cfg.ScanShareMaxQueries,
+			Obs:        m.obs,
+			Generation: func(db, table string) int64 {
+				return int64(m.Cacher.Generation())
+			},
+		}))
+	}
 	return m
 }
 

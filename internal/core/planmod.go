@@ -65,7 +65,7 @@ func (p *Planner) Modify(plan *sqlengine.PhysicalPlan, stmt *sqlengine.SelectStm
 	} else {
 		plan.InputSchema = plan.Scan.Schema()
 	}
-	if err := p.rebind(plan); err != nil {
+	if err := plan.Rebind(); err != nil {
 		return extra, err
 	}
 	return extra, nil
@@ -131,7 +131,7 @@ func (p *Planner) modifyScan(plan *sqlengine.PhysicalPlan, scan *sqlengine.ScanN
 		hits = append(hits, hit{entry: entry, expr: jp})
 		hitCols[entry.CacheColumn] = entry
 	}
-	visitPlanExprs(plan, scan, match)
+	sqlengine.VisitPlanExprs(plan, match)
 	if len(hits) == 0 {
 		return 0
 	}
@@ -156,7 +156,7 @@ func (p *Planner) modifyScan(plan *sqlengine.PhysicalPlan, scan *sqlengine.ScanN
 			return n
 		})
 	}
-	rewritePlanExprs(plan, replace)
+	sqlengine.RewritePlanExprs(plan, replace)
 
 	// Cache columns read from the cache table, deterministic order.
 	var cacheCols []string
@@ -176,7 +176,7 @@ func (p *Planner) modifyScan(plan *sqlengine.PhysicalPlan, scan *sqlengine.ScanN
 			}
 		}
 	}
-	visitPlanExprs(plan, scan, collectUsed)
+	sqlengine.VisitPlanExprs(plan, collectUsed)
 
 	var primaryCols []string
 	var schemaCols []sqlengine.RowCol
@@ -226,122 +226,6 @@ func (p *Planner) modifyScan(plan *sqlengine.PhysicalPlan, scan *sqlengine.ScanN
 	scan.Columns = primaryCols
 	scan.SetSchema(sqlengine.RowSchema{Cols: schemaCols})
 	return replaced
-}
-
-// visitPlanExprs walks every expression of the plan that can reference the
-// given scan's output.
-func visitPlanExprs(plan *sqlengine.PhysicalPlan, scan *sqlengine.ScanNode, f func(sqlengine.Expr)) {
-	visit := func(e sqlengine.Expr) {
-		if e != nil {
-			sqlengine.Walk(e, f)
-		}
-	}
-	for _, it := range plan.Items {
-		visit(it.Expr)
-	}
-	visit(plan.Filter)
-	for _, g := range plan.GroupBy {
-		visit(g)
-	}
-	for _, a := range plan.Aggs {
-		visit(a.Arg)
-	}
-	for _, o := range plan.OrderBy {
-		visit(o.Expr)
-	}
-	if plan.Join != nil {
-		for _, k := range plan.Join.LeftKeys {
-			visit(k)
-		}
-		for _, k := range plan.Join.RightKeys {
-			visit(k)
-		}
-	}
-}
-
-// rewritePlanExprs applies a rewrite to every plan expression.
-func rewritePlanExprs(plan *sqlengine.PhysicalPlan, f func(sqlengine.Expr) sqlengine.Expr) {
-	for i := range plan.Items {
-		if plan.Items[i].Expr != nil {
-			plan.Items[i].Expr = f(plan.Items[i].Expr)
-		}
-	}
-	if plan.Filter != nil {
-		plan.Filter = f(plan.Filter)
-	}
-	for i := range plan.GroupBy {
-		plan.GroupBy[i] = f(plan.GroupBy[i])
-	}
-	for _, a := range plan.Aggs {
-		if a.Arg != nil {
-			a.Arg = f(a.Arg)
-		}
-	}
-	for i := range plan.OrderBy {
-		plan.OrderBy[i].Expr = f(plan.OrderBy[i].Expr)
-	}
-	if plan.Join != nil {
-		for i := range plan.Join.LeftKeys {
-			plan.Join.LeftKeys[i] = f(plan.Join.LeftKeys[i])
-		}
-		for i := range plan.Join.RightKeys {
-			plan.Join.RightKeys[i] = f(plan.Join.RightKeys[i])
-		}
-	}
-}
-
-// rebind re-resolves every plan expression against the rebuilt input
-// schema. Post-aggregation items reference keyRefs/aggregates only and are
-// left alone; group keys and aggregate arguments rebind.
-func (p *Planner) rebind(plan *sqlengine.PhysicalPlan) error {
-	input := plan.InputSchema
-	bind := func(e sqlengine.Expr) error {
-		if e == nil {
-			return nil
-		}
-		return sqlengine.Bind(e, input)
-	}
-	if err := bind(plan.Filter); err != nil {
-		return err
-	}
-	if len(plan.Aggs) > 0 || len(plan.GroupBy) > 0 {
-		for _, g := range plan.GroupBy {
-			if err := bind(g); err != nil {
-				return err
-			}
-		}
-		for _, a := range plan.Aggs {
-			if err := bind(a.Arg); err != nil {
-				return err
-			}
-		}
-		// Items/OrderBy in aggregate plans are post-agg expressions
-		// (keyRef/Aggregate only) — no rebinding needed or possible.
-		return nil
-	}
-	for i := range plan.Items {
-		if err := bind(plan.Items[i].Expr); err != nil {
-			return err
-		}
-	}
-	for i := range plan.OrderBy {
-		if err := bind(plan.OrderBy[i].Expr); err != nil {
-			return err
-		}
-	}
-	if plan.Join != nil {
-		for _, k := range plan.Join.LeftKeys {
-			if err := sqlengine.Bind(k, plan.Scan.Schema()); err != nil {
-				return err
-			}
-		}
-		for _, k := range plan.Join.RightKeys {
-			if err := sqlengine.Bind(k, plan.Join.Build.Schema()); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
 }
 
 // extractCacheSARG converts AND-conjuncts of the form

@@ -74,6 +74,48 @@ func NewPathSet(paths ...*Path) (*PathSet, error) {
 	return s, nil
 }
 
+// Union merges several path sets into one deduplicated PathSet plus, for
+// each input set, a remap from its path ordinals to the merged set's output
+// slots. Paths appearing in more than one input (by Canonical form) share a
+// single merged slot, so the merged trie extracts — and BytesScanned meters —
+// each distinct path exactly once per document. Overlapping paths such as
+// $.a alongside $.a.b also coexist in the one trie: the single streaming
+// pass fills the deeper terminal while materializing the covering value, so
+// neither the document bytes nor the parse counters are charged twice.
+//
+// The merged set is canonical (no aliased slots): its Extract writes exactly
+// Len() outputs, and remaps[i][j] is the merged output slot serving input
+// set i's j-th path. The scan-share scheduler uses this to route one shared
+// extraction pass to every participant query's own column order.
+func Union(sets ...*PathSet) (*PathSet, [][]int, error) {
+	byCanon := make(map[string]int)
+	var uniq []*Path
+	remaps := make([][]int, len(sets))
+	for si, s := range sets {
+		if s == nil {
+			remaps[si] = nil
+			continue
+		}
+		remap := make([]int, len(s.paths))
+		for pi, p := range s.paths {
+			canon := p.Canonical()
+			slot, ok := byCanon[canon]
+			if !ok {
+				slot = len(uniq)
+				byCanon[canon] = slot
+				uniq = append(uniq, p)
+			}
+			remap[pi] = slot
+		}
+		remaps[si] = remap
+	}
+	merged, err := NewPathSet(uniq...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return merged, remaps, nil
+}
+
 // MustPathSet is NewPathSet that panics on error, for statically known sets.
 func MustPathSet(paths ...*Path) *PathSet {
 	s, err := NewPathSet(paths...)

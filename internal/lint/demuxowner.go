@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DemuxOwner enforces the copy-on-demux ownership protocol on channel
+// hand-offs of pooled batches: once a *sqlengine.RowBatch — bare or wrapped
+// in a message struct — is sent on a channel, the sender must not touch it
+// again. The receiver owns it exclusively; a post-send read races the
+// consumer's copy-out, and a post-send PutRowBatch double-frees a batch the
+// receiver will also release. The scanshare producer/consumer demux is the
+// motivating surface.
+//
+// The analysis is intraprocedural and flow-ordered: within one function
+// body, any use of a sent batch variable after the send statement (in the
+// same or an enclosing block's continuation) is flagged. Branches that
+// cannot follow the send — the other arms of the select the send lives in,
+// or an if/else sibling — are not. Reassigning the variable (e.g. acquiring
+// a fresh batch on the next loop iteration) ends tracking.
+var DemuxOwner = &Analyzer{
+	Name: "demuxowner",
+	Doc:  "a pooled RowBatch sent on a channel must not be used by the sender afterwards",
+	Run:  runDemuxOwner,
+}
+
+// carriesRowBatch reports whether t is *sqlengine.RowBatch or a struct (or
+// pointer to struct) with a field that carries one — the "message struct"
+// wrapping pattern, checked one level deep.
+func carriesRowBatch(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if namedTypeIs(t, "internal/sqlengine", "RowBatch") {
+		return true
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if namedTypeIs(st.Field(i).Type(), "internal/sqlengine", "RowBatch") {
+			return true
+		}
+	}
+	return false
+}
+
+// doState maps a batch-carrying variable to the position of the send that
+// transferred it away.
+type doState map[types.Object]token.Pos
+
+func (m doState) clone() doState {
+	out := make(doState, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func runDemuxOwner(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, fb := range functionBodies(f) {
+			w := &demuxWalker{pass: pass}
+			final := w.walk(fb.body.List, doState{})
+			// Deferred calls run at function exit, after every send the
+			// body performed: check them against the final sent-set.
+			for _, call := range w.defers {
+				w.checkUses(call, final)
+			}
+		}
+	}
+}
+
+type demuxWalker struct {
+	pass   *Pass
+	defers []*ast.CallExpr
+}
+
+// markSent records every batch-carrying local mentioned in the sent value.
+// Sending demuxMsg{b: out} transfers out; sending msg transfers msg.
+func (w *demuxWalker) markSent(value ast.Expr, state doState) {
+	ast.Inspect(value, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		if carriesRowBatch(obj.Type()) {
+			state[obj] = id.Pos()
+		}
+		return true
+	})
+}
+
+// checkUses reports uses of already-sent batch variables inside node.
+func (w *demuxWalker) checkUses(node ast.Node, state doState) {
+	if node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if sendPos, sent := state[obj]; sent {
+			line := w.pass.Fset.Position(sendPos).Line
+			w.pass.Reportf(id.Pos(),
+				"pooled RowBatch %s used after its channel send (line %d): the receiver owns it now — copy-on-demux forbids sender access", id.Name, line)
+			delete(state, obj) // report each hand-off once
+		}
+		return true
+	})
+}
+
+// clearAssigned drops tracking for variables the statement reassigns.
+func (w *demuxWalker) clearAssigned(lhs []ast.Expr, state doState) {
+	for _, l := range lhs {
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+			if obj := w.pass.Info.Uses[id]; obj != nil {
+				delete(state, obj)
+			}
+			if obj := w.pass.Info.Defs[id]; obj != nil {
+				delete(state, obj)
+			}
+		}
+	}
+}
+
+// walk processes stmts sequentially, threading the sent-set through.
+func (w *demuxWalker) walk(stmts []ast.Stmt, state doState) doState {
+	for _, stmt := range stmts {
+		state = w.stmt(stmt, state)
+	}
+	return state
+}
+
+// mergeDO keeps hand-offs recorded by either branch: a use after the merge
+// point follows the send on at least one path.
+func mergeDO(a, b doState) doState {
+	out := a.clone()
+	for obj, pos := range b {
+		if _, ok := out[obj]; !ok {
+			out[obj] = pos
+		}
+	}
+	return out
+}
+
+func (w *demuxWalker) stmt(stmt ast.Stmt, state doState) doState {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		return w.walk(s.List, state)
+	case *ast.SendStmt:
+		w.checkUses(s.Chan, state)
+		w.checkUses(s.Value, state)
+		w.markSent(s.Value, state)
+		return state
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.checkUses(r, state)
+		}
+		w.clearAssigned(s.Lhs, state)
+		return state
+	case *ast.IfStmt:
+		if s.Init != nil {
+			state = w.stmt(s.Init, state)
+		}
+		w.checkUses(s.Cond, state)
+		thenState := w.walk(s.Body.List, state.clone())
+		elseState := state.clone()
+		if s.Else != nil {
+			elseState = w.stmt(s.Else, elseState)
+		}
+		return mergeDO(thenState, elseState)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			state = w.stmt(s.Init, state)
+		}
+		w.checkUses(s.Cond, state)
+		body := w.walk(s.Body.List, state.clone())
+		if s.Post != nil {
+			body = w.stmt(s.Post, body)
+		}
+		return mergeDO(state, body)
+	case *ast.RangeStmt:
+		w.checkUses(s.X, state)
+		w.clearAssigned([]ast.Expr{s.Key, s.Value}, state)
+		body := w.walk(s.Body.List, state.clone())
+		return mergeDO(state, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			state = w.stmt(s.Init, state)
+		}
+		w.checkUses(s.Tag, state)
+		return w.clauses(s.Body.List, state)
+	case *ast.TypeSwitchStmt:
+		return w.clauses(s.Body.List, state)
+	case *ast.SelectStmt:
+		return w.clauses(s.Body.List, state)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, state)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkUses(r, state)
+		}
+		return state
+	case *ast.DeferStmt:
+		// A deferred use runs at function exit, after sends that appear
+		// later in the body — queue it for the post-walk check.
+		w.defers = append(w.defers, s.Call)
+		return state
+	case *ast.GoStmt:
+		w.checkUses(s.Call, state)
+		return state
+	default:
+		w.checkUses(stmt, state)
+		return state
+	}
+}
+
+// clauses walks each case body from its own clone: a send in one select arm
+// is never followed by a sibling arm. Survivor sends merge for the code
+// after the switch/select.
+func (w *demuxWalker) clauses(list []ast.Stmt, state doState) doState {
+	out := state.clone()
+	for _, c := range list {
+		branch := state.clone()
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.checkUses(e, branch)
+			}
+			branch = w.walk(cc.Body, branch)
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				branch = w.stmt(cc.Comm, branch)
+			}
+			branch = w.walk(cc.Body, branch)
+		}
+		out = mergeDO(out, branch)
+	}
+	return out
+}

@@ -123,6 +123,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
 func All() []*Analyzer {
 	return []*Analyzer{
 		ArenaEscape,
+		DemuxOwner,
 		ErrDiscard,
 		LockHeld,
 		MetricName,

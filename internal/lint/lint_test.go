@@ -15,7 +15,7 @@ import (
 // fixtureNames lists the testdata packages; one per analyzer plus the
 // directive-machinery fixture.
 var fixtureNames = []string{
-	"arenaescape", "directive", "errdiscard", "lockheld", "metricname", "poolbalance",
+	"arenaescape", "demuxowner", "directive", "errdiscard", "lockheld", "metricname", "poolbalance",
 }
 
 // The whole-module load with the source importer costs a few seconds, so

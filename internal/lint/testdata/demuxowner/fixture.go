@@ -1,0 +1,113 @@
+// Package demuxowner is a maxson-vet fixture: every line tagged with a
+// "want" comment must produce exactly that demuxowner diagnostic, and the
+// untagged functions must stay silent.
+package demuxowner
+
+import (
+	"repro/internal/sqlengine"
+)
+
+// msg mirrors the scanshare demux message: a struct carrying a pooled batch.
+type msg struct {
+	b *sqlengine.RowBatch
+	n int
+}
+
+// --- findings ---
+
+func useAfterBareSend(ch chan *sqlengine.RowBatch) int {
+	b := sqlengine.GetRowBatch(2, 64)
+	ch <- b
+	return b.Capacity() // want "used after its channel send"
+}
+
+func putAfterSend(ch chan *sqlengine.RowBatch) {
+	b := sqlengine.GetRowBatch(2, 64)
+	ch <- b
+	sqlengine.PutRowBatch(b) // want "used after its channel send"
+}
+
+func useAfterWrappedSend(ch chan msg) int {
+	out := sqlengine.GetRowBatch(2, 64)
+	ch <- msg{b: out, n: 8}
+	return len(out.Cols) // want "used after its channel send"
+}
+
+func msgVarUseAfterSend(ch chan msg) int {
+	m := msg{b: sqlengine.GetRowBatch(1, 8), n: 1}
+	ch <- m
+	return m.n // want "used after its channel send"
+}
+
+func useAfterSelectSend(ch chan msg, done chan struct{}) {
+	out := sqlengine.GetRowBatch(2, 64)
+	select {
+	case ch <- msg{b: out, n: 4}:
+		_ = out.Width() // want "used after its channel send"
+	case <-done:
+	}
+}
+
+func useAfterMergedBranches(ch chan *sqlengine.RowBatch, fast bool) int {
+	b := sqlengine.GetRowBatch(1, 8)
+	if fast {
+		ch <- b
+	}
+	return b.Capacity() // want "used after its channel send"
+}
+
+func deferredUseAfterSend(ch chan *sqlengine.RowBatch) {
+	b := sqlengine.GetRowBatch(1, 8)
+	defer sqlengine.PutRowBatch(b) // want "used after its channel send"
+	ch <- b
+}
+
+// --- silent ---
+
+// fanOutPattern is the scanshare producer idiom: the send and the
+// detach-side release are alternative select arms, never sequenced.
+func fanOutPattern(ch chan msg, detached chan struct{}, n int) {
+	out := sqlengine.GetRowBatch(2, n)
+	select {
+	case ch <- msg{b: out, n: n}:
+	case <-detached:
+		sqlengine.PutRowBatch(out)
+	}
+}
+
+// reacquireInLoop reassigns the variable each iteration, so the use at the
+// top of iteration i+1 refers to a fresh batch, not the sent one.
+func reacquireInLoop(ch chan *sqlengine.RowBatch, rounds int) {
+	for i := 0; i < rounds; i++ {
+		b := sqlengine.GetRowBatch(1, 8)
+		_ = b.Width()
+		ch <- b
+	}
+}
+
+// branchedOwnership sends in one arm and keeps the batch in the other; the
+// use is only on the keeping path.
+func branchedOwnership(ch chan *sqlengine.RowBatch, send bool) {
+	b := sqlengine.GetRowBatch(1, 8)
+	if send {
+		ch <- b
+	} else {
+		sqlengine.PutRowBatch(b)
+	}
+}
+
+// sendLast hands the batch off as the final action.
+func sendLast(ch chan msg) {
+	out := sqlengine.GetRowBatch(2, 16)
+	for c := range out.Cols {
+		_ = c
+	}
+	ch <- msg{b: out, n: 16}
+}
+
+// nonBatchSend: channel traffic without pooled batches is out of scope.
+func nonBatchSend(ch chan int) int {
+	v := 7
+	ch <- v
+	return v
+}

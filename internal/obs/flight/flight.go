@@ -2,9 +2,12 @@
 // monotonically increasing ID and, on completion, a structured QueryRecord
 // — SQL, plan mode, stage timings, scan/parse/cache work, retries, error —
 // published into a bounded lock-free ring buffer. Records carry per-query
-// metric *deltas* computed from pre/post registry snapshots, so the
+// metric *deltas* computed from pre/post counter values, so the
 // process-lifetime counters in internal/obs become attributable to
-// individual queries.
+// individual queries. The pre state is a pooled position-stable []int64 from
+// Registry.CounterValues — one atomic load per registered counter, no map,
+// gauge, or histogram copies — so Begin/Finish stay cheap relative to the
+// tiny queries that dominate interactive load.
 //
 // The recorder is nil-safe end to end: a nil *Recorder disables recording
 // (Begin returns nil, every Active method no-ops), so the query hot path
@@ -155,13 +158,19 @@ func (r *Recorder) Seq() uint64 {
 	return r.seq.Load()
 }
 
+// preBufPool recycles the per-query pre-counter buffers; one buffer is held
+// for each in-flight query between Begin and Finish.
+var preBufPool = sync.Pool{New: func() any { return new([]int64) }}
+
 // Active is one in-flight query's recording handle.
 type Active struct {
 	rec   *Recorder
 	id    uint64
 	sql   string
 	start time.Time
-	pre   obs.Snapshot
+	// pre holds every registry counter's value at Begin, in registration
+	// order (obs.Registry.CounterValues). Returned to preBufPool at Finish.
+	pre *[]int64
 
 	mu      sync.Mutex
 	stages  []Stage
@@ -178,7 +187,9 @@ func (r *Recorder) Begin(sql string) *Active {
 	}
 	a := &Active{rec: r, id: r.seq.Add(1), sql: sql, start: time.Now()}
 	if r.reg != nil {
-		a.pre = r.reg.Snapshot()
+		buf := preBufPool.Get().(*[]int64)
+		*buf = r.reg.CounterValues((*buf)[:0])
+		a.pre = buf
 	}
 	r.inflight.Add(1)
 	return a
@@ -269,9 +280,11 @@ func (a *Active) Finish(t Totals, qerr error) *QueryRecord {
 	if qerr != nil {
 		rec.Err = qerr.Error()
 	}
-	if r.reg != nil {
-		rec.Deltas = counterDeltas(a.pre, r.reg.Snapshot())
+	if r.reg != nil && a.pre != nil {
+		rec.Deltas = r.reg.CounterDeltas(*a.pre)
 		rec.Panics = rec.Deltas["engine_split_panics_total"]
+		preBufPool.Put(a.pre)
+		a.pre = nil
 	}
 	rec.Slow = rec.WallNS >= r.slowNS
 
@@ -296,20 +309,6 @@ func (a *Active) Finish(t Totals, qerr error) *QueryRecord {
 		}
 	}
 	return rec
-}
-
-// counterDeltas returns post-minus-pre for every counter that moved.
-func counterDeltas(pre, post obs.Snapshot) map[string]int64 {
-	var out map[string]int64
-	for k, v := range post.Counters {
-		if d := v - pre.Counters[k]; d != 0 {
-			if out == nil {
-				out = make(map[string]int64)
-			}
-			out[k] = d
-		}
-	}
-	return out
 }
 
 // truncateSQL bounds the SQL echoed into log lines.

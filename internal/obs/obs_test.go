@@ -164,3 +164,39 @@ func TestSpanTree(t *testing.T) {
 		t.Errorf("render tree guides missing:\n%s", out)
 	}
 }
+
+func TestCounterValuesAndDeltas(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("a_total")
+	b := r.Counter("b_total", L{"mode", "x"})
+	a.Add(3)
+
+	pre := r.CounterValues(nil)
+	if len(pre) != 2 {
+		t.Fatalf("CounterValues len = %d, want 2", len(pre))
+	}
+	a.Add(2)
+	b.Inc()
+	// A counter created after the pre capture diffs against zero.
+	r.Counter("late_total").Add(7)
+
+	d := r.CounterDeltas(pre)
+	want := map[string]int64{"a_total": 2, `b_total{mode="x"}`: 1, "late_total": 7}
+	if len(d) != len(want) {
+		t.Fatalf("deltas = %v, want %v", d, want)
+	}
+	for k, v := range want {
+		if d[k] != v {
+			t.Errorf("delta[%s] = %d, want %d", k, d[k], v)
+		}
+	}
+
+	// Unmoved counters are omitted; buffer reuse keeps positions stable.
+	pre2 := r.CounterValues(pre[:0])
+	if len(pre2) != 3 {
+		t.Fatalf("CounterValues len = %d, want 3", len(pre2))
+	}
+	if d := r.CounterDeltas(pre2); d != nil {
+		t.Errorf("no movement should yield nil deltas, got %v", d)
+	}
+}

@@ -149,6 +149,13 @@ func (h *Histogram) snapshot() HistSnapshot {
 	return out
 }
 
+// counterEntry is one registered counter in creation order; the slice index
+// is the counter's stable ordinal for CounterValues/CounterDeltas.
+type counterEntry struct {
+	key string
+	c   *Counter
+}
+
 // Registry is a named collection of instruments. Get-or-create calls take a
 // short lock; the returned handles are lock-free. Safe for concurrent use.
 type Registry struct {
@@ -157,6 +164,12 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	gaugeFuncs map[string]func() int64
 	hists      map[string]*Histogram
+
+	// counterList mirrors counters in creation order. Append-only: index i
+	// refers to the same counter for the registry's lifetime, which makes a
+	// plain []int64 of values a valid "pre" state for CounterDeltas without
+	// copying any map or key.
+	counterList []counterEntry
 }
 
 // NewRegistry returns an empty registry.
@@ -185,7 +198,48 @@ func (r *Registry) Counter(name string, labels ...L) *Counter {
 	}
 	c = &Counter{}
 	r.counters[key] = c
+	r.counterList = append(r.counterList, counterEntry{key: key, c: c})
 	return c
+}
+
+// CounterValues appends every registered counter's current value to buf in
+// registration order and returns the extended slice. Because the registry's
+// counter list is append-only, index i names the same series across calls:
+// the result is a position-stable "pre" state for CounterDeltas that costs
+// one slice walk — no map copy, no per-series allocation — which is what the
+// flight recorder snapshots on every query begin.
+func (r *Registry) CounterValues(buf []int64) []int64 {
+	r.mu.RLock()
+	list := r.counterList
+	r.mu.RUnlock()
+	for _, e := range list {
+		buf = append(buf, e.c.Value())
+	}
+	return buf
+}
+
+// CounterDeltas returns name → (current − pre[i]) for every counter that
+// moved since pre was captured with CounterValues on this registry. Counters
+// registered after the capture (i ≥ len(pre)) diff against zero, which is
+// exact: a counter born after the capture started at zero.
+func (r *Registry) CounterDeltas(pre []int64) map[string]int64 {
+	r.mu.RLock()
+	list := r.counterList
+	r.mu.RUnlock()
+	var out map[string]int64
+	for i, e := range list {
+		v := e.c.Value()
+		if i < len(pre) {
+			v -= pre[i]
+		}
+		if v != 0 {
+			if out == nil {
+				out = make(map[string]int64)
+			}
+			out[e.key] = v
+		}
+	}
+	return out
 }
 
 // Gauge returns the gauge for name+labels, creating it on first use.

@@ -1,0 +1,311 @@
+package scanshare
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/jsonpath"
+	"repro/internal/sqlengine"
+)
+
+// group is one admission window's worth of compatible queries.
+type group struct {
+	s      *Scheduler
+	e      *sqlengine.Engine
+	key    string
+	timer  *time.Timer
+	sealed chan struct{}
+
+	// parts is guarded by the scheduler mutex until sealedFlag is set;
+	// after that the sealer owns it.
+	parts      []*participant
+	sealedFlag bool
+	launched   bool
+
+	// Producer-side state, written by the producer goroutine before it
+	// closes the consumer channels, read by consumers after the close.
+	err error
+	pm  *sqlengine.Metrics
+	// claimed elects the one consumer that folds pm into its query metrics.
+	claimed atomic.Bool
+}
+
+// claim folds the producer's metrics into m exactly once across the group.
+// Only called at clean end-of-stream, so cancelled or errored queries (whose
+// metrics the engine discards) can never swallow the producer's accounting.
+func (g *group) claim(m *sqlengine.Metrics) {
+	if g.claimed.CompareAndSwap(false, true) {
+		g.pm.MergeInto(m)
+	}
+}
+
+// launch builds the shared pass for the live participants and starts the
+// producer. On a group-level build failure before any plan was touched it
+// simply returns with g.launched false — everyone runs unshared. Once plans
+// are being rewritten, a per-participant failure detaches only that query.
+func (g *group) launch(live []*participant) {
+	scan0 := live[0].plan.Scan
+	var pr *producer
+	if scan0.Factory != nil {
+		pr = g.buildBroadcast(live)
+	} else {
+		pr = g.buildMerged(live)
+	}
+	if pr == nil {
+		return
+	}
+	var cons []*participant
+	for _, p := range live {
+		if p.err == nil {
+			p.shared = true
+			cons = append(cons, p)
+		}
+	}
+	if len(cons) == 0 {
+		return
+	}
+	pr.cons = cons
+	g.pm = pr.pm
+	g.launched = true
+	g.s.c.groups.Inc()
+	g.s.c.coalesced.Add(int64(len(cons)))
+	go pr.run()
+}
+
+// buildBroadcast sets up pure IO sharing over a fingerprinted factory
+// (Maxson's combined cache+raw reader): no plan rewrite, the producer runs
+// one factory's splits and broadcasts every row batch. Cache quarantine and
+// ErrCacheDegraded propagate to every consumer, which then re-plan
+// independently exactly as unshared queries would.
+func (g *group) buildBroadcast(live []*participant) *producer {
+	origFactory := live[0].plan.Scan.Factory
+	width := len(live[0].plan.Scan.Schema().Cols)
+	for _, p := range live {
+		p.ch = make(chan demuxMsg, demuxDepth)
+		p.plan.Scan.Factory = &consumerFactory{p: p, schema: p.plan.Scan.Schema()}
+	}
+	return &producer{
+		g:        g,
+		e:        g.e,
+		factory:  origFactory,
+		nStorage: width,
+		width:    width,
+		pm:       &sqlengine.Metrics{},
+	}
+}
+
+// participantPaths collects one participant's shareable extractions: trie-
+// eligible get_json_object calls over the scan's own storage columns.
+// Wildcard and root paths stay on the per-query tree-parse lane (the raw
+// document column still rides the shared batch).
+func participantPaths(p *participant, scan *sqlengine.ScanNode) map[string][]*jsonpath.Path {
+	byCol := make(map[string][]*jsonpath.Path)
+	sqlengine.VisitPlanExprs(p.plan, func(e sqlengine.Expr) {
+		jp, ok := e.(*sqlengine.JSONPathExpr)
+		if !ok || !jsonpath.TrieEligible(jp.Path) {
+			return
+		}
+		q := jp.Column.Qualifier
+		if q != "" && !strings.EqualFold(q, scan.Binding) {
+			return
+		}
+		col := strings.ToLower(jp.Column.Name)
+		byCol[col] = append(byCol[col], jp.Path)
+	})
+	return byCol
+}
+
+// buildMerged sets up merged-extraction sharing over a plain raw scan: the
+// union of every participant's paths is compiled per storage column, the
+// producer appends one TypeString column per distinct path to the scan
+// output, and each participant's get_json_object calls are rewritten to
+// placeholder reads of those columns. Returns nil when the group cannot be
+// built (plans untouched — queries run unshared).
+func (g *group) buildMerged(live []*participant) *producer {
+	scan0 := live[0].plan.Scan
+	storage := scan0.Schema()
+	nStorage := len(storage.Cols)
+
+	perPart := make([]map[string][]*jsonpath.Path, len(live))
+	for i, p := range live {
+		perPart[i] = participantPaths(p, p.plan.Scan)
+	}
+
+	// One merged PathSet per storage column, columns in schema order so
+	// every participant sees the identical extracted-column layout.
+	var egroups []extractGroup
+	var extCols []sqlengine.RowCol
+	partIdx := make([]map[string]int, len(live)) // colkey\x00canon → batch col
+	for i := range partIdx {
+		partIdx[i] = make(map[string]int)
+	}
+	for colIdx, col := range storage.Cols {
+		colKey := strings.ToLower(col.Name)
+		sets := make([]*jsonpath.PathSet, len(live))
+		any := false
+		for i := range live {
+			paths := perPart[i][colKey]
+			if len(paths) == 0 {
+				continue
+			}
+			set, err := jsonpath.NewPathSet(paths...)
+			if err != nil {
+				return nil
+			}
+			sets[i] = set
+			any = true
+		}
+		if !any {
+			continue
+		}
+		merged, remaps, err := jsonpath.Union(sets...)
+		if err != nil {
+			return nil
+		}
+		base := nStorage + len(extCols)
+		for k := 0; k < merged.Len(); k++ {
+			extCols = append(extCols, sqlengine.RowCol{
+				Name: sharedColName(colIdx, k),
+				Type: datum.TypeString,
+			})
+		}
+		for i, set := range sets {
+			if set == nil {
+				continue
+			}
+			for j, path := range set.Paths() {
+				partIdx[i][colKey+"\x00"+path.Canonical()] = base + remaps[i][j]
+			}
+		}
+		egroups = append(egroups, extractGroup{
+			colIdx: colIdx,
+			base:   base,
+			set:    merged,
+			n:      merged.Len(),
+		})
+	}
+
+	width := nStorage + len(extCols)
+
+	// The producer reads the pristine storage scan: same columns, same
+	// SARG (identical across the group by fingerprint), no per-query
+	// prefilters — those run post-demux in each consumer's pipeline.
+	prodScan := &sqlengine.ScanNode{
+		DB:      scan0.DB,
+		Table:   scan0.Table,
+		Binding: scan0.Binding,
+		Columns: append([]string(nil), scan0.Columns...),
+		SARG:    scan0.SARG,
+	}
+	prodScan.SetSchema(storage)
+
+	// Rewire every participant. From here on failures are per-query: a
+	// participant whose rewrite fails detaches and errors alone.
+	for i, p := range live {
+		scan := p.plan.Scan
+		cols := append(append([]sqlengine.RowCol(nil), scan.Schema().Cols...), extCols...)
+		schema := sqlengine.RowSchema{Cols: cols}
+		idx := partIdx[i]
+		sqlengine.RewritePlanExprs(p.plan, func(e sqlengine.Expr) sqlengine.Expr {
+			return sqlengine.Rewrite(e, func(e sqlengine.Expr) sqlengine.Expr {
+				jp, ok := e.(*sqlengine.JSONPathExpr)
+				if !ok {
+					return e
+				}
+				gi, ok := idx[strings.ToLower(jp.Column.Name)+"\x00"+jp.Path.Canonical()]
+				if !ok {
+					return e
+				}
+				return &sqlengine.CachePlaceholder{
+					OutputName:   schema.Cols[gi].Name,
+					SourceColumn: jp.Column.Name,
+					Path:         jp.Path,
+				}
+			})
+		})
+		scan.SetSchema(schema)
+		p.plan.InputSchema = schema
+		p.ch = make(chan demuxMsg, demuxDepth)
+		scan.Factory = &consumerFactory{p: p, schema: schema}
+		if err := p.plan.Rebind(); err != nil {
+			p.err = err
+			p.detach()
+		}
+	}
+
+	return &producer{
+		g:        g,
+		e:        g.e,
+		factory:  g.e.ScanFactory(prodScan),
+		extract:  egroups,
+		nStorage: nStorage,
+		width:    width,
+		pm:       &sqlengine.Metrics{},
+	}
+}
+
+// participant is one query's membership in a group. It doubles as the
+// SharedScanHandle the engine releases when the query finishes.
+type participant struct {
+	plan *sqlengine.PhysicalPlan
+	qctx context.Context
+	g    *group
+
+	// ch carries copied row batches producer→consumer; created at seal for
+	// shared participants, closed only by the producer.
+	ch chan demuxMsg
+	// detached, once closed, tells the producer to stop serving this query.
+	detached   chan struct{}
+	detachOnce sync.Once
+
+	// shared/err are written by the sealer before g.sealed closes.
+	shared bool
+	err    error
+
+	// src is the consumer source once opened; Release sweeps its held batch.
+	src atomic.Pointer[consumerSource]
+}
+
+func (p *participant) detach() {
+	p.detachOnce.Do(func() { close(p.detached) })
+}
+
+func (p *participant) isDetached() bool {
+	select {
+	case <-p.detached:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release implements sqlengine.SharedScanHandle: the engine calls it once
+// when the query completes. It detaches from the producer and returns any
+// batches still queued for this consumer to the pool. Batches the producer
+// manages to buffer after this drain are swept by the producer's own
+// end-of-run drain, so the pool balances no matter how the send/detach race
+// resolves.
+func (p *participant) Release() {
+	p.detach()
+	if s := p.src.Load(); s != nil {
+		s.sweepHold()
+	}
+	if p.ch == nil {
+		return
+	}
+	for {
+		select {
+		case msg, ok := <-p.ch:
+			if !ok {
+				return
+			}
+			sqlengine.PutRowBatch(msg.b)
+		default:
+			return
+		}
+	}
+}

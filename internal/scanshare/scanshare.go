@@ -1,0 +1,280 @@
+// Package scanshare batches concurrent queries over the same (table,
+// generation) into one shared scan. Maxson's premise is eliminating
+// duplicate parsing; without sharing, N concurrent queries against one
+// table tokenize the same raw and cached splits N times. The scheduler
+// holds each arriving query for a short admission window, groups the ones
+// whose scans are compatible, unions their compiled JSONPath sets into one
+// merged trie (jsonpath.Union — subsumption-deduplicated), runs a single
+// streaming pass with sjson.Parser.Extract, and demultiplexes the extracted
+// column batches to every participant's own filter/project/agg pipeline
+// over per-query bounded channels.
+//
+// Two sharing modes cover the planner's output:
+//
+//   - merged: plain raw scans (no custom factory). Participants' trie-
+//     eligible get_json_object calls are rewritten to placeholder reads of
+//     shared extraction columns appended to the scan schema; the producer
+//     parses each document once for the union of everyone's paths.
+//   - broadcast: scans whose factory reports a ScanFingerprint (Maxson's
+//     combined cache+raw reader). Plans are untouched; the producer runs
+//     one factory's splits and broadcasts the rows, so cache stitching,
+//     quarantine marking, and ErrCacheDegraded re-planning behave exactly
+//     as they would unshared — every sibling sees the degrade error and
+//     re-plans independently.
+//
+// Ownership across the demux boundary is copy-on-demux: the producer copies
+// each batch into a fresh pooled RowBatch per consumer and hands it over the
+// channel; after a send the producer never touches that batch again (the
+// demuxowner vet check enforces this statically). The receiver returns it to
+// the pool after copying out. A consumer that errors or is cancelled
+// detaches — the producer skips it and drains its channel at end-of-run —
+// so one query's exit never poisons its siblings or strands a pooled batch.
+package scanshare
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sqlengine"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultWindow     = time.Millisecond
+	DefaultMaxQueries = 16
+
+	// demuxDepth bounds each consumer's channel: the producer runs at most
+	// this many batches ahead of the slowest consumer (backpressure).
+	demuxDepth = 4
+)
+
+// Fingerprinter lets a custom ScanSourceFactory opt into broadcast sharing:
+// two scans whose factories return the same non-empty fingerprint read
+// identical rows and may be served by one pass. Maxson's CombinedScanFactory
+// implements it.
+type Fingerprinter interface {
+	ScanFingerprint() string
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	// Window is the admission window: how long the first query of a group
+	// waits for compatible queries before the scan starts. A lone query is
+	// released after exactly one window. Zero means DefaultWindow.
+	Window time.Duration
+	// MaxQueries seals a group early once this many queries joined
+	// (default DefaultMaxQueries).
+	MaxQueries int
+	// Obs receives scanshare_* metrics (nil = a private registry).
+	Obs *obs.Registry
+	// Generation distinguishes cache generations of a table: scans taken
+	// against different generations must not share a pass. Nil means all
+	// generations are 0 (sharing keyed by table alone).
+	Generation func(db, table string) int64
+}
+
+// counters are the scheduler's pre-resolved registry instruments.
+type counters struct {
+	groups          *obs.Counter
+	solo            *obs.Counter
+	coalesced       *obs.Counter
+	detach          *obs.Counter
+	bytesSaved      *obs.Counter
+	parseBytesSaved *obs.Counter
+	windowWait      *obs.Histogram
+}
+
+// Scheduler implements sqlengine.ScanSharer. One scheduler serves one
+// engine; safe for concurrent Attach calls.
+type Scheduler struct {
+	window time.Duration
+	maxQ   int
+	gen    func(db, table string) int64
+	c      counters
+
+	mu     sync.Mutex
+	groups map[string]*group
+}
+
+// New builds a scheduler. Install it with sqlengine.WithScanShare or
+// Engine.SetScanShare.
+func New(opts Options) *Scheduler {
+	if opts.Window <= 0 {
+		opts.Window = DefaultWindow
+	}
+	if opts.MaxQueries <= 0 {
+		opts.MaxQueries = DefaultMaxQueries
+	}
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Scheduler{
+		window: opts.Window,
+		maxQ:   opts.MaxQueries,
+		gen:    opts.Generation,
+		groups: make(map[string]*group),
+		c: counters{
+			groups:          reg.Counter("scanshare_groups_total"),
+			solo:            reg.Counter("scanshare_solo_queries_total"),
+			coalesced:       reg.Counter("scanshare_queries_coalesced_total"),
+			detach:          reg.Counter("scanshare_detach_total"),
+			bytesSaved:      reg.Counter("scanshare_bytes_saved_total"),
+			parseBytesSaved: reg.Counter("scanshare_parse_bytes_saved_total"),
+			windowWait:      reg.Histogram("scanshare_window_wait_ns"),
+		},
+	}
+}
+
+// fingerprint keys group membership. Two scans may share a pass only when
+// they read the same table and generation with the same column list and the
+// same row-group predicate (SARG skips row groups at the storage layer, so
+// it must be identical), and — for factory-backed scans — the factory
+// attests row-identical output via ScanFingerprint. Per-query residual
+// filters, Sparser prefilters, and projections run post-demux and do not
+// constrain sharing.
+func (s *Scheduler) fingerprint(scan *sqlengine.ScanNode, factoryFP string) string {
+	var b strings.Builder
+	if factoryFP != "" {
+		b.WriteString("factory\x00")
+		b.WriteString(factoryFP)
+		b.WriteByte(0)
+	} else {
+		b.WriteString("raw\x00")
+	}
+	b.WriteString(scan.DB)
+	b.WriteByte(0)
+	b.WriteString(scan.Table)
+	b.WriteByte(0)
+	if s.gen != nil {
+		b.WriteString(strconv.FormatInt(s.gen(scan.DB, scan.Table), 10))
+	}
+	b.WriteByte(0)
+	b.WriteString(strings.Join(scan.Columns, ","))
+	b.WriteByte(0)
+	if scan.SARG != nil {
+		b.WriteString(scan.SARG.String())
+	}
+	return b.String()
+}
+
+// Attach implements sqlengine.ScanSharer: offer plan's scan for sharing,
+// blocking until the group seals (at most the admission window). On return,
+// either the plan is untouched and the query runs unshared (nil handle), or
+// the scan now consumes a shared producer and the engine must Release the
+// returned handle when the query finishes.
+func (s *Scheduler) Attach(ctx context.Context, e *sqlengine.Engine, plan *sqlengine.PhysicalPlan) (sqlengine.SharedScanHandle, error) {
+	scan := plan.Scan
+	if scan == nil {
+		return nil, nil
+	}
+	factoryFP := ""
+	if scan.Factory != nil {
+		fp, ok := scan.Factory.(Fingerprinter)
+		if !ok {
+			return nil, nil // opaque custom factory: not shareable
+		}
+		factoryFP = fp.ScanFingerprint()
+		if factoryFP == "" {
+			return nil, nil
+		}
+	}
+	key := s.fingerprint(scan, factoryFP)
+
+	p := &participant{
+		plan:     plan,
+		qctx:     ctx,
+		detached: make(chan struct{}),
+	}
+	t0 := time.Now()
+
+	s.mu.Lock()
+	g := s.groups[key]
+	if g == nil {
+		g = &group{s: s, e: e, key: key, sealed: make(chan struct{})}
+		s.groups[key] = g
+		g.timer = time.AfterFunc(s.window, func() { s.seal(g) })
+	}
+	if g.e != e {
+		// A scheduler shared across engines: never mix producers.
+		s.mu.Unlock()
+		return nil, nil
+	}
+	p.g = g
+	g.parts = append(g.parts, p)
+	full := len(g.parts) >= s.maxQ
+	s.mu.Unlock()
+
+	if full {
+		s.seal(g)
+	}
+	select {
+	case <-g.sealed:
+	case <-ctx.Done():
+		// Leave before the group forms (or while it forms — the producer
+		// skips detached consumers and drains their channels at end).
+		p.detach()
+		s.c.detach.Inc()
+		return nil, ctx.Err()
+	}
+	s.c.windowWait.Observe(time.Since(t0).Nanoseconds())
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.shared {
+		return p, nil
+	}
+	return nil, nil
+}
+
+// seal freezes a group: no further queries may join, the membership decides
+// solo versus shared, shared groups get their plans rewired and the single
+// producer starts. Idempotent; called by the admission-window timer and by
+// Attach when the group fills.
+func (s *Scheduler) seal(g *group) {
+	s.mu.Lock()
+	if g.sealedFlag {
+		s.mu.Unlock()
+		return
+	}
+	g.sealedFlag = true
+	delete(s.groups, g.key)
+	parts := g.parts
+	s.mu.Unlock()
+	g.timer.Stop()
+
+	var live []*participant
+	for _, p := range parts {
+		if !p.isDetached() {
+			live = append(live, p)
+		}
+	}
+	if len(live) >= 2 {
+		g.launch(live)
+	}
+	if !g.launched {
+		// 0 or 1 live queries, or the group build failed before touching
+		// any plan: everyone still attached runs unshared.
+		if len(live) > 0 {
+			s.c.solo.Add(int64(len(live)))
+		}
+	}
+	close(g.sealed)
+}
+
+// sharedColName names the producer's i-th extraction of storage column
+// colIdx. The names only need to be unique within one scan's schema; the
+// placeholder rewrite binds them by name with an empty qualifier.
+func sharedColName(colIdx, i int) string {
+	return "__shared_" + strconv.Itoa(colIdx) + "_" + strconv.Itoa(i)
+}
+
+// errProducerPanic wraps a recovered producer panic for the consumers.
+func errProducerPanic(v any) error {
+	return fmt.Errorf("scanshare: shared producer panicked: %v", v)
+}

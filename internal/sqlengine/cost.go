@@ -122,6 +122,7 @@ const (
 	ScanFallbackUncovered                      // fallback parse: split postdates the cache
 	ScanFallbackRetired                        // fallback parse: cache generation retired
 	ScanFallbackQuarantined                    // fallback parse: cache table quarantined
+	ScanShared                                 // served by a shared-scan producer (scanshare demux)
 )
 
 // MarkScanMode ORs one ScanMode bit into the metrics (lock-free; called by
@@ -139,15 +140,18 @@ func (m *Metrics) MarkScanMode(bit uint32) {
 func (m *Metrics) ScanModes() uint32 { return m.scanModes.Load() }
 
 // PlanModeString folds the scan-mode bits into the flight recorder's plan
-// mode vocabulary: "cached" (cache-only reads), "combined" (stitched
-// raw+cache), "fallback-raw" (cache planned but some split parsed raw),
-// "raw" (no cache involvement), or "none" (no scan ran, e.g. EXPLAIN).
+// mode vocabulary: "shared" (rows arrived through a shared-scan demux),
+// "cached" (cache-only reads), "combined" (stitched raw+cache),
+// "fallback-raw" (cache planned but some split parsed raw), "raw" (no cache
+// involvement), or "none" (no scan ran, e.g. EXPLAIN).
 func (m *Metrics) PlanModeString() string {
 	bits := m.scanModes.Load()
 	fallback := bits&(ScanFallbackUncovered|ScanFallbackRetired|ScanFallbackQuarantined) != 0
 	switch {
 	case bits == 0:
 		return "none"
+	case bits&ScanShared != 0:
+		return "shared"
 	case fallback:
 		return "fallback-raw"
 	case bits&(ScanCombined|ScanCombinedPushdown) != 0:
@@ -182,6 +186,12 @@ func (m *Metrics) addTo(dst *Metrics) {
 		dst.MarkScanMode(bits)
 	}
 }
+
+// MergeInto folds this Metrics' counters into dst. Exported for shared-scan
+// producers: the producer meters the single underlying pass into its own
+// Metrics, and exactly one consumer query folds that work into its totals so
+// engine-lifetime counters see the scan once, not once per participant.
+func (m *Metrics) MergeInto(dst *Metrics) { m.addTo(dst) }
 
 // String renders the counters as one human-readable line — the single
 // rendering path shared by cmd/maxson-sql and EXPLAIN ANALYZE.

@@ -33,6 +33,11 @@ type Engine struct {
 	// is added to PlanExprNodes so Fig 13 sees the modification overhead.
 	PlanModifier func(plan *PhysicalPlan, stmt *SelectStmt) (extraNodes int64, err error)
 
+	// scanShare, when set, batches compatible concurrent scans into one
+	// shared pass (internal/scanshare). Consulted after planning, before
+	// execution; nil means every query scans for itself.
+	scanShare ScanSharer
+
 	// obsReg publishes engine-lifetime totals; obsC holds the pre-resolved
 	// counter handles so per-query publication is lock-free.
 	obsReg *obs.Registry
@@ -298,6 +303,19 @@ func (e *Engine) queryStmt(ctx context.Context, stmt *SelectStmt, traced bool) (
 			rs.Rows = append(rs.Rows, []datum.Datum{datum.Str(line)})
 		}
 		return plan, rs, m, nil
+	}
+
+	// Offer the plan to the shared-scan scheduler. Traced queries keep
+	// their own pass (spans describe a private scan), as do joins (two
+	// scans, one plan — not worth the pairing complexity).
+	if e.scanShare != nil && !traced && plan.Join == nil {
+		h, err := e.scanShare.Attach(ctx, e, plan)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if h != nil {
+			defer h.Release()
+		}
 	}
 
 	var trace *obs.Span

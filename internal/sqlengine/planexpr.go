@@ -1,0 +1,126 @@
+package sqlengine
+
+// Plan-level expression traversal, rewrite, and rebinding. These are the
+// primitives external plan rewriters build on: Maxson's cache planner swaps
+// JSON extractions for cache-column placeholders, and the scan-share
+// scheduler swaps them for shared-extraction columns. Both then rebind the
+// surviving expressions against the scan's rebuilt schema.
+
+// VisitPlanExprs walks every expression of the plan that can reference the
+// scan's output: select items, the residual filter, group keys, aggregate
+// arguments, order keys, and join keys.
+func VisitPlanExprs(plan *PhysicalPlan, f func(Expr)) {
+	visit := func(e Expr) {
+		if e != nil {
+			Walk(e, f)
+		}
+	}
+	for _, it := range plan.Items {
+		visit(it.Expr)
+	}
+	visit(plan.Filter)
+	for _, g := range plan.GroupBy {
+		visit(g)
+	}
+	for _, a := range plan.Aggs {
+		visit(a.Arg)
+	}
+	for _, o := range plan.OrderBy {
+		visit(o.Expr)
+	}
+	if plan.Join != nil {
+		for _, k := range plan.Join.LeftKeys {
+			visit(k)
+		}
+		for _, k := range plan.Join.RightKeys {
+			visit(k)
+		}
+	}
+}
+
+// RewritePlanExprs applies a rewrite to every plan expression slot that
+// VisitPlanExprs covers.
+func RewritePlanExprs(plan *PhysicalPlan, f func(Expr) Expr) {
+	for i := range plan.Items {
+		if plan.Items[i].Expr != nil {
+			plan.Items[i].Expr = f(plan.Items[i].Expr)
+		}
+	}
+	if plan.Filter != nil {
+		plan.Filter = f(plan.Filter)
+	}
+	for i := range plan.GroupBy {
+		plan.GroupBy[i] = f(plan.GroupBy[i])
+	}
+	for _, a := range plan.Aggs {
+		if a.Arg != nil {
+			a.Arg = f(a.Arg)
+		}
+	}
+	for i := range plan.OrderBy {
+		plan.OrderBy[i].Expr = f(plan.OrderBy[i].Expr)
+	}
+	if plan.Join != nil {
+		for i := range plan.Join.LeftKeys {
+			plan.Join.LeftKeys[i] = f(plan.Join.LeftKeys[i])
+		}
+		for i := range plan.Join.RightKeys {
+			plan.Join.RightKeys[i] = f(plan.Join.RightKeys[i])
+		}
+	}
+}
+
+// Rebind re-resolves every plan expression against the plan's (rebuilt)
+// input schema. Post-aggregation items reference keyRefs/aggregates only and
+// are left alone; group keys and aggregate arguments rebind. Join keys bind
+// against their own side's scan schema.
+func (plan *PhysicalPlan) Rebind() error {
+	input := plan.InputSchema
+	bind := func(e Expr) error {
+		if e == nil {
+			return nil
+		}
+		return Bind(e, input)
+	}
+	if err := bind(plan.Filter); err != nil {
+		return err
+	}
+	if len(plan.Aggs) > 0 || len(plan.GroupBy) > 0 {
+		for _, g := range plan.GroupBy {
+			if err := bind(g); err != nil {
+				return err
+			}
+		}
+		for _, a := range plan.Aggs {
+			if err := bind(a.Arg); err != nil {
+				return err
+			}
+		}
+		// Items/OrderBy in aggregate plans are post-agg expressions
+		// (keyRef/Aggregate only) — no rebinding needed or possible.
+		return nil
+	}
+	for i := range plan.Items {
+		if err := bind(plan.Items[i].Expr); err != nil {
+			return err
+		}
+	}
+	for i := range plan.OrderBy {
+		if err := bind(plan.OrderBy[i].Expr); err != nil {
+			return err
+		}
+	}
+	if plan.Join != nil {
+		for _, k := range plan.Join.LeftKeys {
+			if err := Bind(k, plan.Scan.Schema()); err != nil {
+				return err
+			}
+		}
+		for _, k := range plan.Join.RightKeys {
+			if err := Bind(k, plan.Join.Build.Schema()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package sqlengine
+
+import "context"
+
+// Shared-scan integration point. The engine itself knows nothing about how
+// concurrent queries get batched into one pass — that lives in
+// internal/scanshare — it only offers a pre-execution hook where an attached
+// ScanSharer may rewrite the plan's scan to consume a shared producer.
+
+// SharedScanHandle is a query's membership in a shared scan. The engine
+// calls Release exactly once when the query finishes (success, error, or
+// cancellation): the participant detaches from the producer and returns any
+// still-buffered pooled batches, so one query's exit never strands its
+// siblings or leaks RowBatches.
+type SharedScanHandle interface {
+	Release()
+}
+
+// ScanSharer batches compatible concurrent scans. Attach is called after
+// planning (and any PlanModifier) and before execution; it may block briefly
+// (the admission window) while compatible queries coalesce. A (nil, nil)
+// return means "run unshared" — the plan must then be untouched. A non-nil
+// handle means the plan's scan now reads from the shared producer and the
+// engine must Release the handle when the query completes.
+type ScanSharer interface {
+	Attach(ctx context.Context, e *Engine, plan *PhysicalPlan) (SharedScanHandle, error)
+}
+
+// WithScanShare attaches a shared-scan scheduler to the engine.
+func WithScanShare(s ScanSharer) EngineOption {
+	return func(e *Engine) { e.scanShare = s }
+}
+
+// SetScanShare installs (or, with nil, removes) the engine's shared-scan
+// scheduler. Call before serving queries.
+func (e *Engine) SetScanShare(s ScanSharer) { e.scanShare = s }
+
+// BatchSize returns the rows-per-batch of the vectorized pipeline; shared
+// producers size their demux batches to it so consumer-side copies fit the
+// executor's pooled batches.
+func (e *Engine) BatchSize() int { return e.batchSize }
+
+// ScanFactory returns the engine's default scan-source factory for scan —
+// the same warehouse-backed splits an unshared query would read. Shared-scan
+// producers use it to run the single underlying pass.
+func (e *Engine) ScanFactory(scan *ScanNode) ScanSourceFactory {
+	return &tableSource{e: e, scan: scan}
+}
