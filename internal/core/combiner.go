@@ -375,9 +375,9 @@ func (f *CombinedScanFactory) openFallback(file string, m *sqlengine.Metrics, mo
 }
 
 // fallbackRowSource parses cache-column values out of raw JSON for splits
-// the cache does not cover. Trie-eligible fallback paths of one raw column
-// share a fbGroup and resolve in a single streaming pass; wildcard/root
-// paths keep the tree-parse memo.
+// the cache does not cover. Trie-eligible fallback paths of one raw column —
+// wildcards included — share a fbGroup and resolve in a single streaming
+// pass; root paths keep the tree-parse memo, metered as Parse.TreeFallback.
 type fallbackRowSource struct {
 	f      *CombinedScanFactory
 	cur    *orc.Cursor
@@ -632,6 +632,7 @@ func (s *fallbackRowSource) parse(doc string) *sjson.Value {
 		s.m.Parse.Docs.Add(1)
 		s.m.Parse.Bytes.Add(int64(len(doc)))
 		s.m.Parse.Calls.Add(int64(len(s.treeSpecs)))
+		s.m.Parse.TreeFallback.Add(1)
 	}
 	s.lastDoc = doc
 	if err != nil {

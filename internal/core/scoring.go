@@ -22,9 +22,10 @@ type PathProfile struct {
 	AvgParseNs float64
 	// AvgScanNs is the mean time to extract the value with the streaming
 	// single-pass extractor (charged only for bytes actually scanned; equal
-	// to AvgParseNs for wildcard/root paths, which keep the tree parse).
-	// Scoring still uses AvgParseNs — caching saves the tree parse the
-	// engine would otherwise do — but query-time miss costs use this.
+	// to AvgParseNs only for root paths, which keep the tree parse —
+	// wildcard paths stream and are measured like any other). Scoring still
+	// uses AvgParseNs — caching saves the tree parse the engine would
+	// otherwise do — but query-time miss costs use this.
 	AvgScanNs float64
 	// TotalValueBytes estimates the full cache footprint of the path (B_j
 	// times the table's row count), the unit the budget is spent in.

@@ -320,7 +320,7 @@ func TestFig15SystemOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Rows) != 10 {
+	if len(r.Rows) != 11 { // Table II's ten plus the QW wildcard companion
 		t.Fatalf("rows = %d", len(r.Rows))
 	}
 	for _, row := range r.Rows {
@@ -337,6 +337,17 @@ func TestFig15SystemOrdering(t *testing.T) {
 		// the uncached paths).
 		if row.MaxsonMison > row.Maxson+row.Maxson/20 {
 			t.Errorf("%s: maxson+mison %v > maxson %v", row.Query, row.MaxsonMison, row.Maxson)
+		}
+		// QW's wildcard path is deliberately uncached: the streaming lane's
+		// array-iteration nodes must beat the tree-parse fallback.
+		if row.Query == WildcardQuery {
+			if row.Cached != 0 {
+				t.Errorf("QW: cached = %d, want 0 (its path is never observed)", row.Cached)
+			}
+			if row.MaxsonStream >= row.Maxson {
+				t.Errorf("QW: maxson+stream %v >= maxson %v (wildcard should stream)",
+					row.MaxsonStream, row.Maxson)
+			}
 		}
 	}
 	t.Log("\n" + r.String())

@@ -17,7 +17,7 @@ import (
 // study: wall time and allocator pressure per operation plus the simulated
 // parse accounting (bytes charged vs bytes the early exit skipped).
 type ExtractBenchRow struct {
-	Lane        string // "kernel" | "populate" | "fallback"
+	Lane        string // "kernel" | "wildcard" | "populate" | "fallback"
 	Mode        string // "stream" | "tree"
 	NsPerOp     int64
 	AllocsPerOp int64
@@ -88,7 +88,27 @@ func kernelDoc() string {
 	return sb.String()
 }
 
-// RunExtractBench measures stream-vs-tree extraction across the three lanes.
+// wildcardDoc builds the array-iteration microbenchmark document: a 24-element
+// array of sale-log-style objects under "a", one wanted field ("b") per
+// element among several the streaming kernel skips at tokenizer speed but the
+// tree baseline must materialize, followed by a bulky tail the early exit
+// never tokenizes.
+func wildcardDoc() string {
+	var sb strings.Builder
+	sb.WriteString(`{"a": [`)
+	for i := 0; i < 24; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb,
+			`{"b": %d, "name": "item-%02d", "tags": ["new", "sale"], "meta": {"src": "pos", "seq": %d, "note": "%s"}}`,
+			i*3, i, i, strings.Repeat("p", 24))
+	}
+	fmt.Fprintf(&sb, `], "tail": {"blob": "%s"}}`, strings.Repeat("z", 400))
+	return sb.String()
+}
+
+// RunExtractBench measures stream-vs-tree extraction across the lanes.
 // Feeds BENCH_extract.json via maxson-bench -exp extract.
 func RunExtractBench(rows int, seed int64) (*ExtractBenchResult, error) {
 	out := &ExtractBenchResult{}
@@ -126,6 +146,46 @@ func RunExtractBench(rows int, seed int64) (*ExtractBenchResult, error) {
 		}
 		if p3.Eval(root).IsNull() || p7.Eval(root).IsNull() {
 			return fmt.Errorf("kernel paths missing")
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, row)
+
+	// --- wildcard lane: $.a[*].b over a 24-element array, bulky tail ---
+	// The streaming kernel iterates the array in the same pass (array-
+	// iteration trie nodes), collapses the matches in the arena, and exits
+	// before the tail; the tree baseline materializes the whole document.
+	wdoc := []byte(wildcardDoc())
+	wset, err := jsonpath.NewPathSet(jsonpath.MustCompile("$.a[*].b"))
+	if err != nil {
+		return nil, err
+	}
+	wvals := make([]*sjson.Value, 1)
+	wscanned, err := wset.Extract(&parser, wdoc, wvals)
+	if err != nil {
+		return nil, err
+	}
+	row, err = benchOp("wildcard", "stream", int64(wscanned), int64(len(wdoc)-wscanned), func() error {
+		parser.ResetValues()
+		_, err := wset.Extract(&parser, wdoc, wvals)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, row)
+	wpath := jsonpath.MustCompile("$.a[*].b")
+	row, err = benchOp("wildcard", "tree", int64(len(wdoc)), 0, func() error {
+		parser.ResetValues()
+		root, err := parser.Parse(wdoc)
+		if err != nil {
+			return err
+		}
+		if wpath.Eval(root).IsNull() {
+			return fmt.Errorf("wildcard path missing")
 		}
 		return nil
 	})

@@ -163,7 +163,21 @@ func (w *Workload) buildTable(spec QuerySpec, rng *rand.Rand) {
 		sb.WriteString(fmt.Sprintf(" ORDER BY get_json_object(payload, '%s') DESC LIMIT 10", paths[0]))
 	}
 	w.SQL[spec.Name] = sb.String()
+
+	// QW: the wildcard companion query over Q3's table, projecting every
+	// event value through the array-iteration trie nodes. Its path is never
+	// observed by the collector, so it always runs on the uncached fallback
+	// lane — the stream-vs-tree contrast Fig 15 isolates.
+	if spec.Name == "Q3" {
+		w.Paths[WildcardQuery] = []string{"$.events[*].v"}
+		w.SQL[WildcardQuery] = fmt.Sprintf(
+			"SELECT id, get_json_object(payload, '$.events[*].v') ev FROM %s.%s ORDER BY ev DESC LIMIT 10",
+			w.DB, spec.Table)
+	}
 }
+
+// WildcardQuery names the Fig 15 wildcard companion query (over Q3's table).
+const WildcardQuery = "QW"
 
 func contains(s []string, v string) bool {
 	for _, x := range s {
@@ -176,11 +190,12 @@ func contains(s []string, v string) bool {
 
 // docShape captures the generated document layout for one table.
 type docShape struct {
-	topProps  int // scalar properties at the top level
-	nestProps int // properties inside the nested chain
-	nesting   int
-	fillLen   int // filler string length tuning the average size
-	totalRows int // table size, for position-correlated metrics
+	topProps   int // scalar properties at the top level
+	nestProps  int // properties inside the nested chain
+	nesting    int
+	fillLen    int // filler string length tuning the average size
+	totalRows  int // table size, for position-correlated metrics
+	arrayItems int // elements of the "events" array (0 = no array)
 }
 
 // planShape distributes properties across nesting levels and solves for a
@@ -202,6 +217,11 @@ func planShape(spec QuerySpec) docShape {
 	s.fillLen = remaining / spec.PropCount
 	if s.fillLen < 1 {
 		s.fillLen = 1
+	}
+	// Q3's sale logs carry an array of event objects, the target of the
+	// wildcard query (QW) that exercises the array-iteration trie nodes.
+	if spec.Name == "Q3" {
+		s.arrayItems = 6
 	}
 	return s
 }
@@ -228,6 +248,18 @@ func genDoc(s docShape, rowID int, rng *rand.Rand) string {
 		} else {
 			obj.Set(name, sjson.String(filler))
 		}
+	}
+	if s.arrayItems > 0 {
+		// An array of small event objects: the wildcard query projects
+		// $.events[*].v across them.
+		events := sjson.Array()
+		for i := 0; i < s.arrayItems; i++ {
+			ev := sjson.Object()
+			ev.Set("k", sjson.String(fmt.Sprintf("e%d", i)))
+			ev.Set("v", sjson.Int(int64((rowID*7+i*13)%1000)))
+			events.Append(ev)
+		}
+		obj.Set("events", events)
 	}
 	if s.nesting > 1 {
 		// A chain of nested objects, properties distributed along it.

@@ -28,6 +28,18 @@ func FuzzExtractEquivalence(f *testing.F) {
 	f.Add(`null`, "$.a")
 	f.Add(`{"a": {`, "$.a.b")
 	f.Add(`{"a": 1} trailing`, "$.a;$.z")
+	// Wildcard seeds: array-iteration nodes over plain, nested, empty, and
+	// heterogeneous arrays, explicit nulls (excluded from matches), wildcard
+	// next to point indexes, and covering sets with a terminal on the wild
+	// child itself.
+	f.Add(`{"a": [{"b": 1}, {"b": 2}, {"b": 3}], "z": "t"}`, "$.a[*].b;$.a[0].b;$.z")
+	f.Add(`{"a": [{"b": null}, {"b": 2}, 5, "s", [1]]}`, "$.a[*];$.a[*].b;$.a[2]")
+	f.Add(`{"a": []}`, "$.a[*];$.a[*].b;$.a[0]")
+	f.Add(`{"a": [[{"c": 1}], [{"c": 2}, {"c": 3}], []]}`, "$.a[*][*].c;$.a[*][0];$.a[1][*]")
+	f.Add(`{"a": [{"b": [1, 2]}, {"b": []}, {"b": [3]}]}`, "$.a[*].b[*];$.a[*].b")
+	f.Add(`[{"k": [true, null]}, 7]`, "$[*].k;$[*].k[*];$[0]")
+	f.Add(`{"a": {"b": 1}}`, "$.a[*];$.a[*].b;$.a.b")
+	f.Add(`{"m": [[1, 2], [3], "x"]}`, "$.m[*][0];$.m[*];$.m[9]")
 
 	f.Fuzz(func(t *testing.T, doc string, pathSpec string) {
 		var paths []*Path

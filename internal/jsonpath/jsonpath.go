@@ -42,8 +42,8 @@ type Path struct {
 	text  string
 	steps []Step
 	// set is the path's one-element PathSet, compiled eagerly for
-	// trie-eligible paths so EvalString streams instead of tree-parsing;
-	// nil for wildcard and root paths.
+	// trie-eligible paths (wildcards included) so EvalString streams instead
+	// of tree-parsing; nil only for root paths.
 	set *PathSet
 }
 
@@ -232,9 +232,10 @@ func (p *Path) HasWildcard() bool {
 // reports whether the value was present. A JSON syntax error also reports
 // absent, matching the UDF's permissive NULL-on-bad-input behaviour.
 //
-// Trie-eligible paths stream through the single-path extractor — one forward
-// pass that stops as soon as the value resolves — rather than re-parsing the
-// whole document per call. Wildcard and root paths keep the tree parse.
+// Trie-eligible paths — wildcards included — stream through the single-path
+// extractor: one forward pass that stops as soon as the value resolves,
+// rather than re-parsing the whole document per call. Only root paths keep
+// the tree parse.
 func (p *Path) EvalString(doc string) (string, bool) {
 	if p.set != nil {
 		return p.set.evalStringStreaming(doc)

@@ -25,15 +25,16 @@ type PathSet struct {
 	root    *sjson.ExtractNode
 }
 
-// TrieEligible reports whether the streaming extractor can serve p directly:
-// wildcard steps fan out over unknown-width arrays and root paths project
-// the whole document, so both stay on the tree-parse escape hatch.
+// TrieEligible reports whether the streaming extractor can serve p directly.
+// Wildcard steps compile into array-iteration trie nodes and stream like any
+// other path; only root paths — which project the whole document, so there is
+// nothing to skip — stay on the tree-parse escape hatch.
 func TrieEligible(p *Path) bool {
-	return p != nil && !p.IsRoot() && !p.HasWildcard()
+	return p != nil && !p.IsRoot()
 }
 
 // NewPathSet compiles paths into a shared trie. Every path must be
-// TrieEligible; callers with mixed sets split off wildcard/root paths first.
+// TrieEligible; callers with mixed sets split off root paths first.
 func NewPathSet(paths ...*Path) (*PathSet, error) {
 	s := &PathSet{
 		paths: append([]*Path(nil), paths...),
@@ -47,7 +48,7 @@ func NewPathSet(paths ...*Path) (*PathSet, error) {
 			if p != nil {
 				text = p.String()
 			}
-			return nil, fmt.Errorf("jsonpath: path %s is not trie-eligible (wildcard or root)", text)
+			return nil, fmt.Errorf("jsonpath: path %s is not trie-eligible (root)", text)
 		}
 		canon := p.Canonical()
 		if slot, ok := byCanon[canon]; ok {
@@ -62,6 +63,8 @@ func NewPathSet(paths ...*Path) (*PathSet, error) {
 				n = n.Member(st.Name)
 			case StepIndex:
 				n = n.Elem(st.Index)
+			case StepWildcard:
+				n = n.Wild()
 			}
 		}
 		slot := s.nSlots
@@ -79,9 +82,10 @@ func NewPathSet(paths ...*Path) (*PathSet, error) {
 // slots. Paths appearing in more than one input (by Canonical form) share a
 // single merged slot, so the merged trie extracts — and BytesScanned meters —
 // each distinct path exactly once per document. Overlapping paths such as
-// $.a alongside $.a.b also coexist in the one trie: the single streaming
-// pass fills the deeper terminal while materializing the covering value, so
-// neither the document bytes nor the parse counters are charged twice.
+// $.a alongside $.a.b — and their wildcard forms, $.a[*] alongside
+// $.a[*].b — also coexist in the one trie: the single streaming pass fills
+// the deeper terminal while materializing the covering value, so neither
+// the document bytes nor the parse counters are charged twice.
 //
 // The merged set is canonical (no aliased slots): its Extract writes exactly
 // Len() outputs, and remaps[i][j] is the merged output slot serving input

@@ -51,9 +51,6 @@ func TestPathSetExtractMatchesEval(t *testing.T) {
 }
 
 func TestPathSetRejectsIneligible(t *testing.T) {
-	if _, err := NewPathSet(MustCompile("$.a[*].b")); err == nil {
-		t.Error("wildcard path should be rejected")
-	}
 	if _, err := NewPathSet(MustCompile("$")); err == nil {
 		t.Error("root path should be rejected")
 	}
@@ -67,9 +64,10 @@ func TestTrieEligible(t *testing.T) {
 		"$.a":        true,
 		"$.a.b[3].c": true,
 		"$['x y']":   true,
+		"$.a[*]":     true,
+		"$[*].b":     true,
+		"$.a[*].b":   true,
 		"$":          false,
-		"$.a[*]":     false,
-		"$[*].b":     false,
 	} {
 		if got := TrieEligible(MustCompile(expr)); got != want {
 			t.Errorf("TrieEligible(%s) = %v, want %v", expr, got, want)
@@ -77,6 +75,71 @@ func TestTrieEligible(t *testing.T) {
 	}
 	if TrieEligible(nil) {
 		t.Error("TrieEligible(nil) should be false")
+	}
+}
+
+// TestPathSetWildcardMatchesEval pins the streaming array-iteration nodes to
+// tree-parse + Eval over the tricky wildcard shapes: nested wildcards,
+// empty/heterogeneous arrays, explicit nulls (excluded from matches),
+// wildcard+index coexistence at one array, and covering sets where a
+// terminal sits on the wild child itself.
+func TestPathSetWildcardMatchesEval(t *testing.T) {
+	docs := []string{
+		`{"a": [{"b": 1}, {"b": 2}, {"b": 3}], "z": "tail"}`,
+		`{"a": [{"b": 1}], "z": 2}`,                    // single match stays scalar
+		`{"a": [], "z": 2}`,                            // empty array
+		`{"a": [1, "s", null, {"b": 9}, [5]], "z": 0}`, // heterogeneous + null
+		`{"a": {"b": 1}}`,                              // wildcard over non-array
+		`{"a": [{"b": null}, {"b": 2}, {"c": 3}]}`,     // explicit nulls excluded
+		`{"a": [[{"c": 1}], [{"c": 2}, {"c": 3}], []]}`,
+		`{"a": [{"b": [1, 2]}, {"b": []}, {"b": [3]}]}`, // nested wild per level
+		`{"m": [[1, 2], [3], "x"], "a": [0]}`,
+		`{"a": [{"b": {"c": true}}, 7, {"b": {"c": false}}]}`,
+		`{}`,
+		`[{"b": 1}, {"b": 2}]`, // wildcard at the root value
+	}
+	exprs := []string{
+		"$.a[*]",
+		"$.a[*].b",
+		"$.a[*].b[*]",
+		"$.a[*].b.c",
+		"$.a[0]",    // coexists with $.a[*] in one trie
+		"$.a[1].b",  // ditto, deeper
+		"$.a[9]",    // past-the-end index next to a wildcard
+		"$.m[*][0]", // wildcard-then-index
+		"$[*].b",    // root-level wildcard
+		"$.z",       // plain path sharing the pass
+	}
+	var paths []*Path
+	for _, e := range exprs {
+		paths = append(paths, MustCompile(e))
+	}
+	set, err := NewPathSet(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parser sjson.Parser
+	out := make([]*sjson.Value, len(paths))
+	for _, doc := range docs {
+		parser.ResetValues()
+		if _, err := set.Extract(&parser, []byte(doc), out); err != nil {
+			t.Fatalf("doc %s: %v", doc, err)
+		}
+		root, err := sjson.ParseString(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range paths {
+			want := p.Eval(root)
+			got := out[i]
+			if (want == nil) != (got == nil) {
+				t.Errorf("doc %s path %s: nil-ness differs: eval=%v extract=%v", doc, p, want, got)
+				continue
+			}
+			if !sjson.Equal(want, got) {
+				t.Errorf("doc %s path %s: eval=%s extract=%s", doc, p, want.Scalar(), got.Scalar())
+			}
+		}
 	}
 }
 
@@ -125,7 +188,7 @@ func TestEvalStringStreaming(t *testing.T) {
 			t.Errorf("EvalString(%s) = (%q, %v), want (%q, %v)", tc.expr, got, ok, tc.want, tc.ok)
 		}
 	}
-	// Wildcard paths keep tree semantics.
+	// Wildcard paths stream too, with identical collapse semantics.
 	got, ok := MustCompile("$.nested.deep[*].k").EvalString(doc)
 	if got != "true" || !ok {
 		t.Errorf("wildcard EvalString = (%q, %v)", got, ok)

@@ -164,6 +164,61 @@ func TestUnionSinglePassSubsumption(t *testing.T) {
 	}
 }
 
+// TestUnionWildcardSubsumption extends the single-pass invariant to wildcard
+// paths: $.a[*] alongside $.a[*].b merges into one trie whose single
+// streaming pass serves both (the wild terminal materializes each element
+// and the deeper terminal fills from it), every participant recovering its
+// own values through the remap. This is what lets scanshare merged mode
+// group wildcard queries instead of degrading to solo passthrough.
+func TestUnionWildcardSubsumption(t *testing.T) {
+	doc := []byte(`{"a": [{"b": 1, "c": "x"}, {"b": 2}, {"c": "y"}], "z": "tail-not-needed"}`)
+	setA := compileSet(t, "$.a[*]", "$.z")
+	setB := compileSet(t, "$.a[*].b", "$.a[*]")
+	setC := compileSet(t, "$.a[*].b", "$.a[0].c")
+	merged, remaps, err := Union(setA, setB, setC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMerged := []string{"$.a[*]", "$.z", "$.a[*].b", "$.a[0].c"}
+	if merged.Len() != len(wantMerged) {
+		t.Fatalf("merged.Len() = %d, want %d", merged.Len(), len(wantMerged))
+	}
+	for i, want := range wantMerged {
+		if got := merged.Paths()[i].Canonical(); got != want {
+			t.Errorf("merged slot %d = %s, want %s", i, got, want)
+		}
+	}
+
+	var parser sjson.Parser
+	out := make([]*sjson.Value, merged.Len())
+	if _, err := merged.Extract(&parser, doc, out); err != nil {
+		t.Fatal(err)
+	}
+
+	// Spot-check the wildcard collapse through the merged slots.
+	if got := out[0].Scalar(); got != `[{"b":1,"c":"x"},{"b":2},{"c":"y"}]` {
+		t.Errorf("$.a[*] = %s", got)
+	}
+	if got := out[2].Scalar(); got != "[1,2]" {
+		t.Errorf("$.a[*].b = %s", got)
+	}
+
+	// Each input set's view through the remap must match extracting it alone.
+	for si, set := range []*PathSet{setA, setB, setC} {
+		var soloParser sjson.Parser
+		solo := make([]*sjson.Value, set.Len())
+		if _, err := set.Extract(&soloParser, doc, solo); err != nil {
+			t.Fatal(err)
+		}
+		for j, slot := range remaps[si] {
+			if !sjson.Equal(solo[j], out[slot]) {
+				t.Errorf("set %d path %s: solo=%v merged[%d]=%v",
+					si, set.Paths()[j], solo[j], slot, out[slot])
+			}
+		}
+	}
+}
+
 func TestUnionEmpty(t *testing.T) {
 	merged, remaps, err := Union()
 	if err != nil {

@@ -24,9 +24,10 @@ type FillStats struct {
 }
 
 // Filler is the online cache's fill path: a miss extracts the missed path's
-// value from the raw document before inserting it. Trie-eligible paths run
-// the single-pass streaming extractor (skipped bytes are never tokenized
-// into values); wildcard and root paths keep the tree-parse escape hatch.
+// value from the raw document before inserting it. Trie-eligible paths —
+// wildcards included — run the single-pass streaming extractor (skipped
+// bytes are never tokenized into values); root paths keep the tree-parse
+// escape hatch.
 // A Filler owns its parse arena and is not goroutine-safe, like the Cache.
 type Filler struct {
 	C *Cache

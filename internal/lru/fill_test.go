@@ -38,12 +38,36 @@ func TestFillerStreamingFill(t *testing.T) {
 	}
 }
 
-func TestFillerWildcardEscapeHatch(t *testing.T) {
+func TestFillerWildcardStreams(t *testing.T) {
 	c := New(1000)
 	f := NewFiller(c)
-	path := jsonpath.MustCompile("$.xs[*]")
+	path := jsonpath.MustCompile("$.xs[*].v")
+	doc := `{"xs": [{"v": 1}, {"v": 2}, {"v": 3}], "tail": "xxxxxxxxxxxxxxxx"}`
+	k := pathkey.Key{DB: "db", Table: "t", Column: "c", Path: "$.xs[*].v"}
+
+	v, hit := f.Access(k, 0, path, doc)
+	if hit {
+		t.Fatal("first access should miss")
+	}
+	want, _ := path.EvalString(doc)
+	if v != want || v != "[1,2,3]" {
+		t.Errorf("wildcard fill = %q, want %q", v, want)
+	}
+	st := f.FillStats()
+	if st.BytesScanned+st.BytesSkipped != int64(len(doc)) {
+		t.Errorf("wildcard stream stats = %+v, want scanned+skipped == len(doc)", st)
+	}
+	if st.BytesSkipped <= 0 {
+		t.Errorf("BytesSkipped = %d, want > 0 (early exit after the array closes)", st.BytesSkipped)
+	}
+}
+
+func TestFillerRootEscapeHatch(t *testing.T) {
+	c := New(1000)
+	f := NewFiller(c)
+	path := jsonpath.MustCompile("$")
 	doc := `{"xs": [1, 2, 3]}`
-	k := pathkey.Key{DB: "db", Table: "t", Column: "c", Path: "$.xs[*]"}
+	k := pathkey.Key{DB: "db", Table: "t", Column: "c", Path: "$"}
 
 	v, hit := f.Access(k, 0, path, doc)
 	if hit {
@@ -51,7 +75,7 @@ func TestFillerWildcardEscapeHatch(t *testing.T) {
 	}
 	want, _ := path.EvalString(doc)
 	if v != want {
-		t.Errorf("wildcard fill = %q, want %q", v, want)
+		t.Errorf("root fill = %q, want %q", v, want)
 	}
 	st := f.FillStats()
 	if st.BytesScanned != int64(len(doc)) || st.BytesSkipped != 0 {

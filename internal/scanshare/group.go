@@ -99,9 +99,10 @@ func (g *group) buildBroadcast(live []*participant) *producer {
 }
 
 // participantPaths collects one participant's shareable extractions: trie-
-// eligible get_json_object calls over the scan's own storage columns.
-// Wildcard and root paths stay on the per-query tree-parse lane (the raw
-// document column still rides the shared batch).
+// eligible get_json_object calls over the scan's own storage columns,
+// wildcard paths included (they compile into array-iteration trie nodes).
+// Only root paths stay on the per-query tree-parse lane (the raw document
+// column still rides the shared batch).
 func participantPaths(p *participant, scan *sqlengine.ScanNode) map[string][]*jsonpath.Path {
 	byCol := make(map[string][]*jsonpath.Path)
 	sqlengine.VisitPlanExprs(p.plan, func(e sqlengine.Expr) {

@@ -47,8 +47,9 @@ func newShareEnv(t *testing.T, seed int64, rowsPerFile, files int, opts scanshar
 	for f := 0; f < files; f++ {
 		var rows [][]datum.Datum
 		for i := 0; i < rowsPerFile; i++ {
-			doc := fmt.Sprintf(`{"a":%d,"b":"g%d","nested":{"x":%d,"y":"v%d"},"tail":%q}`,
+			doc := fmt.Sprintf(`{"a":%d,"b":"g%d","nested":{"x":%d,"y":"v%d"},"items":[{"q":%d},{"q":%d},{"r":%d}],"tail":%q}`,
 				rng.Intn(100), rng.Intn(3), rng.Intn(80), rng.Intn(5),
+				rng.Intn(9), rng.Intn(9), rng.Intn(9),
 				strings.Repeat("pad", 10))
 			rows = append(rows, []datum.Datum{datum.Int(int64(id)), datum.Str(doc)})
 			id++
@@ -343,6 +344,53 @@ func TestSubsumedPathsShareColumns(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("results diverged for %q:\nwant:\n%s\ngot:\n%s", queries[i], want[i], got[i])
 		}
+	}
+	if n := env.reg.Counter("scanshare_groups_total").Value(); n != 1 {
+		t.Fatalf("scanshare_groups_total = %d, want 1", n)
+	}
+	checkBaseline(t, before)
+}
+
+// TestMergedWildcardQueriesShare: wildcard paths now compile into the merged
+// trie (array-iteration nodes), so queries over $.items[*] shapes coalesce
+// into one shared streaming pass instead of silently degrading to solo
+// passthrough — including the subsumption pair $.items[*] / $.items[*].q.
+func TestMergedWildcardQueriesShare(t *testing.T) {
+	env := newShareEnv(t, 31, 30, 2, scanshare.Options{
+		Window: 250 * time.Millisecond, MaxQueries: 16,
+	})
+	queries := []string{
+		`SELECT id, get_json_object(doc, '$.items[*].q') q FROM db.t ORDER BY id`,
+		`SELECT id, get_json_object(doc, '$.items[*]') all_items, get_json_object(doc, '$.items[*].q') q
+		 FROM db.t ORDER BY id`,
+		`SELECT id, get_json_object(doc, '$.items[0].q') q0, get_json_object(doc, '$.a') a
+		 FROM db.t ORDER BY id`,
+	}
+	want := make([]string, len(queries))
+	for i, sql := range queries {
+		rs, _, err := env.plain.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rs.String()
+	}
+	before := sqlengine.OutstandingBatches()
+
+	got, mets, errs := runConcurrent(context.Background(), env.shared, queries, nil)
+	for i := range queries {
+		if errs[i] != nil {
+			t.Fatalf("shared %q: %v", queries[i], errs[i])
+		}
+		if got[i] != want[i] {
+			t.Fatalf("results diverged for %q:\nwant:\n%s\ngot:\n%s", queries[i], want[i], got[i])
+		}
+		if mets[i].ScanModes()&sqlengine.ScanShared == 0 {
+			t.Fatalf("wildcard query %q missing ScanShared mode (PlanModeString=%q)",
+				queries[i], mets[i].PlanModeString())
+		}
+	}
+	if n := env.reg.Counter("scanshare_queries_coalesced_total").Value(); n != 3 {
+		t.Fatalf("scanshare_queries_coalesced_total = %d, want 3", n)
 	}
 	if n := env.reg.Counter("scanshare_groups_total").Value(); n != 1 {
 		t.Fatalf("scanshare_groups_total = %d, want 1", n)

@@ -8,14 +8,16 @@ package sjson
 // This is the repository's stand-in for Keiser & Lemire's On-Demand JSON
 // design: the caller compiles the paths it needs into an ExtractNode trie
 // (see jsonpath.PathSet) and the extractor materializes exactly the subtrees
-// sitting under terminal trie nodes, nothing else. It composes with, rather
-// than replaces, the full tree parser: wildcard paths and root projections
-// still go through Parse.
+// sitting under terminal trie nodes, nothing else. Wildcard steps ($.a[*].b)
+// compile into array-iteration nodes evaluated in the same single pass; it
+// composes with, rather than replaces, the full tree parser only for root
+// projections, which still go through Parse.
 
 // ExtractNode is one node of a compiled extraction trie. Member edges select
-// object keys, element edges select array indexes, and a terminal marks a
-// requested path ending at this node (its subtree value is materialized).
-// Build a trie with NewExtractNode/Member/Elem/MarkTerminal, then call
+// object keys, element edges select array indexes, a wild edge iterates every
+// element of an array ([*]), and a terminal marks a requested path ending at
+// this node (its subtree value is materialized).
+// Build a trie with NewExtractNode/Member/Elem/Wild/MarkTerminal, then call
 // Finalize exactly once before handing it to Parser.Extract. A finalized trie
 // is immutable and safe for concurrent use by many parsers.
 type ExtractNode struct {
@@ -23,6 +25,7 @@ type ExtractNode struct {
 	memberIdx map[string]int // key → members ordinal, built past smallObjectThreshold
 	elems     []extractElem  // ascending by index
 	maxElem   int            // largest requested element index; -1 when none
+	wild      *ExtractNode   // [*] edge: evaluated against every array element
 	terminal  int            // output slot for the path ending here; -1 when interior
 
 	// Terminal counts let the extractor resolve "everything under here is
@@ -31,6 +34,13 @@ type ExtractNode struct {
 	nTerms      int // terminals in this subtree, including the node itself
 	memberTerms int // terminals under member edges
 	elemTerms   int // terminals under element edges
+	wildTerms   int // terminals under the wild edge
+
+	// wildSlots lists every terminal output slot in the wild subtree, in
+	// preorder. The array walker accumulates per-element matches for these
+	// slots and collapses them Hive-style (0 → missing, 1 → scalar, n → JSON
+	// array) when the array closes.
+	wildSlots []int
 }
 
 type extractMember struct {
@@ -82,6 +92,15 @@ func (n *ExtractNode) Elem(i int) *ExtractNode {
 	return c
 }
 
+// Wild returns the child every array element is evaluated against ([*]),
+// creating it if absent.
+func (n *ExtractNode) Wild() *ExtractNode {
+	if n.wild == nil {
+		n.wild = NewExtractNode()
+	}
+	return n.wild
+}
+
 // MarkTerminal records that a requested path ends at this node, writing its
 // value into out[slot] during extraction.
 func (n *ExtractNode) MarkTerminal(slot int) { n.terminal = slot }
@@ -93,14 +112,20 @@ func (n *ExtractNode) Terminal() int { return n.terminal }
 // called on the root after the trie is fully built and before Extract; it
 // returns the number of terminals in the subtree.
 func (n *ExtractNode) Finalize() int {
-	n.memberTerms, n.elemTerms = 0, 0
+	n.memberTerms, n.elemTerms, n.wildTerms = 0, 0, 0
 	for _, m := range n.members {
 		n.memberTerms += m.child.Finalize()
 	}
 	for _, e := range n.elems {
 		n.elemTerms += e.child.Finalize()
 	}
-	n.nTerms = n.memberTerms + n.elemTerms
+	n.wildSlots = nil
+	if n.wild != nil {
+		n.wildTerms = n.wild.Finalize()
+		n.wildSlots = make([]int, 0, n.wildTerms)
+		n.wildSlots = n.wild.appendSlots(n.wildSlots)
+	}
+	n.nTerms = n.memberTerms + n.elemTerms + n.wildTerms
 	if n.terminal >= 0 {
 		n.nTerms++
 	}
@@ -119,6 +144,23 @@ func (n *ExtractNode) Finalize() int {
 
 // NumTerminals returns the finalized terminal count of the subtree.
 func (n *ExtractNode) NumTerminals() int { return n.nTerms }
+
+// appendSlots appends every terminal slot in the subtree in preorder.
+func (n *ExtractNode) appendSlots(slots []int) []int {
+	if n.terminal >= 0 {
+		slots = append(slots, n.terminal)
+	}
+	for _, m := range n.members {
+		slots = m.child.appendSlots(slots)
+	}
+	for _, e := range n.elems {
+		slots = e.child.appendSlots(slots)
+	}
+	if n.wild != nil {
+		slots = n.wild.appendSlots(slots)
+	}
+	return slots
+}
 
 // lookupMember resolves an object key to its trie ordinal and child without
 // allocating. The returned ordinal indexes the per-object seen set that gives
@@ -154,7 +196,11 @@ func (n *ExtractNode) elemChild(i int) *ExtractNode {
 // trie's terminals. out must have at least trie.NumTerminals() entries; slot i
 // receives the value of the terminal marked with slot i, nil when the path is
 // missing from the document (an explicit JSON null yields a non-nil null
-// Value, preserving the NULL-vs-missing distinction Eval makes). Returned is
+// Value, preserving the NULL-vs-missing distinction Eval makes). Terminals
+// under wild edges receive the Hive-style wildcard collapse: no element
+// matched → nil, one match → the value itself, several → a JSON array of the
+// matches, nested wildcards collapsing per level — byte-for-byte what
+// Parse + Eval would produce. Returned is
 // the number of input bytes actually scanned: when every requested path
 // resolves before the end of the document the extractor stops immediately,
 // and skipped suffix bytes are metered as ParseStats.BytesSkipped rather than
@@ -179,7 +225,7 @@ func (p *Parser) Extract(data []byte, trie *ExtractNode, out []*Value) (scanned 
 	}
 	r := extractRun{p: p, out: out, remaining: trie.nTerms}
 	p.skipSpace()
-	err = r.value(trie)
+	err = r.value(trie, false)
 	if err == nil && !r.truncated {
 		// The root value was scanned to completion: hold the document to the
 		// same trailing-garbage standard as Parse. After a mid-scan early
@@ -206,6 +252,78 @@ type extractRun struct {
 	remaining int  // unresolved terminals; 0 triggers early exit
 	done      bool // all terminals settled: unwind without scanning further
 	truncated bool // the unwind skipped input (vs. resolving at a natural end)
+	frameTop  int  // open wildcard frames (index into p.wildFrames)
+}
+
+// wildFrame accumulates per-element matches for one open wildcard array: one
+// match list per terminal slot of the wild subtree. Frames are pooled on the
+// Parser so steady-state wildcard extraction allocates nothing for the
+// bookkeeping itself.
+type wildFrame struct {
+	slots []int
+	acc   [][]*Value
+}
+
+// pushFrame opens a wildcard frame covering the given terminal slots.
+//
+// The terminals a frame covers stay unresolved until the frame closes —
+// everything evaluated under a wild edge runs "governed" (resolution
+// suppressed) — so r.remaining > 0 for as long as any frame is open and the
+// early-exit unwind can never fire mid-array with matches still pending.
+func (r *extractRun) pushFrame(slots []int) *wildFrame {
+	p := r.p
+	if r.frameTop >= len(p.wildFrames) {
+		p.wildFrames = append(p.wildFrames, new(wildFrame))
+	}
+	f := p.wildFrames[r.frameTop]
+	r.frameTop++
+	f.slots = slots
+	if cap(f.acc) < len(slots) {
+		f.acc = make([][]*Value, len(slots))
+	} else {
+		f.acc = f.acc[:len(slots)]
+	}
+	for i := range f.acc {
+		f.acc[i] = f.acc[i][:0]
+	}
+	return f
+}
+
+// harvest moves the just-evaluated element's slot values into the frame's
+// match lists, applying Eval's filter: missing values and explicit JSON
+// nulls do not count as matches.
+func (r *extractRun) harvest(f *wildFrame) {
+	for i, slot := range f.slots {
+		if v := r.out[slot]; v != nil {
+			r.out[slot] = nil
+			if v.kind != KindNull {
+				f.acc[i] = append(f.acc[i], v)
+			}
+		}
+	}
+}
+
+// closeFrame collapses each slot's matches Hive-style — 0 → missing, 1 → the
+// value itself, n → a JSON array built in the arena — and, for an ungoverned
+// frame (no enclosing wildcard), resolves every covered terminal.
+func (r *extractRun) closeFrame(f *wildFrame, governed bool) {
+	for i, slot := range f.slots {
+		switch matches := f.acc[i]; len(matches) {
+		case 0:
+			r.out[slot] = nil
+		case 1:
+			r.out[slot] = matches[0]
+		default:
+			v := r.p.newValue()
+			v.kind = KindArray
+			v.arrVal = append(v.arrVal, matches...)
+			r.out[slot] = v
+		}
+	}
+	r.frameTop--
+	if !governed {
+		r.resolve(len(f.slots))
+	}
 }
 
 // resolve marks k terminals as settled (missing or filled) and flips done
@@ -226,8 +344,12 @@ func (r *extractRun) exit() {
 }
 
 // value consumes the JSON value at p.pos under trie node n. p.pos must be on
-// the first byte of the value (whitespace already skipped).
-func (r *extractRun) value(n *ExtractNode) error {
+// the first byte of the value (whitespace already skipped). governed is true
+// when n was reached through a wild edge: every resolve is suppressed, because
+// the enclosing wildcard frame settles its covered terminals in one shot when
+// its array closes (a per-element "resolution" would be counted once per
+// element instead of once per terminal).
+func (r *extractRun) value(n *ExtractNode, governed bool) error {
 	p := r.p
 	if p.pos >= len(p.data) {
 		return p.errf("unexpected end of input")
@@ -235,37 +357,46 @@ func (r *extractRun) value(n *ExtractNode) error {
 	if n.terminal >= 0 {
 		// A requested path ends here: materialize the whole subtree with the
 		// real parser, then settle any deeper terminals (covering sets like
-		// {$.a, $.a.b}) by walking the parsed value.
+		// {$.a, $.a.b} or {$.a[*], $.a[*].b}) by walking the parsed value.
 		v, err := p.parseValue()
 		if err != nil {
 			return err
 		}
 		r.out[n.terminal] = v
-		r.resolve(1)
-		r.fill(v, n)
+		if !governed {
+			r.resolve(1)
+		}
+		r.fill(v, n, governed)
 		return nil
 	}
 	switch c := p.data[p.pos]; c {
 	case '{':
-		r.resolve(n.elemTerms) // element edges cannot match an object
-		if r.done {
-			r.exit() // object left unscanned
-			return nil
+		// Element and wild edges cannot match an object.
+		if !governed {
+			r.resolve(n.elemTerms + n.wildTerms)
+			if r.done {
+				r.exit() // object left unscanned
+				return nil
+			}
 		}
-		return r.object(n)
+		return r.object(n, governed)
 	case '[':
-		r.resolve(n.memberTerms) // member edges cannot match an array
-		if r.done {
-			r.exit() // array left unscanned
-			return nil
+		if !governed {
+			r.resolve(n.memberTerms) // member edges cannot match an array
+			if r.done {
+				r.exit() // array left unscanned
+				return nil
+			}
 		}
-		return r.array(n)
+		return r.array(n, governed)
 	default:
 		// Scalar under an interior node: every deeper path is missing.
-		r.resolve(n.nTerms)
-		if r.done {
-			r.exit() // scalar left unscanned
-			return nil
+		if !governed {
+			r.resolve(n.nTerms)
+			if r.done {
+				r.exit() // scalar left unscanned
+				return nil
+			}
 		}
 		return p.skipValue()
 	}
@@ -274,27 +405,52 @@ func (r *extractRun) value(n *ExtractNode) error {
 // fill settles the descendants of a terminal node against its materialized
 // value: present descendants are written to their slots, absent ones are
 // resolved as missing. Value.Get/Index on nil or mismatched kinds return nil,
-// which is exactly the missing semantics Eval uses.
-func (r *extractRun) fill(v *Value, n *ExtractNode) {
+// which is exactly the missing semantics Eval uses. With a wild edge the walk
+// becomes a full trie evaluation: per-element matches accumulate in a frame
+// exactly as the streaming array walker does.
+func (r *extractRun) fill(v *Value, n *ExtractNode, governed bool) {
 	for _, m := range n.members {
-		r.fillChild(v.Get(m.name), m.child)
+		r.fillChild(v.Get(m.name), m.child, governed)
 	}
 	for _, e := range n.elems {
-		r.fillChild(v.Index(e.idx), e.child)
+		r.fillChild(v.Index(e.idx), e.child, governed)
+	}
+	if n.wild != nil {
+		r.fillWild(v, n, governed)
 	}
 }
 
-func (r *extractRun) fillChild(v *Value, n *ExtractNode) {
+func (r *extractRun) fillChild(v *Value, n *ExtractNode, governed bool) {
 	if n.terminal >= 0 {
 		if v != nil {
 			r.out[n.terminal] = v
 		}
-		r.resolve(1)
+		if !governed {
+			r.resolve(1)
+		}
 	}
-	r.fill(v, n)
+	r.fill(v, n, governed)
 }
 
-func (r *extractRun) object(n *ExtractNode) error {
+// fillWild evaluates n's wild edge against an already-parsed value,
+// replicating Eval's wildcard semantics: non-arrays match nothing, per-element
+// matches collapse 0/1/n at the array boundary.
+func (r *extractRun) fillWild(v *Value, n *ExtractNode, governed bool) {
+	if v == nil || v.kind != KindArray {
+		if !governed {
+			r.resolve(n.wildTerms)
+		}
+		return
+	}
+	f := r.pushFrame(n.wildSlots)
+	for _, elem := range v.arrVal {
+		r.fillChild(elem, n.wild, true)
+		r.harvest(f)
+	}
+	r.closeFrame(f, governed)
+}
+
+func (r *extractRun) object(n *ExtractNode, governed bool) error {
 	p := r.p
 	p.depth++
 	if p.depth > maxDepth {
@@ -347,7 +503,7 @@ func (r *extractRun) object(n *ExtractNode) error {
 			p.skipSpace()
 			if child != nil && !wasSeen(ord) {
 				markSeen(ord)
-				if err := r.value(child); err != nil {
+				if err := r.value(child, governed); err != nil {
 					return err
 				}
 				if r.done {
@@ -373,15 +529,17 @@ func (r *extractRun) object(n *ExtractNode) error {
 		}
 	}
 	// Requested keys that never appeared: their whole subtrees are missing.
-	for i := range n.members {
-		if !wasSeen(i) {
-			r.resolve(n.members[i].child.nTerms)
+	if !governed {
+		for i := range n.members {
+			if !wasSeen(i) {
+				r.resolve(n.members[i].child.nTerms)
+			}
 		}
 	}
 	return nil
 }
 
-func (r *extractRun) array(n *ExtractNode) error {
+func (r *extractRun) array(n *ExtractNode, governed bool) error {
 	p := r.p
 	p.depth++
 	if p.depth > maxDepth {
@@ -390,6 +548,13 @@ func (r *extractRun) array(n *ExtractNode) error {
 	defer func() { p.depth-- }()
 	p.pos++ // consume '['
 
+	// A wild edge opens a frame: every element streams through n.wild with
+	// resolution suppressed, its slot values harvested into per-slot match
+	// lists, collapsed when the ']' arrives.
+	var f *wildFrame
+	if n.wild != nil {
+		f = r.pushFrame(n.wildSlots)
+	}
 	idx := 0
 	p.skipSpace()
 	if p.pos < len(p.data) && p.data[p.pos] == ']' {
@@ -398,16 +563,36 @@ func (r *extractRun) array(n *ExtractNode) error {
 	elemLoop:
 		for {
 			p.skipSpace()
-			if child := n.elemChild(idx); child != nil {
-				if err := r.value(child); err != nil {
+			child := n.elemChild(idx)
+			switch {
+			case child != nil && f != nil:
+				// A point index and the wildcard both want this element: the
+				// bytes can only be consumed once, so tree-parse the element
+				// and settle both subtrees from the value.
+				v, err := p.parseValue()
+				if err != nil {
+					return err
+				}
+				r.fillChild(v, child, governed)
+				r.fillChild(v, n.wild, true)
+				r.harvest(f)
+			case child != nil:
+				if err := r.value(child, governed); err != nil {
 					return err
 				}
 				if r.done {
 					r.exit() // rest of the array left unscanned
 					return nil
 				}
-			} else if err := p.skipValue(); err != nil {
-				return err
+			case f != nil:
+				if err := r.value(n.wild, true); err != nil {
+					return err
+				}
+				r.harvest(f)
+			default:
+				if err := p.skipValue(); err != nil {
+					return err
+				}
 			}
 			idx++
 			p.skipSpace()
@@ -426,10 +611,15 @@ func (r *extractRun) array(n *ExtractNode) error {
 		}
 	}
 	// Requested indexes past the array's actual length are missing.
-	for _, e := range n.elems {
-		if e.idx >= idx {
-			r.resolve(e.child.nTerms)
+	if !governed {
+		for _, e := range n.elems {
+			if e.idx >= idx {
+				r.resolve(e.child.nTerms)
+			}
 		}
+	}
+	if f != nil {
+		r.closeFrame(f, governed)
 	}
 	return nil
 }

@@ -55,6 +55,11 @@ type Parser struct {
 	// skipStack is the bracket stack skipComposite reuses across skips so
 	// streaming extraction never allocates for skipped subtrees.
 	skipStack []byte
+
+	// wildFrames pools the per-array match accumulators wildcard extraction
+	// opens ([*] trie edges), reused across documents so steady-state
+	// wildcard scans allocate nothing for the bookkeeping.
+	wildFrames []*wildFrame
 }
 
 // maxDepth bounds nesting so hostile inputs cannot overflow the stack.

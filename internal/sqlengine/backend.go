@@ -15,21 +15,28 @@ type ParseMeter struct {
 	Bytes   atomic.Int64 // bytes actually scanned by the JSON parser
 	Skipped atomic.Int64 // bytes never scanned (streaming early exit)
 	Calls   atomic.Int64 // get_json_object evaluations
+	// TreeFallback counts documents that fell off the streaming/index lane
+	// onto a full tree parse (root-path projections, paths a structural
+	// index cannot serve). With wildcard paths now streaming, this should
+	// stay at zero for ordinary workloads — a nonzero value is the signal
+	// that a query shape still escapes the single-pass extractor.
+	TreeFallback atomic.Int64
 }
 
 // Snapshot returns a plain-struct copy.
 func (m *ParseMeter) Snapshot() ParseCounts {
 	return ParseCounts{
-		Docs:    m.Docs.Load(),
-		Bytes:   m.Bytes.Load(),
-		Skipped: m.Skipped.Load(),
-		Calls:   m.Calls.Load(),
+		Docs:         m.Docs.Load(),
+		Bytes:        m.Bytes.Load(),
+		Skipped:      m.Skipped.Load(),
+		Calls:        m.Calls.Load(),
+		TreeFallback: m.TreeFallback.Load(),
 	}
 }
 
 // ParseCounts is a point-in-time copy of a ParseMeter.
 type ParseCounts struct {
-	Docs, Bytes, Skipped, Calls int64
+	Docs, Bytes, Skipped, Calls, TreeFallback int64
 }
 
 // ParserBackend evaluates get_json_object against raw JSON text. Engine
@@ -138,6 +145,7 @@ func (m *misonEval) Extract(doc string, path *jsonpath.Path) (string, bool) {
 			m.tree.meter = m.meter
 		}
 		m.meter.Calls.Add(-1) // the tree evaluator counts the call itself
+		m.meter.TreeFallback.Add(1)
 		return m.tree.Extract(doc, path)
 	}
 	key := path.Canonical()
@@ -162,11 +170,12 @@ func (m *misonEval) Extract(doc string, path *jsonpath.Path) (string, bool) {
 // ---- On-demand backend: single-pass streaming trie extraction ----
 
 // StreamBackend evaluates get_json_object with the streaming multi-path
-// extractor (sjson.Parser.Extract): the query's trie-eligible paths compile
-// into one jsonpath.PathSet, each document is scanned exactly once with
-// unrequested subtrees skipped at tokenizer speed, and the scan early-exits
-// when every path has resolved. Wildcard paths and root projections fall
-// back to the tree parser, the same escape hatch MisonBackend uses.
+// extractor (sjson.Parser.Extract): the query's trie-eligible paths —
+// wildcards included, via array-iteration trie nodes — compile into one
+// jsonpath.PathSet, each document is scanned exactly once with unrequested
+// subtrees skipped at tokenizer speed, and the scan early-exits when every
+// path has resolved. Only root projections fall back to the tree parser,
+// metered by ParseMeter.TreeFallback.
 type StreamBackend struct{}
 
 // Name implements ParserBackend.
@@ -191,17 +200,20 @@ type streamEval struct {
 	lastDoc string
 	valid   bool // vals corresponds to lastDoc under the current path set
 	lastErr bool
-	// tree serves wildcard paths and root projections the trie cannot.
+	// tree serves root projections, the one shape the trie cannot.
 	tree *jacksonEval
 }
 
 func (s *streamEval) Extract(doc string, path *jsonpath.Path) (string, bool) {
 	s.meter.Calls.Add(1)
 	if !jsonpath.TrieEligible(path) {
+		// Only root projections remain here now that wildcard paths compile
+		// into array-iteration trie nodes.
 		if s.tree == nil {
 			s.tree = &jacksonEval{meter: s.meter}
 		}
 		s.meter.Calls.Add(-1) // the tree evaluator counts the call itself
+		s.meter.TreeFallback.Add(1)
 		return s.tree.Extract(doc, path)
 	}
 	key := path.Canonical()

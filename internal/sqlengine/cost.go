@@ -175,6 +175,7 @@ func (m *Metrics) addTo(dst *Metrics) {
 	dst.Parse.Bytes.Add(m.Parse.Bytes.Load())
 	dst.Parse.Skipped.Add(m.Parse.Skipped.Load())
 	dst.Parse.Calls.Add(m.Parse.Calls.Load())
+	dst.Parse.TreeFallback.Add(m.Parse.TreeFallback.Load())
 	dst.RowOps.Add(m.RowOps.Load())
 	dst.PrefilterBytes.Add(m.PrefilterBytes.Load())
 	dst.PrefilterSkipped.Add(m.PrefilterSkipped.Load())
@@ -212,6 +213,9 @@ func (m *Metrics) String() string {
 	}
 	if n := m.PrefilterSkipped.Load(); n > 0 {
 		parts = append(parts, fmt.Sprintf("prefilter skipped %d", n))
+	}
+	if pc.TreeFallback > 0 {
+		parts = append(parts, fmt.Sprintf("tree-fallback %d", pc.TreeFallback))
 	}
 	return strings.Join(parts, "; ")
 }

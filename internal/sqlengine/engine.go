@@ -56,6 +56,7 @@ type engineCounters struct {
 	parseBytes       *obs.Counter
 	parseSkipped     *obs.Counter
 	parseCalls       *obs.Counter
+	parseTreeFB      *obs.Counter
 	rowOps           *obs.Counter
 	prefilterSkipped *obs.Counter
 	cacheValuesRead  *obs.Counter
@@ -78,6 +79,7 @@ func newEngineCounters(r *obs.Registry) *engineCounters {
 		parseBytes:       r.Counter("engine_parse_bytes_total"),
 		parseSkipped:     r.Counter("engine_parse_bytes_skipped_total"),
 		parseCalls:       r.Counter("engine_parse_calls_total"),
+		parseTreeFB:      r.Counter("engine_parse_tree_fallback_total"),
 		rowOps:           r.Counter("engine_row_ops_total"),
 		prefilterSkipped: r.Counter("engine_prefilter_skipped_total"),
 		cacheValuesRead:  r.Counter("engine_cache_values_read_total"),
@@ -105,6 +107,7 @@ func (c *engineCounters) publish(m *Metrics, cm CostModel) {
 	c.parseBytes.Add(pc.Bytes)
 	c.parseSkipped.Add(pc.Skipped)
 	c.parseCalls.Add(pc.Calls)
+	c.parseTreeFB.Add(pc.TreeFallback)
 	c.rowOps.Add(m.RowOps.Load())
 	c.prefilterSkipped.Add(m.PrefilterSkipped.Load())
 	c.cacheValuesRead.Add(m.CacheValuesRead.Load())

@@ -249,6 +249,9 @@ func (e *Engine) execute(ctx context.Context, plan *PhysicalPlan, trace *obs.Spa
 		if pc.Skipped > 0 {
 			scanSpan.SetInt("parse-bytes-skipped", pc.Skipped)
 		}
+		if pc.TreeFallback > 0 {
+			scanSpan.SetInt("parse-tree-fallback", pc.TreeFallback)
+		}
 		scanSpan.SetInt("parse-calls", pc.Calls)
 		scanSpan.SetInt("rowgroups", sm.RowGroupsRead.Load())
 		scanSpan.SetInt("rowgroups-skipped", sm.RowGroupsSkipped.Load())

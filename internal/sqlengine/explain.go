@@ -143,7 +143,7 @@ func RenderExplainAnalyze(plan *PhysicalPlan, m *Metrics, cm CostModel) string {
 	}
 	add(scanOp, attr(scanSpan,
 		"splits", "rows", "bytes", "parse-docs", "parse-calls", "parse-bytes-skipped",
-		"rowgroups", "rowgroups-skipped", "cache-values"))
+		"parse-tree-fallback", "rowgroups", "rowgroups-skipped", "cache-values"))
 
 	// Split detail lines nest under the scan.
 	var splits []*obs.Span

@@ -367,8 +367,9 @@ func TestMisonBackendMatchesJackson(t *testing.T) {
 }
 
 func TestStreamBackendMatchesJackson(t *testing.T) {
-	// Mixed query: two trie-eligible paths plus a wildcard that exercises
-	// the tree-parse escape hatch inside the same evaluator.
+	// Mixed query: two member-step paths plus a wildcard, all streamed by
+	// the same single-pass evaluator (wildcards compile into
+	// array-iteration trie nodes).
 	sql := `
 		SELECT get_json_object(sale_logs, '$.item_name') n,
 		       get_json_object(sale_logs, '$.nested.deep.v') v,
@@ -409,6 +410,36 @@ func TestStreamBackendMetersSkippedBytes(t *testing.T) {
 	streamCost := float64(pc.Bytes) * cm.ParseNsPerByteStream
 	if streamCost >= treeCost {
 		t.Errorf("stream parse cost %.0f >= tree cost %.0f", streamCost, treeCost)
+	}
+}
+
+func TestStreamBackendTreeFallbackMetered(t *testing.T) {
+	e := newTestEngine(t, WithBackend(StreamBackend{}))
+
+	// Wildcard paths stream: no tree fallback.
+	_, m, err := e.Query(`SELECT get_json_object(sale_logs, '$.basket[*].sku') s FROM mydb.t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb := m.Parse.Snapshot().TreeFallback; fb != 0 {
+		t.Errorf("wildcard query tree fallbacks = %d, want 0 (wildcards stream)", fb)
+	}
+
+	// A root path is the one projection left on the tree-parse lane; the
+	// fallback must be metered per document, not silent.
+	out, _, m, err := e.ExplainAnalyze(`SELECT get_json_object(sale_logs, '$') d FROM mydb.t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := m.Parse.Snapshot()
+	if pc.TreeFallback != pc.Docs || pc.TreeFallback == 0 {
+		t.Errorf("root query tree fallbacks = %d, want %d (one per document)", pc.TreeFallback, pc.Docs)
+	}
+	if !strings.Contains(out, "parse-tree-fallback=") {
+		t.Errorf("EXPLAIN ANALYZE missing parse-tree-fallback attr:\n%s", out)
+	}
+	if !strings.Contains(m.String(), "tree-fallback") {
+		t.Errorf("Metrics.String() missing tree-fallback: %s", m.String())
 	}
 }
 
