@@ -65,6 +65,16 @@ func main() {
 		}()
 	}
 
+	// The -timeout budget also rides a context so ctx-aware experiments
+	// (mqo) abort mid-run; the between-experiments check below still stops
+	// the overall sweep.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	traceCfg := trace.DefaultConfig()
 	traceCfg.Days = *days
 	traceCfg.Seed = *seed
@@ -94,7 +104,7 @@ func main() {
 		"exec":     func() (fmt.Stringer, error) { return experiments.RunExecBench(*rows, *seed) },
 		"extract":  func() (fmt.Stringer, error) { return experiments.RunExtractBench(*rows, *seed) },
 		"obs":      func() (fmt.Stringer, error) { return experiments.RunObsBench() },
-		"mqo":      func() (fmt.Stringer, error) { return experiments.RunMQOBench(*rows, *seed) },
+		"mqo":      func() (fmt.Stringer, error) { return experiments.RunMQOBench(ctx, *rows, *seed) },
 	}
 	order := []string{"fig2", "fig3", "fig4", "table3", "table4", "fig11", "fig12", "fig13", "fig14", "fig15", "ablation", "sparser", "exec", "extract", "obs", "mqo"}
 

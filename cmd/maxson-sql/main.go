@@ -101,7 +101,7 @@ func main() {
 	sys.AdvanceClock(24 * time.Hour)
 
 	if *explain {
-		out, _, met, err := sys.Explain(sql)
+		out, _, met, err := sys.ExplainCtx(ctx, sql)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -133,7 +133,7 @@ func main() {
 			report.CandidateMPJP, report.Cache.PathsCached,
 			humanBytes(sys.CacheBytes()), report.StageSummary())
 
-		after, _, met, err := sys.Explain(sql)
+		after, _, met, err := sys.ExplainCtx(ctx, sql)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -179,7 +179,7 @@ func main() {
 	if *traceOut != "" {
 		// The plain query path runs untraced; replay once with tracing on so
 		// the exported timeline covers a real execution of the same plan.
-		_, _, tm, err := sys.Explain(sql)
+		_, _, tm, err := sys.ExplainCtx(ctx, sql)
 		if err != nil {
 			log.Fatal(err)
 		}

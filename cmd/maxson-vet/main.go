@@ -1,15 +1,17 @@
 // Command maxson-vet runs the repository's project-invariant analyzers
 // (internal/lint) over Go packages: pooled RowBatch lifecycle, arena
-// escape discipline, metric naming, error handling on parse surfaces, and
-// lock-held call hygiene.
+// escape discipline, metric naming, error handling on parse surfaces,
+// lock-held call hygiene, and the interprocedural concurrency suite
+// (ctxflow, goroutineowner, lockorder) over the module call graph.
 //
 // Usage:
 //
-//	maxson-vet [-json] [-run poolbalance,metricname] [-C dir] [patterns...]
+//	maxson-vet [-json|-sarif] [-stats] [-run ctxflow,lockorder] [-C dir] [patterns...]
 //
-// Patterns default to ./... relative to the module root. Exit status: 0
-// when clean, 1 when any diagnostic is reported, 2 when loading or
-// type-checking fails.
+// Patterns default to ./... relative to the module root. -sarif emits a
+// SARIF 2.1.0 log for CI code-scanning upload; -stats prints per-analyzer
+// finding/ignore counts to stderr. Exit status: 0 when clean, 1 when any
+// diagnostic is reported, 2 when loading or type-checking fails.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/lint"
@@ -31,16 +34,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("maxson-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log")
+	stats := fs.Bool("stats", false, "print per-analyzer finding/ignore counts to stderr")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	sel := fs.String("run", "", "comma-separated analyzer names (default: all)")
 	dir := fs.String("C", ".", "module root directory")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "maxson-vet: -json and -sarif are mutually exclusive")
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -67,16 +76,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	result := lint.Run(pkgs, analyzers)
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(result); err != nil {
 			fmt.Fprintln(stderr, "maxson-vet:", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		root, err := filepath.Abs(*dir)
+		if err != nil {
+			root = *dir
+		}
+		if err := writeSARIF(stdout, root, result); err != nil {
+			fmt.Fprintln(stderr, "maxson-vet:", err)
+			return 2
+		}
+	default:
 		for _, d := range result.Diagnostics {
 			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if *stats {
+		fmt.Fprintf(stderr, "%-14s %8s %8s\n", "analyzer", "findings", "ignored")
+		for _, s := range result.Stats {
+			fmt.Fprintf(stderr, "%-14s %8d %8d\n", s.Analyzer, s.Findings, s.Ignored)
 		}
 	}
 	if result.Count > 0 {

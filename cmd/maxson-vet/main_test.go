@@ -170,9 +170,178 @@ func TestDriverList(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exit = %d, want 0", code)
 	}
-	for _, name := range []string{"arenaescape", "errdiscard", "lockheld", "metricname", "poolbalance"} {
+	for _, name := range []string{
+		"arenaescape", "ctxflow", "errdiscard", "goroutineowner",
+		"lockheld", "lockorder", "metricname", "poolbalance",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Fatalf("-list output missing %s:\n%s", name, stdout.String())
 		}
+	}
+}
+
+// TestDriverRunInterprocedural selects the call-graph-backed analyzers by
+// name over a module that violates ctxflow and goroutineowner.
+func TestDriverRunInterprocedural(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"svc/svc.go": `package svc
+
+import "context"
+
+func handle(ctx context.Context) {
+	_ = ctx
+	_ = context.Background()
+}
+
+func spawn(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", root, "-run", "ctxflow,goroutineowner,lockorder", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "(ctxflow)") || !strings.Contains(out, "already receives a context.Context") {
+		t.Fatalf("ctxflow finding missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(goroutineowner)") || !strings.Contains(out, "no termination signal") {
+		t.Fatalf("goroutineowner finding missing:\n%s", out)
+	}
+	if strings.Contains(out, "(lockorder)") {
+		t.Fatalf("unexpected lockorder finding:\n%s", out)
+	}
+}
+
+// TestDriverSARIF pins the SARIF 2.1.0 shape CI uploads: tool name, rules,
+// and one result with a module-relative location.
+func TestDriverSARIF(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/sjson/sjson.go": errSource,
+		"bad/bad.go": `package bad
+
+import "tmpmod/internal/sjson"
+
+func Leak() {
+	sjson.Parse("x")
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", root, "-sarif", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Schema  string `json:"$schema"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("-sarif output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif") || len(log.Runs) != 1 {
+		t.Fatalf("bad SARIF envelope: version=%q schema=%q runs=%d", log.Version, log.Schema, len(log.Runs))
+	}
+	run0 := log.Runs[0]
+	if run0.Tool.Driver.Name != "maxson-vet" {
+		t.Fatalf("tool name = %q", run0.Tool.Driver.Name)
+	}
+	ruleIDs := make(map[string]bool)
+	for _, r := range run0.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, want := range []string{"errdiscard", "ctxflow", "goroutineowner", "lockorder", "lintdirective"} {
+		if !ruleIDs[want] {
+			t.Fatalf("rules missing %q: %v", want, ruleIDs)
+		}
+	}
+	if len(run0.Results) != 1 {
+		t.Fatalf("want 1 result, got %d", len(run0.Results))
+	}
+	res := run0.Results[0]
+	loc := res.Locations[0].PhysicalLocation
+	if res.RuleID != "errdiscard" || res.Level != "warning" ||
+		loc.ArtifactLocation.URI != "bad/bad.go" || loc.Region.StartLine != 6 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+
+	stderr.Reset()
+	if code := run([]string{"-json", "-sarif", "./..."}, &stdout, &stderr); code != 2 ||
+		!strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Fatalf("-json -sarif: exit=%d stderr=%q, want 2 + mutual-exclusion error", code, stderr.String())
+	}
+}
+
+// TestDriverStats checks the per-analyzer finding/ignore table on stderr.
+func TestDriverStats(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/sjson/sjson.go": errSource,
+		"bad/bad.go": `package bad
+
+import "tmpmod/internal/sjson"
+
+func Leak() {
+	sjson.Parse("x")
+}
+
+func Excused() {
+	//lint:ignore errdiscard probing parser error behavior on purpose
+	sjson.Parse("y")
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", root, "-stats", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var errRow string
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if strings.HasPrefix(line, "errdiscard") {
+			errRow = line
+		}
+	}
+	if errRow == "" {
+		t.Fatalf("-stats table missing errdiscard row:\n%s", stderr.String())
+	}
+	fields := strings.Fields(errRow)
+	if len(fields) != 3 || fields[1] != "1" || fields[2] != "1" {
+		t.Fatalf("errdiscard stats row = %q, want 1 finding and 1 ignored", errRow)
+	}
+	if !strings.Contains(stderr.String(), "analyzer") || !strings.Contains(stderr.String(), "ignored") {
+		t.Fatalf("-stats header missing:\n%s", stderr.String())
 	}
 }

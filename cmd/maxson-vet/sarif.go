@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+// SARIF 2.1.0 output, the minimal subset CI code-scanning upload consumes:
+// one run, the analyzer suite as the tool's rules, one result per
+// diagnostic with a physical location relative to the module root.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF renders the result as a SARIF 2.1.0 log. root is the module
+// root diagnostics' file paths are made relative to (the repo-relative
+// URIs code-scanning expects).
+func writeSARIF(w io.Writer, root string, result *lint.Result) error {
+	rules := make([]sarifRule, 0, len(lint.All())+1)
+	for _, a := range lint.All() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID:               lint.DirectiveAnalyzer,
+		ShortDescription: sarifMessage{Text: "malformed, unknown, or unused //lint:ignore directives"},
+	})
+
+	results := make([]sarifResult, 0, len(result.Diagnostics))
+	for _, d := range result.Diagnostics {
+		uri := d.File
+		if rel, err := filepath.Rel(root, d.File); err == nil {
+			uri = filepath.ToSlash(rel)
+		}
+		line := d.Line
+		if line < 1 {
+			line = 1 // SARIF regions are 1-based; directive diags may lack cols
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: uri, URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "maxson-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

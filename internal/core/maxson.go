@@ -284,12 +284,18 @@ func (m *Maxson) finishFlight(aq *flight.Active, rs *sqlengine.ResultSet, met *s
 // midnight cycle the same query shows combined scans, cache value reads and
 // pushdown skips where the uncached run showed raw parsing.
 func (m *Maxson) Explain(sql string) (string, *sqlengine.ResultSet, *sqlengine.Metrics, error) {
+	return m.ExplainCtx(context.Background(), sql)
+}
+
+// ExplainCtx is Explain under a context: cancellation and the engine query
+// timeout govern the traced execution.
+func (m *Maxson) ExplainCtx(ctx context.Context, sql string) (string, *sqlengine.ResultSet, *sqlengine.Metrics, error) {
 	stmt, err := sqlengine.Parse(sql)
 	if err != nil {
 		return "", nil, nil, err
 	}
 	m.Collector.ObserveStmt(stmt, m.defaultDB, m.wh.Clock().Now())
-	return m.Engine.ExplainAnalyzeStmt(stmt)
+	return m.Engine.ExplainAnalyzeStmtCtx(ctx, stmt)
 }
 
 // CycleStageNames lists the midnight cycle's stages in execution order.

@@ -105,7 +105,7 @@ func mqoBenchSystem(rows int, seed int64, window time.Duration, maxQ int) (*sqle
 
 // mqoRun fires n copies of sql concurrently, barrier-started, and returns
 // the summed parse bytes and the wall time of the slowest query.
-func mqoRun(e *sqlengine.Engine, sql string, n int) (int64, time.Duration, error) {
+func mqoRun(ctx context.Context, e *sqlengine.Engine, sql string, n int) (int64, time.Duration, error) {
 	var (
 		wg    sync.WaitGroup
 		mu    sync.Mutex
@@ -119,7 +119,7 @@ func mqoRun(e *sqlengine.Engine, sql string, n int) (int64, time.Duration, error
 		go func() {
 			defer wg.Done()
 			<-start
-			_, m, err := e.QueryCtx(context.Background(), sql)
+			_, m, err := e.QueryCtx(ctx, sql)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && first == nil {
@@ -136,8 +136,9 @@ func mqoRun(e *sqlengine.Engine, sql string, n int) (int64, time.Duration, error
 }
 
 // RunMQOBench measures shared-scan execution with N identical concurrent
-// queries. Feeds BENCH_mqo.json; the CI bench smoke runs it as-is.
-func RunMQOBench(rows int, seed int64) (*MQOBenchResult, error) {
+// queries under ctx (cancelling it aborts the in-flight runs). Feeds
+// BENCH_mqo.json; the CI bench smoke runs it as-is.
+func RunMQOBench(ctx context.Context, rows int, seed int64) (*MQOBenchResult, error) {
 	const n = 8
 	sql := `SELECT id, get_json_object(doc, '$.a') a, get_json_object(doc, '$.nested.x') x
 	 FROM bench.t WHERE get_json_object(doc, '$.b') <> 'g9' ORDER BY id`
@@ -155,7 +156,7 @@ func RunMQOBench(rows int, seed int64) (*MQOBenchResult, error) {
 
 	// N concurrent on the plain engine: the duplicate-parse cost Maxson's
 	// sharing removes.
-	unsharedTotal, unsharedWall, err := mqoRun(plain, sql, n)
+	unsharedTotal, unsharedWall, err := mqoRun(ctx, plain, sql, n)
 	if err != nil {
 		return nil, fmt.Errorf("mqo bench unshared run: %w", err)
 	}
@@ -166,7 +167,7 @@ func RunMQOBench(rows int, seed int64) (*MQOBenchResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mqo bench build (shared): %w", err)
 	}
-	sharedTotal, sharedWall, err := mqoRun(shared, sql, n)
+	sharedTotal, sharedWall, err := mqoRun(ctx, shared, sql, n)
 	if err != nil {
 		return nil, fmt.Errorf("mqo bench shared run: %w", err)
 	}

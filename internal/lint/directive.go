@@ -78,8 +78,10 @@ func strconv(s string) string { return "\"" + s + "\"" }
 // directive suppresses diagnostics of its analyzer on the directive's own
 // line or the line directly below it (comment above the flagged
 // statement). Unused directives are themselves diagnostics, keeping the
-// exception inventory in sync with what the analyzers actually flag.
-func applyIgnores(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+// exception inventory in sync with what the analyzers actually flag. The
+// second return value counts suppressed diagnostics per analyzer (the
+// -stats "ignored" column).
+func applyIgnores(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) ([]Diagnostic, map[string]int) {
 	// Directive names validate against the full suite; unused directives
 	// only report for analyzers that actually ran, so a partial -run
 	// selection does not condemn the others' directives.
@@ -94,6 +96,7 @@ func applyIgnores(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) []
 	var extra []Diagnostic
 	dirs := collectDirectives(pkgs, known, func(d Diagnostic) { extra = append(extra, d) })
 
+	ignored := make(map[string]int)
 	var kept []Diagnostic
 	for _, d := range diags {
 		suppressed := false
@@ -104,7 +107,9 @@ func applyIgnores(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) []
 				suppressed = true
 			}
 		}
-		if !suppressed {
+		if suppressed {
+			ignored[d.Analyzer]++
+		} else {
 			kept = append(kept, d)
 		}
 	}
@@ -118,5 +123,5 @@ func applyIgnores(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) []
 			})
 		}
 	}
-	return append(kept, extra...)
+	return append(kept, extra...), ignored
 }

@@ -32,7 +32,10 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-line summary shown by maxson-vet -list.
 	Doc string
-	Run func(*Pass)
+	// NeedsGraph marks interprocedural analyzers; the module-wide call
+	// graph is built once per Run only when a selected analyzer sets it.
+	NeedsGraph bool
+	Run        func(*Pass)
 }
 
 // Pass is the per-package view an analyzer runs over.
@@ -42,6 +45,9 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Graph is the module-wide call graph, shared across packages and
+	// analyzers within one Run. Nil unless the analyzer sets NeedsGraph.
+	Graph *CallGraph
 
 	diags *[]Diagnostic
 }
@@ -72,16 +78,33 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Message, d.Analyzer)
 }
 
+// AnalyzerStat is one analyzer's finding/ignore tally for a Run, consumed
+// by maxson-vet -stats.
+type AnalyzerStat struct {
+	Analyzer string `json:"analyzer"`
+	Findings int    `json:"findings"`
+	Ignored  int    `json:"ignored"`
+}
+
 // Result is the outcome of running a set of analyzers over packages.
 type Result struct {
-	Diagnostics []Diagnostic `json:"diagnostics"`
-	Count       int          `json:"count"`
+	Diagnostics []Diagnostic   `json:"diagnostics"`
+	Count       int            `json:"count"`
+	Stats       []AnalyzerStat `json:"stats"`
 }
 
 // Run executes analyzers over every loaded package marked for analysis,
 // applies ignore directives, and returns the surviving diagnostics sorted
-// by position.
+// by position. The call graph is built lazily, once, when any selected
+// analyzer declares NeedsGraph.
 func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.NeedsGraph {
+			graph = BuildCallGraph(pkgs)
+			break
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		if !pkg.Analyze {
@@ -94,12 +117,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Graph:    graph,
 				diags:    &diags,
 			}
 			a.Run(pass)
 		}
 	}
-	diags = applyIgnores(pkgs, analyzers, diags)
+	diags, ignored := applyIgnores(pkgs, analyzers, diags)
 	if diags == nil {
 		diags = []Diagnostic{}
 	}
@@ -116,16 +140,34 @@ func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return &Result{Diagnostics: diags, Count: len(diags)}
+	findings := make(map[string]int)
+	for _, d := range diags {
+		findings[d.Analyzer]++
+	}
+	stats := make([]AnalyzerStat, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		stats = append(stats, AnalyzerStat{
+			Analyzer: a.Name,
+			Findings: findings[a.Name],
+			Ignored:  ignored[a.Name],
+		})
+	}
+	if n := findings[DirectiveAnalyzer]; n > 0 {
+		stats = append(stats, AnalyzerStat{Analyzer: DirectiveAnalyzer, Findings: n})
+	}
+	return &Result{Diagnostics: diags, Count: len(diags), Stats: stats}
 }
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
 		ArenaEscape,
+		CtxFlow,
 		DemuxOwner,
 		ErrDiscard,
+		GoroutineOwner,
 		LockHeld,
+		LockOrder,
 		MetricName,
 		PoolBalance,
 	}

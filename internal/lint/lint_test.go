@@ -15,7 +15,8 @@ import (
 // fixtureNames lists the testdata packages; one per analyzer plus the
 // directive-machinery fixture.
 var fixtureNames = []string{
-	"arenaescape", "demuxowner", "directive", "errdiscard", "lockheld", "metricname", "poolbalance",
+	"arenaescape", "ctxflow", "demuxowner", "directive", "errdiscard",
+	"goroutineowner", "lockheld", "lockorder", "metricname", "poolbalance",
 }
 
 // The whole-module load with the source importer costs a few seconds, so

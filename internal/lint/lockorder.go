@@ -1,0 +1,525 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder lifts lockheld's intra-function held-lock state into a
+// module-wide lock-acquisition graph: an edge A → B means some execution
+// path acquires lock class B while holding lock class A, either directly
+// in one function or through a call chain (held-at-call-site joined with
+// the callee's transitive acquisitions over the call graph). A cycle in
+// that graph is a potential deadlock — two goroutines entering it from
+// different points can each hold what the other needs.
+//
+// Lock identity is by class, not instance: a named struct field
+// (pkg.Type.field) or a package-level var (pkg.var). Locks held on local
+// variables are ignored (two locals of one class are usually distinct
+// instances), and self-edges A → A are skipped for the same reason —
+// class-level analysis cannot tell reacquisition from nesting of two
+// instances.
+//
+// Each cycle is reported once per package that contributes an edge to it,
+// at the earliest contributing acquisition or call site in that package.
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "no cycles in the module-wide lock-acquisition order (potential deadlock)",
+	NeedsGraph: true,
+	Run:        runLockOrder,
+}
+
+func runLockOrder(pass *Pass) {
+	lg := lockGraphOf(pass.Graph)
+	if len(lg.cycles) == 0 {
+		return
+	}
+	// Files of this pass, for attributing cycle edges to the package.
+	inPkg := make(map[string]bool, len(pass.Files))
+	for _, f := range pass.Files {
+		inPkg[pass.Fset.Position(f.Pos()).Filename] = true
+	}
+	for _, cyc := range lg.cycles {
+		var at token.Pos
+		for _, e := range cyc.edges {
+			if !inPkg[pass.Fset.Position(e.pos).Filename] {
+				continue
+			}
+			if at == token.NoPos || e.pos < at {
+				at = e.pos
+			}
+		}
+		if at == token.NoPos {
+			continue
+		}
+		pass.Reportf(at, "lock-order cycle: %s (potential deadlock)", cyc.path)
+	}
+}
+
+// lockClassEdge is one ordered acquisition: to was acquired while from was
+// held, witnessed at pos (the acquisition or the call that leads to it).
+type lockClassEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+// lockCycle is one strongly connected component of lock classes.
+type lockCycle struct {
+	path  string // rendered a → b → a form
+	edges []lockClassEdge
+}
+
+type lockGraph struct {
+	cycles []lockCycle
+}
+
+// funcLockSummary is the per-function lock behavior lockorder composes
+// over the call graph.
+type funcLockSummary struct {
+	// acquires: every lock class this function's body (literals included)
+	// may acquire.
+	acquires map[string]bool
+	// edges: class B acquired lexically while class A held, same function.
+	edges []lockClassEdge
+	// heldAt: lock classes held at each call expression position.
+	heldAt map[token.Pos][]string
+}
+
+// lockGraphOf builds (once per call graph) the module lock graph and its
+// cycles.
+func lockGraphOf(g *CallGraph) *lockGraph {
+	return g.cachedAux("lockorder", func() any { return buildLockGraph(g) }).(*lockGraph)
+}
+
+func buildLockGraph(g *CallGraph) *lockGraph {
+	nodes := g.Nodes()
+	sums := make(map[*CallNode]*funcLockSummary, len(nodes))
+	for _, n := range nodes {
+		sums[n] = summarizeLocks(n)
+	}
+
+	// Transitive acquisitions per function over the call-graph closure.
+	transAcq := func(n *CallNode) map[string]bool {
+		out := make(map[string]bool)
+		for _, m := range g.Closure(n.Fn) {
+			for c := range sums[m].acquires {
+				out[c] = true
+			}
+		}
+		return out
+	}
+
+	var edges []lockClassEdge
+	seen := make(map[lockClassEdge]bool)
+	addEdge := func(e lockClassEdge) {
+		if e.from == e.to {
+			return
+		}
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	for _, n := range nodes {
+		sum := sums[n]
+		for _, e := range sum.edges {
+			addEdge(e)
+		}
+		if len(sum.heldAt) == 0 {
+			continue
+		}
+		// Join held-at-call-site with each callee's transitive acquisitions.
+		for _, out := range n.Out {
+			held, ok := sum.heldAt[out.Call.Pos()]
+			if !ok {
+				continue
+			}
+			for to := range transAcq(out.Callee) {
+				for _, from := range held {
+					addEdge(lockClassEdge{from: from, to: to, pos: out.Call.Pos()})
+				}
+			}
+		}
+	}
+
+	return &lockGraph{cycles: lockCycles(edges)}
+}
+
+// lockCycles finds the non-trivial strongly connected components of the
+// class graph and renders each as a reportable cycle.
+func lockCycles(edges []lockClassEdge) []lockCycle {
+	adj := make(map[string][]string)
+	classSet := make(map[string]bool)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+		classSet[e.from] = true
+		classSet[e.to] = true
+	}
+	classes := make([]string, 0, len(classSet))
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		sort.Strings(adj[c])
+	}
+
+	// Tarjan's SCC, deterministic by sorted class order.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 0
+	var sccs [][]string
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, visited := index[w]; !visited {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, c := range classes {
+		if _, visited := index[c]; !visited {
+			strongconnect(c)
+		}
+	}
+
+	var cycles []lockCycle
+	for _, scc := range sccs {
+		sort.Strings(scc)
+		member := make(map[string]bool, len(scc))
+		for _, c := range scc {
+			member[c] = true
+		}
+		var contributing []lockClassEdge
+		for _, e := range edges {
+			if member[e.from] && member[e.to] {
+				contributing = append(contributing, e)
+			}
+		}
+		parts := make([]string, 0, len(scc)+1)
+		for _, c := range scc {
+			parts = append(parts, shortLockClass(c))
+		}
+		parts = append(parts, shortLockClass(scc[0]))
+		cycles = append(cycles, lockCycle{
+			path:  strings.Join(parts, " → "),
+			edges: contributing,
+		})
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i].path < cycles[j].path })
+	return cycles
+}
+
+// shortLockClass trims the import-path directory from a class name:
+// "repro/internal/lint/testdata/lockorder.muA" → "lockorder.muA".
+func shortLockClass(class string) string {
+	if i := strings.LastIndex(class, "/"); i >= 0 {
+		return class[i+1:]
+	}
+	return class
+}
+
+// summarizeLocks runs a branch-aware lexical walk (the lockheld walker
+// shape) over one function, tracking held lock classes.
+func summarizeLocks(n *CallNode) *funcLockSummary {
+	sum := &funcLockSummary{
+		acquires: make(map[string]bool),
+		heldAt:   make(map[token.Pos][]string),
+	}
+	w := &lockOrderWalker{info: n.Pkg.Info, sum: sum}
+	// acquires is a may-set over the whole body, literals included.
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		if call, ok := nd.(*ast.CallExpr); ok {
+			if class, kind, ok := lockClassCall(n.Pkg.Info, call); ok && (kind == "Lock" || kind == "RLock") && class != "" {
+				sum.acquires[class] = true
+			}
+		}
+		return true
+	})
+	// Ordered-acquisition edges and held-at-call positions come from the
+	// function's own statements; literals run on their own schedule and are
+	// summarized as their own nodes' acquires.
+	w.walk(n.Decl.Body.List, map[string]int{})
+	return sum
+}
+
+// lockOrderWalker mirrors lockheld's branch-aware walk but tracks lock
+// classes and records acquisition ordering instead of checking leaf calls.
+type lockOrderWalker struct {
+	info *types.Info
+	sum  *funcLockSummary
+}
+
+func (w *lockOrderWalker) walk(stmts []ast.Stmt, held map[string]int) (map[string]int, bool) {
+	for _, stmt := range stmts {
+		var terminated bool
+		held, terminated = w.stmt(stmt, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *lockOrderWalker) stmt(stmt ast.Stmt, held map[string]int) (map[string]int, bool) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		return w.walk(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		w.check(s.Cond, held)
+		thenState, thenTerm := w.walk(s.Body.List, copyHeld(held))
+		elseState, elseTerm := copyHeld(held), false
+		if s.Else != nil {
+			elseState, elseTerm = w.stmt(s.Else, copyHeld(held))
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseState, false
+		case elseTerm:
+			return thenState, false
+		default:
+			return mergeHeld(thenState, elseState), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.check(s.Cond, held)
+		}
+		body, _ := w.walk(s.Body.List, copyHeld(held))
+		if s.Post != nil {
+			body, _ = w.stmt(s.Post, body)
+		}
+		return mergeHeld(held, body), false
+	case *ast.RangeStmt:
+		w.check(s.X, held)
+		body, _ := w.walk(s.Body.List, copyHeld(held))
+		return mergeHeld(held, body), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.branches(s, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.check(r, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.SendStmt:
+		w.check(s.Chan, held)
+		w.check(s.Value, held)
+		return held, false
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the class held to function end; defer
+		// mu.Lock() (rare, but possible via helper) acquires.
+		if class, kind, ok := lockClassCall(w.info, s.Call); ok {
+			if kind == "Lock" || kind == "RLock" {
+				return w.acquire(class, s.Call.Pos(), held), false
+			}
+			return held, false
+		}
+		w.check(s.Call, held)
+		return held, false
+	case *ast.ExprStmt:
+		if call, isCall := ast.Unparen(s.X).(*ast.CallExpr); isCall {
+			if class, kind, ok := lockClassCall(w.info, call); ok {
+				held = copyHeld(held)
+				switch kind {
+				case "Lock", "RLock":
+					return w.acquire(class, call.Pos(), held), false
+				case "Unlock", "RUnlock":
+					if class != "" && held[class] > 0 {
+						held[class]--
+					}
+				}
+				return held, false
+			}
+		}
+		w.check(s.X, held)
+		return held, false
+	default:
+		w.check(stmt, held)
+		return held, false
+	}
+}
+
+// acquire records ordered-acquisition edges from every held class and
+// returns the state with class held. An unclassified lock (local
+// variable) neither edges nor holds.
+func (w *lockOrderWalker) acquire(class string, pos token.Pos, held map[string]int) map[string]int {
+	if class == "" {
+		return held
+	}
+	for from, n := range held {
+		if n > 0 {
+			w.sum.edges = append(w.sum.edges, lockClassEdge{from: from, to: class, pos: pos})
+		}
+	}
+	held = copyHeld(held)
+	held[class]++
+	return held
+}
+
+func (w *lockOrderWalker) branches(stmt ast.Stmt, held map[string]int) (map[string]int, bool) {
+	out := copyHeld(held)
+	var clauses []ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.check(s.Tag, held)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			body = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				if _, term := w.stmt(cc.Comm, copyHeld(held)); term {
+					continue
+				}
+			}
+			body = cc.Body
+		}
+		if state, term := w.walk(body, copyHeld(held)); !term {
+			out = mergeHeld(out, state)
+		}
+	}
+	return out, false
+}
+
+// check records held classes at every call expression in a leaf node.
+// Function literal subtrees are skipped: they execute on their own
+// schedule, not under the current critical section.
+func (w *lockOrderWalker) check(node ast.Node, held map[string]int) {
+	if node == nil {
+		return
+	}
+	var heldClasses []string
+	for c, n := range held {
+		if n > 0 {
+			heldClasses = append(heldClasses, c)
+		}
+	}
+	if len(heldClasses) == 0 {
+		return
+	}
+	sort.Strings(heldClasses)
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			w.sum.heldAt[call.Pos()] = heldClasses
+		}
+		return true
+	})
+}
+
+// lockClassCall classifies call as a Lock-family method on a sync.Mutex or
+// sync.RWMutex and resolves the lock expression to its class. ok reports
+// the call is a lock call; class may still be "" for unclassifiable
+// (local) locks.
+func lockClassCall(info *types.Info, call *ast.CallExpr) (class, kind string, ok bool) {
+	if call == nil {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	pkg, tn, isMethod := recvTypeName(fn)
+	if !isMethod || pkg == nil || pkg.Path() != "sync" || (tn != "Mutex" && tn != "RWMutex") {
+		return "", "", false
+	}
+	return lockClassOf(info, sel.X), fn.Name(), true
+}
+
+// lockClassOf maps a lock expression to its class identity: package-level
+// vars to "pkgPath.var", struct fields to "pkgPath.Type.field" (the owner
+// type of the field, so s.mu and t.mu of one type share a class). Local
+// variables and anything else map to "".
+func lockClassOf(info *types.Info, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(x).(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.SelectorExpr:
+		// Qualified package-level var: obs.mu.
+		if id, isID := x.X.(*ast.Ident); isID {
+			if pn, isPkg := info.ObjectOf(id).(*types.PkgName); isPkg {
+				return pn.Imported().Path() + "." + x.Sel.Name
+			}
+		}
+		// Struct field: owner named type + field name.
+		if sel, hasSel := info.Selections[x]; hasSel && sel.Kind() == types.FieldVal {
+			t := sel.Recv()
+			if ptr, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if named, isNamed := types.Unalias(t).(*types.Named); isNamed {
+				obj := named.Obj()
+				if obj.Pkg() != nil {
+					return obj.Pkg().Path() + "." + obj.Name() + "." + x.Sel.Name
+				}
+			}
+		}
+	}
+	return ""
+}

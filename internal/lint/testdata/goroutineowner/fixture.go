@@ -1,0 +1,123 @@
+// Package goroutineowner is the golden fixture for the goroutineowner
+// analyzer: every spawned goroutine needs a provable termination signal,
+// and sends back to the parent need buffering or a select escape arm.
+package goroutineowner
+
+import (
+	"context"
+	"sync"
+)
+
+// leakSelect spins forever with no ctx, done channel, or WaitGroup in
+// sight: the select has no escape, so nothing can ever stop it.
+func leakSelect(in chan int) {
+	go func() { // want "no termination signal"
+		for {
+			select {
+			case v := <-in:
+				_ = v
+			}
+		}
+	}()
+}
+
+// okCtx carries the caller's ctx into the goroutine body.
+func okCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// okWaitGroup signals completion through the WaitGroup.
+func okWaitGroup(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// okDone watches a conventional done channel.
+func okDone() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		<-done
+	}()
+	return done
+}
+
+// serve blocks until its ctx argument is cancelled.
+func serve(ctx context.Context, addr string) {
+	_ = addr
+	<-ctx.Done()
+}
+
+// okCtxArg hands the spawned function a ctx directly.
+func okCtxArg(ctx context.Context) {
+	go serve(ctx, "localhost:0")
+}
+
+type worker struct {
+	quit chan struct{}
+}
+
+func (w *worker) run() {
+	w.loop()
+}
+
+func (w *worker) loop() {
+	for {
+		select {
+		case <-w.quit:
+			return
+		}
+	}
+}
+
+// spawnNamed's signal sits two frames down (run → loop → quit receive);
+// the call graph closure finds it.
+func spawnNamed(w *worker) {
+	go w.run()
+}
+
+// drain only stops when the channel closes under it — no signal the
+// analyzer can prove, so the spawn is flagged conservatively.
+func drain(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+func leakNamed(ch chan int) {
+	go drain(ch) // want "no termination signal"
+}
+
+// unbufferedResult's send blocks forever once the parent stops listening.
+func unbufferedResult(ctx context.Context) chan int {
+	res := make(chan int)
+	go func() {
+		_ = ctx
+		res <- 1 // want "unbuffered channel res"
+	}()
+	return res
+}
+
+// bufferedResult is safe: the send completes even with no receiver.
+func bufferedResult(ctx context.Context) chan int {
+	res := make(chan int, 1)
+	go func() {
+		_ = ctx
+		res <- 1
+	}()
+	return res
+}
+
+// guardedSend escapes through the ctx arm when the parent is gone.
+func guardedSend(ctx context.Context) chan int {
+	res := make(chan int)
+	go func() {
+		select {
+		case res <- 1:
+		case <-ctx.Done():
+		}
+	}()
+	return res
+}

@@ -1,0 +1,60 @@
+// Package lockorder is the golden fixture for the lockorder analyzer: the
+// module-wide lock-acquisition graph must stay acyclic. lockA → lockB →
+// lockC seeds a three-function muA → muB → muC → muA cycle.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+)
+
+// lockA holds muA across the call into lockB; the cycle is reported at
+// this earliest contributing site in the package.
+func lockA() {
+	muA.Lock()
+	defer muA.Unlock()
+	lockB() // want "lock-order cycle"
+}
+
+func lockB() {
+	muB.Lock()
+	defer muB.Unlock()
+	lockC()
+}
+
+// lockC closes the loop: muA acquired while muC (and transitively muB) is
+// held.
+func lockC() {
+	muC.Lock()
+	defer muC.Unlock()
+	muA.Lock()
+	muA.Unlock()
+}
+
+var (
+	muX sync.Mutex
+	muY sync.Mutex
+)
+
+// orderedOuter and orderedFar both take muX strictly before muY:
+// consistent order, no cycle, no findings.
+func orderedOuter() {
+	muX.Lock()
+	defer muX.Unlock()
+	orderedInner()
+}
+
+func orderedInner() {
+	muY.Lock()
+	defer muY.Unlock()
+}
+
+func orderedFar() {
+	muX.Lock()
+	muY.Lock()
+	muY.Unlock()
+	muX.Unlock()
+}

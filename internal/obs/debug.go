@@ -26,6 +26,10 @@ import (
 type DebugServer struct {
 	mux *http.ServeMux
 
+	// DrainTimeout bounds Serve's graceful shutdown once its ctx is
+	// cancelled; 0 means the 5s default. Set before calling Serve.
+	DrainTimeout time.Duration
+
 	mu     sync.Mutex
 	srv    *http.Server
 	ln     net.Listener
@@ -98,6 +102,7 @@ func (d *DebugServer) Start(addr string) (string, error) {
 	d.mu.Lock()
 	d.srv, d.ln = srv, ln
 	d.mu.Unlock()
+	//lint:ignore goroutineowner srv.Serve returns when Shutdown closes the listener; the http.Server is the owner
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), nil
 }
@@ -126,14 +131,21 @@ func (d *DebugServer) Shutdown(ctx context.Context) error {
 }
 
 // Serve binds addr and serves until ctx is cancelled, then shuts down
-// gracefully (bounded at 5s). The long-running CLI shape: `go d.Serve(...)`
-// with the process context.
+// gracefully, bounded by DrainTimeout (default 5s). The long-running CLI
+// shape: `go d.Serve(...)` with the process context. The drain deadline
+// derives from the caller's ctx values without inheriting its
+// cancellation — ctx is already done by then, and an immediately-dead
+// drain context would kill in-flight requests instead of draining them.
 func (d *DebugServer) Serve(ctx context.Context, addr string) error {
 	if _, err := d.Start(addr); err != nil {
 		return err
 	}
 	<-ctx.Done()
-	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	drain := d.DrainTimeout
+	if drain <= 0 {
+		drain = 5 * time.Second
+	}
+	sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), drain)
 	defer cancel()
 	return d.Shutdown(sctx)
 }

@@ -151,6 +151,59 @@ func TestDebugServerStartShutdown(t *testing.T) {
 	}
 }
 
+// TestDebugServerDrainTimeout pins Serve's configurable drain: with a
+// request stuck in a handler, cancellation must give up after DrainTimeout
+// (not the 5s default) and surface the drain deadline as the error.
+func TestDebugServerDrainTimeout(t *testing.T) {
+	d, _ := newTestDebugServer()
+	d.DrainTimeout = 50 * time.Millisecond
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	d.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.Serve(ctx, "127.0.0.1:0") }()
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Addr() == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("server never bound")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	addr := d.Addr()
+
+	go func() {
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the slow handler")
+	}
+
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Serve with a stuck request returned %v, want deadline exceeded", err)
+		}
+		if elapsed := time.Since(start); elapsed >= 4*time.Second {
+			t.Fatalf("drain took %v; DrainTimeout=50ms was not honored", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve never gave up draining")
+	}
+}
+
 // TestDebugServerServeCancels checks the ctx-driven Serve wrapper exits on
 // cancellation with a clean shutdown.
 func TestDebugServerServeCancels(t *testing.T) {

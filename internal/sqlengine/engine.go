@@ -268,11 +268,17 @@ func (e *Engine) QueryStmtCtx(ctx context.Context, stmt *SelectStmt) (*ResultSet
 // aggregate/sort/…) into the returned Metrics.Trace. It is the substrate
 // of EXPLAIN ANALYZE.
 func (e *Engine) QueryTraced(sql string) (*ResultSet, *Metrics, error) {
+	return e.QueryTracedCtx(context.Background(), sql)
+}
+
+// QueryTracedCtx is QueryTraced under a context: the traced run honors
+// cancellation and the engine query timeout like any other query.
+func (e *Engine) QueryTracedCtx(ctx context.Context, sql string) (*ResultSet, *Metrics, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
 		return nil, nil, err
 	}
-	_, rs, m, err := e.queryStmt(context.Background(), stmt, true)
+	_, rs, m, err := e.queryStmt(ctx, stmt, true)
 	return rs, m, err
 }
 

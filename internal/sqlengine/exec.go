@@ -121,12 +121,19 @@ func (s *fileRowSource) flushStats() {
 
 // Execute runs a physical plan and returns its results plus metrics.
 func (e *Engine) Execute(plan *PhysicalPlan) (*ResultSet, *Metrics, error) {
-	return e.execute(context.Background(), plan, nil)
+	return e.ExecuteCtx(context.Background(), plan)
 }
 
 // ExecuteCtx runs a physical plan under a context; cancellation is honored
-// at batch boundaries.
+// at batch boundaries, and the engine query timeout bounds the run just as
+// it does for QueryCtx (queryStmt applies it on the query path; direct
+// plan execution gets the same ceiling here).
 func (e *Engine) ExecuteCtx(ctx context.Context, plan *PhysicalPlan) (*ResultSet, *Metrics, error) {
+	if e.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.queryTimeout)
+		defer cancel()
+	}
 	return e.execute(ctx, plan, nil)
 }
 

@@ -14,16 +14,28 @@ import (
 // result set and metrics of the (actually executed) query are returned
 // alongside the rendering.
 func (e *Engine) ExplainAnalyze(sql string) (string, *ResultSet, *Metrics, error) {
+	return e.ExplainAnalyzeCtx(context.Background(), sql)
+}
+
+// ExplainAnalyzeCtx is ExplainAnalyze under a context: the traced
+// execution honors cancellation and the engine query timeout exactly like
+// QueryCtx.
+func (e *Engine) ExplainAnalyzeCtx(ctx context.Context, sql string) (string, *ResultSet, *Metrics, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
 		return "", nil, nil, err
 	}
-	return e.ExplainAnalyzeStmt(stmt)
+	return e.ExplainAnalyzeStmtCtx(ctx, stmt)
 }
 
 // ExplainAnalyzeStmt is ExplainAnalyze over a parsed statement.
 func (e *Engine) ExplainAnalyzeStmt(stmt *SelectStmt) (string, *ResultSet, *Metrics, error) {
-	plan, rs, m, err := e.queryStmt(context.Background(), stmt, true)
+	return e.ExplainAnalyzeStmtCtx(context.Background(), stmt)
+}
+
+// ExplainAnalyzeStmtCtx is ExplainAnalyzeCtx over a parsed statement.
+func (e *Engine) ExplainAnalyzeStmtCtx(ctx context.Context, stmt *SelectStmt) (string, *ResultSet, *Metrics, error) {
+	plan, rs, m, err := e.queryStmt(ctx, stmt, true)
 	if err != nil {
 		return "", nil, nil, err
 	}

@@ -191,6 +191,13 @@ func (s *System) Explain(sql string) (string, *ResultSet, *Metrics, error) {
 	return s.m.Explain(sql)
 }
 
+// ExplainCtx is Explain with cancellation and deadline support, matching
+// QueryCtx: the traced execution is checked between batches and bounded by
+// any configured query timeout.
+func (s *System) ExplainCtx(ctx context.Context, sql string) (string, *ResultSet, *Metrics, error) {
+	return s.m.ExplainCtx(ctx, sql)
+}
+
 // Obs returns the system-wide metrics registry: engine totals, Value
 // Combiner counters, and cache gauges, exportable via WriteJSON/WriteText.
 func (s *System) Obs() *obs.Registry { return s.m.Obs() }
