@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datum"
+	"repro/internal/dfs"
+	"repro/internal/orc"
+	"repro/internal/pathkey"
+	"repro/internal/serve"
+	"repro/internal/simtime"
+	"repro/internal/sqlengine"
+	"repro/internal/warehouse"
+)
+
+// ServeBenchPoint is one worker-pool size's closed-loop measurement: C=2W
+// concurrent clients issue requests back-to-back over real HTTP against
+// maxson-serve's admission pipeline.
+type ServeBenchPoint struct {
+	Workers  int
+	Clients  int
+	Requests int
+	Shed     int64
+	WallMs   int64
+	// QPS is completed (200) responses per second of wall time.
+	QPS float64
+	// P50Ms / P99Ms are client-observed request latencies, queue wait
+	// included — the latency the admission pipeline actually delivers.
+	P50Ms float64
+	P99Ms float64
+}
+
+// ServeBenchResult is the closed-loop server throughput/latency sweep over
+// worker-pool sizes. Feeds BENCH_serve.json.
+type ServeBenchResult struct {
+	RowsPerTable int
+	Points       []ServeBenchPoint
+}
+
+func (r *ServeBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "maxson-serve closed-loop throughput/latency (%d rows, HTTP, cached plans)\n", r.RowsPerTable)
+	fmt.Fprintf(&b, "%-8s %-8s %-9s %-6s %10s %10s %10s\n",
+		"workers", "clients", "requests", "shed", "qps", "p50 ms", "p99 ms")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-8d %-8d %-9d %-6d %10.1f %10.2f %10.2f\n",
+			p.Workers, p.Clients, p.Requests, p.Shed, p.QPS, p.P50Ms, p.P99Ms)
+	}
+	b.WriteString("closed loop: each client waits for its response before sending the next;\n")
+	b.WriteString("latencies include queue wait, so p99 growing with workers shows saturation")
+	return b.String()
+}
+
+// serveBenchSystem builds a cached Maxson core over a bench table — the
+// backend every pool size serves.
+func serveBenchSystem(rows int, seed int64) (*core.Maxson, error) {
+	clock := simtime.NewSim(time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC))
+	fs := dfs.New(dfs.WithClock(clock))
+	wh := warehouse.New(fs, warehouse.WithClock(clock),
+		warehouse.WithWriterOptions(orc.WriterOptions{RowGroupRows: 256}))
+	wh.CreateDatabase("bench")
+	schema := orc.Schema{Columns: []orc.Column{
+		{Name: "id", Type: datum.TypeInt64},
+		{Name: "doc", Type: datum.TypeString},
+	}}
+	if err := wh.CreateTable("bench", "t", schema); err != nil {
+		return nil, err
+	}
+	batch := make([][]datum.Datum, 0, rows)
+	for i := 0; i < rows; i++ {
+		doc := fmt.Sprintf(`{"a":%d,"b":"g%d","nested":{"x":%d},"pad":"%s"}`,
+			(i*7+int(seed))%100, i%8, i%80, strings.Repeat("p", 48))
+		batch = append(batch, []datum.Datum{datum.Int(int64(i)), datum.Str(doc)})
+	}
+	if _, err := wh.AppendRows("bench", "t", batch); err != nil {
+		return nil, err
+	}
+	clock.Advance(24 * time.Hour)
+	e := sqlengine.NewEngine(wh,
+		sqlengine.WithDefaultDB("bench"),
+		sqlengine.WithParallelism(2))
+	m := core.New(e, core.Config{BudgetBytes: 1 << 30, DefaultDB: "bench"})
+	// Pre-cache the hot paths directly: the bench measures the serving
+	// pipeline, not the midnight cycle.
+	var profiles []*core.PathProfile
+	for _, p := range []string{"$.a", "$.nested.x"} {
+		profiles = append(profiles, &core.PathProfile{
+			Key:             pathkey.Key{DB: "bench", Table: "t", Column: "doc", Path: p},
+			TotalValueBytes: 1,
+		})
+	}
+	if _, err := m.CacheSelected(profiles); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// serveBenchQueries is the client mix: a cached point-path scan, a cached
+// filter, and an aggregate.
+var serveBenchQueries = []string{
+	`SELECT id, get_json_object(doc, '$.a') a FROM bench.t ORDER BY id LIMIT 20`,
+	`SELECT COUNT(*) n FROM bench.t WHERE get_json_object(doc, '$.nested.x') > 40`,
+	`SELECT get_json_object(doc, '$.b') b, COUNT(*) n
+	 FROM bench.t GROUP BY get_json_object(doc, '$.b') ORDER BY b`,
+}
+
+// serveBenchRun measures one pool size over real HTTP.
+func serveBenchRun(ctx context.Context, m *core.Maxson, workers, requests int) (ServeBenchPoint, error) {
+	point := ServeBenchPoint{Workers: workers, Clients: workers * 2, Requests: requests}
+	srv := serve.New(m, serve.Config{
+		Workers:    workers,
+		QueueDepth: workers * 8, // deep enough that a closed loop never sheds
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return point, err
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}()
+
+	perClient := requests / point.Clients
+	point.Requests = perClient * point.Clients
+	latencies := make([][]float64, point.Clients)
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+		shed  int64
+	)
+	t0 := time.Now()
+	for c := 0; c < point.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 60 * time.Second}
+			lats := make([]float64, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				if ctx.Err() != nil {
+					break
+				}
+				body, _ := json.Marshal(map[string]any{
+					"sql":     serveBenchQueries[(c+i)%len(serveBenchQueries)],
+					"session": fmt.Sprintf("bench-%d", c),
+				})
+				q0 := time.Now()
+				resp, err := client.Post("http://"+addr+"/v1/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					lats = append(lats, float64(time.Since(q0).Microseconds())/1e3)
+				case http.StatusTooManyRequests, http.StatusGatewayTimeout:
+					mu.Lock()
+					shed++
+					mu.Unlock()
+				default:
+					mu.Lock()
+					if first == nil {
+						first = fmt.Errorf("serve bench: unexpected status %d", resp.StatusCode)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			latencies[c] = lats
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	if first != nil {
+		return point, first
+	}
+	if err := ctx.Err(); err != nil {
+		return point, err
+	}
+
+	var all []float64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	point.Shed = shed
+	point.WallMs = wall.Milliseconds()
+	if len(all) > 0 && wall > 0 {
+		point.QPS = float64(len(all)) / wall.Seconds()
+		point.P50Ms = percentile(all, 0.50)
+		point.P99Ms = percentile(all, 0.99)
+	}
+	return point, nil
+}
+
+// percentile reads the q-quantile from sorted values (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// RunServeBench sweeps worker-pool sizes with a closed-loop concurrent
+// client population over real HTTP. Feeds BENCH_serve.json; `maxson-bench
+// -exp serve` runs it standalone.
+func RunServeBench(ctx context.Context, rows int, seed int64) (*ServeBenchResult, error) {
+	m, err := serveBenchSystem(rows, seed)
+	if err != nil {
+		return nil, fmt.Errorf("serve bench build: %w", err)
+	}
+	res := &ServeBenchResult{RowsPerTable: rows}
+	for _, workers := range []int{1, 2, 4, 8} {
+		point, err := serveBenchRun(ctx, m, workers, 96)
+		if err != nil {
+			return nil, fmt.Errorf("serve bench workers=%d: %w", workers, err)
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestServeBenchRuns smoke-tests the closed-loop server sweep at a reduced
+// scale: every point completes its full request count with no sheds (the
+// queue is sized for the closed loop) and sane latency ordering.
+func TestServeBenchRuns(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	m, err := serveBenchSystem(80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		p, err := serveBenchRun(ctx, m, workers, 24)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if p.Requests == 0 || p.QPS <= 0 {
+			t.Fatalf("workers=%d: empty point %+v", workers, p)
+		}
+		if p.Shed != 0 {
+			t.Fatalf("workers=%d: closed loop shed %d requests", workers, p.Shed)
+		}
+		if p.P99Ms < p.P50Ms {
+			t.Fatalf("workers=%d: p99 %.2f < p50 %.2f", workers, p.P99Ms, p.P50Ms)
+		}
+	}
+}

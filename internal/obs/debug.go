@@ -20,8 +20,14 @@ import (
 //
 //	/metrics          Prometheus text exposition (bucket lines included)
 //	/metrics.json     the same snapshot as one JSON document
-//	/healthz          200 "ok" (or 503 + error text when a health check
-//	                  is installed and failing)
+//	/healthz          liveness: 200 "ok" (or 503 + error text when a health
+//	                  check is installed and failing) — "is the process up"
+//	/readyz           readiness: 200 "ok" (or 503 + error text when a
+//	                  readiness check is installed and failing) — "should
+//	                  this process receive traffic". A draining server flips
+//	                  /readyz false while /healthz stays true, so load
+//	                  balancers stop routing without the orchestrator
+//	                  killing the process mid-drain.
 //	/debug/pprof/...  the standard pprof index, profile, heap, trace, ...
 type DebugServer struct {
 	mux *http.ServeMux
@@ -34,6 +40,7 @@ type DebugServer struct {
 	srv    *http.Server
 	ln     net.Listener
 	health func() error
+	ready  func() error
 }
 
 // NewDebugServer builds a debug server over a metrics registry.
@@ -54,13 +61,13 @@ func NewDebugServer(reg *Registry) *DebugServer {
 		d.mu.Lock()
 		check := d.health
 		d.mu.Unlock()
-		if check != nil {
-			if err := check(); err != nil {
-				http.Error(w, err.Error(), http.StatusServiceUnavailable)
-				return
-			}
-		}
-		fmt.Fprintln(w, "ok")
+		serveCheck(w, check)
+	})
+	d.mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		d.mu.Lock()
+		check := d.ready
+		d.mu.Unlock()
+		serveCheck(w, check)
 	})
 	d.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	d.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -80,10 +87,32 @@ func (d *DebugServer) HandleFunc(pattern string, f func(http.ResponseWriter, *ht
 	d.mux.HandleFunc(pattern, f)
 }
 
-// SetHealth installs the /healthz check; nil restores unconditional 200.
+// serveCheck renders one health/readiness probe: 200 "ok" when the check is
+// absent or passing, 503 + the error text when it fails.
+func serveCheck(w http.ResponseWriter, check func() error) {
+	if check != nil {
+		if err := check(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// SetHealth installs the /healthz liveness check; nil restores
+// unconditional 200.
 func (d *DebugServer) SetHealth(f func() error) {
 	d.mu.Lock()
 	d.health = f
+	d.mu.Unlock()
+}
+
+// SetReady installs the /readyz readiness check; nil restores unconditional
+// 200. Servers flip this false during drain (and before listeners accept)
+// so traffic routes away while in-flight work finishes.
+func (d *DebugServer) SetReady(f func() error) {
+	d.mu.Lock()
+	d.ready = f
 	d.mu.Unlock()
 }
 

@@ -83,6 +83,43 @@ func TestDebugServerHealthz(t *testing.T) {
 	}
 }
 
+// TestDebugServerReadyz pins the liveness/readiness split: /readyz has its
+// own check, independent of /healthz — a draining server flips /readyz
+// false while /healthz stays true.
+func TestDebugServerReadyz(t *testing.T) {
+	d, _ := newTestDebugServer()
+	if rr := get(t, d.Handler(), "/readyz"); rr.Code != http.StatusOK ||
+		!strings.Contains(rr.Body.String(), "ok") {
+		t.Errorf("/readyz with no check = %d %q, want 200 ok", rr.Code, rr.Body.String())
+	}
+	d.SetReady(func() error { return errors.New("draining") })
+	if rr := get(t, d.Handler(), "/readyz"); rr.Code != http.StatusServiceUnavailable ||
+		!strings.Contains(rr.Body.String(), "draining") {
+		t.Errorf("failing /readyz = %d %q, want 503 with cause", rr.Code, rr.Body.String())
+	}
+	// Liveness is independent: the process is up even while not ready.
+	if rr := get(t, d.Handler(), "/healthz"); rr.Code != http.StatusOK {
+		t.Errorf("/healthz while not ready = %d, want 200", rr.Code)
+	}
+	d.SetReady(nil)
+	if rr := get(t, d.Handler(), "/readyz"); rr.Code != http.StatusOK {
+		t.Errorf("restored /readyz = %d, want 200", rr.Code)
+	}
+}
+
+// TestDebugServerHealthzIndependentOfReadyz covers the converse: a failing
+// liveness check must not leak into /readyz.
+func TestDebugServerHealthzIndependentOfReadyz(t *testing.T) {
+	d, _ := newTestDebugServer()
+	d.SetHealth(func() error { return errors.New("deadlocked") })
+	if rr := get(t, d.Handler(), "/healthz"); rr.Code != http.StatusServiceUnavailable {
+		t.Errorf("failing /healthz = %d, want 503", rr.Code)
+	}
+	if rr := get(t, d.Handler(), "/readyz"); rr.Code != http.StatusOK {
+		t.Errorf("/readyz with failing health check = %d, want 200 (separate checks)", rr.Code)
+	}
+}
+
 func TestDebugServerPprofRegistered(t *testing.T) {
 	d, _ := newTestDebugServer()
 	if rr := get(t, d.Handler(), "/debug/pprof/"); rr.Code != http.StatusOK ||

@@ -17,6 +17,7 @@ package flight
 import (
 	"context"
 	"log/slog"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -114,6 +115,12 @@ type Recorder struct {
 	slowCur   atomic.Uint64
 	slowSlots []atomic.Pointer[QueryRecord]
 
+	// activeMu guards the in-flight query set: Begin registers, Finish
+	// unregisters, ActiveQueries snapshots — the live view that makes a
+	// stuck query visible before it ever publishes a record.
+	activeMu sync.Mutex
+	active   map[uint64]*Active
+
 	recorded *obs.Counter
 	slow     *obs.Counter
 }
@@ -136,6 +143,7 @@ func New(reg *obs.Registry, opts Options) *Recorder {
 		slowNS:    opts.SlowThreshold.Nanoseconds(),
 		slots:     make([]atomic.Pointer[QueryRecord], opts.Capacity),
 		slowSlots: make([]atomic.Pointer[QueryRecord], opts.SlowCapacity),
+		active:    make(map[uint64]*Active),
 	}
 	if reg != nil {
 		r.recorded = reg.Counter("flight_queries_recorded_total")
@@ -192,6 +200,9 @@ func (r *Recorder) Begin(sql string) *Active {
 		a.pre = buf
 	}
 	r.inflight.Add(1)
+	r.activeMu.Lock()
+	r.active[a.id] = a
+	r.activeMu.Unlock()
 	return a
 }
 
@@ -288,6 +299,9 @@ func (a *Active) Finish(t Totals, qerr error) *QueryRecord {
 	}
 	rec.Slow = rec.WallNS >= r.slowNS
 
+	r.activeMu.Lock()
+	delete(r.active, a.id)
+	r.activeMu.Unlock()
 	r.inflight.Add(-1)
 	slot := r.cur.Add(1) - 1
 	r.slots[slot%uint64(len(r.slots))].Store(rec)
@@ -318,6 +332,61 @@ func truncateSQL(sql string) string {
 		return sql
 	}
 	return sql[:max] + "…"
+}
+
+// ActiveQuery is a point-in-time view of one in-flight query — what
+// /debug/queries?state=active serves so a stuck query under load is visible
+// before it ever finishes and publishes a QueryRecord.
+type ActiveQuery struct {
+	ID        uint64    `json:"id"`
+	SQL       string    `json:"sql"`
+	Start     time.Time `json:"start"`
+	ElapsedNS int64     `json:"elapsed_ns"`
+	// Mode/Stages/Retries reflect progress so far; a query stuck in its
+	// first scan shows no stages, which is itself the diagnostic.
+	Mode    string  `json:"mode,omitempty"`
+	Stages  []Stage `json:"stages,omitempty"`
+	Retries int     `json:"retries"`
+}
+
+// snapshot copies the Active's mutable progress under its lock.
+func (a *Active) snapshot(now time.Time) ActiveQuery {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return ActiveQuery{
+		ID:        a.id,
+		SQL:       a.sql,
+		Start:     a.start,
+		ElapsedNS: now.Sub(a.start).Nanoseconds(),
+		Mode:      a.mode,
+		Stages:    append([]Stage(nil), a.stages...),
+		Retries:   a.retries,
+	}
+}
+
+// ActiveQueries snapshots up to n in-flight queries, oldest first — the
+// longest-running (most likely stuck) query leads. Nil-safe.
+func (r *Recorder) ActiveQueries(n int) []ActiveQuery {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	now := time.Now()
+	r.activeMu.Lock()
+	actives := make([]*Active, 0, len(r.active))
+	for _, a := range r.active {
+		actives = append(actives, a)
+	}
+	r.activeMu.Unlock()
+	// IDs are monotonic, so ascending ID order is start order.
+	sort.Slice(actives, func(i, j int) bool { return actives[i].id < actives[j].id })
+	if n < len(actives) {
+		actives = actives[:n]
+	}
+	out := make([]ActiveQuery, 0, len(actives))
+	for _, a := range actives {
+		out = append(out, a.snapshot(now))
+	}
+	return out
 }
 
 // Recent returns up to n records, newest first. Safe under concurrent

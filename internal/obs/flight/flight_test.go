@@ -201,3 +201,86 @@ func TestHandler(t *testing.T) {
 		t.Errorf("nil recorder page = %+v", page)
 	}
 }
+
+func TestActiveQueries(t *testing.T) {
+	r := New(obs.NewRegistry(), Options{})
+	a1 := r.Begin("SELECT slow")
+	a2 := r.Begin("SELECT slower")
+	a1.SetMode("cached")
+	a1.AddStage("plan", time.Millisecond)
+	a2.AddRetry()
+
+	got := r.ActiveQueries(10)
+	if len(got) != 2 {
+		t.Fatalf("ActiveQueries = %d entries, want 2", len(got))
+	}
+	// Oldest first: the longest-running query leads.
+	if got[0].ID != 1 || got[1].ID != 2 {
+		t.Errorf("order = [%d %d], want [1 2]", got[0].ID, got[1].ID)
+	}
+	if got[0].SQL != "SELECT slow" || got[0].Mode != "cached" || len(got[0].Stages) != 1 {
+		t.Errorf("active[0] = %+v", got[0])
+	}
+	if got[1].Retries != 1 {
+		t.Errorf("active[1].Retries = %d, want 1", got[1].Retries)
+	}
+	if got[0].ElapsedNS < 0 {
+		t.Errorf("elapsed = %d, want >= 0", got[0].ElapsedNS)
+	}
+	// n truncates oldest-first.
+	if one := r.ActiveQueries(1); len(one) != 1 || one[0].ID != 1 {
+		t.Errorf("ActiveQueries(1) = %+v, want just ID 1", one)
+	}
+
+	// Finishing removes from the active set.
+	a1.Finish(Totals{}, nil)
+	if got := r.ActiveQueries(10); len(got) != 1 || got[0].ID != 2 {
+		t.Errorf("after finish = %+v, want just ID 2", got)
+	}
+	a2.Finish(Totals{}, nil)
+	if got := r.ActiveQueries(10); len(got) != 0 {
+		t.Errorf("after all finished = %+v, want empty", got)
+	}
+
+	// Nil-safety.
+	var nilRec *Recorder
+	if nilRec.ActiveQueries(5) != nil {
+		t.Error("nil recorder ActiveQueries != nil")
+	}
+}
+
+// TestHandlerActiveView drives /debug/queries?state=active end to end.
+func TestHandlerActiveView(t *testing.T) {
+	r := New(obs.NewRegistry(), Options{})
+	a := r.Begin("SELECT stuck")
+	a.SetMode("raw")
+	defer a.Finish(Totals{}, nil)
+	r.Begin("SELECT done").Finish(Totals{}, nil)
+
+	req := httptest.NewRequest(http.MethodGet, "/debug/queries?state=active", nil)
+	rr := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rr, req)
+	var page struct {
+		Total    uint64        `json:"total"`
+		Inflight int64         `json:"inflight"`
+		State    string        `json:"state"`
+		Active   []ActiveQuery `json:"active"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &page); err != nil {
+		t.Fatalf("bad body %q: %v", rr.Body.String(), err)
+	}
+	if page.State != "active" || page.Inflight != 1 || page.Total != 2 {
+		t.Errorf("page = %+v", page)
+	}
+	if len(page.Active) != 1 || page.Active[0].SQL != "SELECT stuck" || page.Active[0].Mode != "raw" {
+		t.Errorf("active = %+v", page.Active)
+	}
+
+	// The default view still serves completed records only.
+	rr = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/queries", nil))
+	if !strings.Contains(rr.Body.String(), `"state": "recent"`) ||
+		!strings.Contains(rr.Body.String(), "SELECT done") {
+		t.Errorf("default view = %s", rr.Body.String())
+	}
+}

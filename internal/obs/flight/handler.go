@@ -14,15 +14,21 @@ type queriesPage struct {
 	Inflight int64 `json:"inflight"`
 	// Slow reports whether the records are from the slow ring.
 	Slow bool `json:"slow"`
-	// Records are newest-first.
+	// State names the view: "recent" (default), "slow", or "active".
+	State string `json:"state"`
+	// Records are newest-first (recent/slow views).
 	Records []*QueryRecord `json:"records"`
+	// Active are in-flight snapshots, oldest first (active view only).
+	Active []ActiveQuery `json:"active,omitempty"`
 }
 
 // Handler serves the recorder as JSON — the /debug/queries route.
 //
-//	GET /debug/queries          → the most recent records (default 50)
-//	GET /debug/queries?n=200    → up to 200 records
-//	GET /debug/queries?slow=1   → the slow-query ring instead
+//	GET /debug/queries               → the most recent records (default 50)
+//	GET /debug/queries?n=200         → up to 200 records
+//	GET /debug/queries?slow=1        → the slow-query ring instead
+//	GET /debug/queries?state=active  → in-flight queries, oldest first —
+//	                                   the live view of a stuck query
 //
 // Nil-safe: a nil recorder serves an empty page, so CLIs can mount the
 // route unconditionally.
@@ -34,19 +40,24 @@ func (r *Recorder) Handler() http.Handler {
 				n = v
 			}
 		}
-		page := queriesPage{Records: []*QueryRecord{}}
+		page := queriesPage{State: "recent", Records: []*QueryRecord{}}
 		if r != nil {
 			page.Total = r.Seq()
 			page.Inflight = r.inflight.Load()
-			page.Slow = req.URL.Query().Get("slow") != ""
-			var recs []*QueryRecord
-			if page.Slow {
-				recs = r.Slow(n)
-			} else {
-				recs = r.Recent(n)
-			}
-			if recs != nil {
-				page.Records = recs
+			switch {
+			case req.URL.Query().Get("state") == "active":
+				page.State = "active"
+				page.Active = r.ActiveQueries(n)
+			case req.URL.Query().Get("slow") != "":
+				page.Slow = true
+				page.State = "slow"
+				if recs := r.Slow(n); recs != nil {
+					page.Records = recs
+				}
+			default:
+				if recs := r.Recent(n); recs != nil {
+					page.Records = recs
+				}
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")

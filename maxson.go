@@ -77,6 +77,14 @@ type (
 		// they land in the slow-query ring and emit one structured log line.
 		// Zero uses the default (500ms).
 		SlowQueryThreshold time.Duration
+		// ScanShareWindow, when positive, enables the shared-scan scheduler:
+		// concurrent queries over the same (table, generation) coalesce into
+		// one pass within this admission window. maxson-serve turns this on
+		// by default — it only pays off when queries actually arrive
+		// together.
+		ScanShareWindow time.Duration
+		// ScanShareMaxQueries seals a share group early at this size.
+		ScanShareMaxQueries int
 	}
 
 	// ResultSet is a query result.
@@ -148,12 +156,14 @@ func NewSystem(cfg SystemConfig) *System {
 		})
 	}
 	m := core.New(e, core.Config{
-		BudgetBytes: cfg.CacheBudgetBytes,
-		Window:      cfg.Window,
-		DefaultDB:   cfg.DefaultDB,
-		Obs:         reg,
-		Logger:      cfg.Logger,
-		Flight:      rec,
+		BudgetBytes:         cfg.CacheBudgetBytes,
+		Window:              cfg.Window,
+		DefaultDB:           cfg.DefaultDB,
+		Obs:                 reg,
+		Logger:              cfg.Logger,
+		Flight:              rec,
+		ScanShareWindow:     cfg.ScanShareWindow,
+		ScanShareMaxQueries: cfg.ScanShareMaxQueries,
 	})
 	return &System{m: m, wh: wh, e: e, clock: clock}
 }
@@ -240,6 +250,15 @@ func (s *System) RunMidnightCycle() (*CycleReport, error) {
 func (s *System) RunMidnightCycleCtx(ctx context.Context) (*CycleReport, error) {
 	return s.m.RunMidnightCycleCtx(ctx)
 }
+
+// SaveState persists collector statistics, the cache registry snapshot, and
+// trained predictor weights through the warehouse — the drain-time flush a
+// long-lived server runs so a restart serves from cache without retraining.
+func (s *System) SaveState() error { return s.m.SaveState() }
+
+// LoadState restores state saved by SaveState. Missing state is not an
+// error (fresh deployment); a corrupt state file is.
+func (s *System) LoadState() error { return s.m.LoadState() }
 
 // AdvanceToMidnight moves the simulated clock to the next midnight (the
 // scheduled cycle time).
